@@ -1,0 +1,128 @@
+//! Fig. 1: example XGFT instantiations.
+//!
+//! The figure of the paper shows several members of the XGFT family
+//! (complete trees, k-ary n-trees, slimmed trees). This driver instantiates
+//! a representative set and reports their structural parameters, which is
+//! what the figure conveys.
+
+use serde::{Deserialize, Serialize};
+use xgft_topo::{Xgft, XgftSpec};
+
+/// Structural summary of one example topology.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopologySummary {
+    /// The spec string, e.g. `XGFT(2;4,4;1,2)`.
+    pub spec: String,
+    /// Classification (complete tree / k-ary n-tree / slimmed).
+    pub kind: String,
+    /// Number of processing nodes.
+    pub leaves: usize,
+    /// Number of switches.
+    pub switches: usize,
+    /// Number of bidirectional cables.
+    pub cables: usize,
+    /// Ratio of top-level capacity to leaf count (1.0 = full bisection).
+    pub capacity_ratio: f64,
+}
+
+/// The Fig. 1 reproduction: a set of example topologies.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig1Result {
+    /// One summary per example.
+    pub examples: Vec<TopologySummary>,
+}
+
+fn classify(spec: &XgftSpec) -> String {
+    if spec.is_full_k_ary_n_tree() {
+        "k-ary n-tree (full bisection)".to_string()
+    } else if spec.w_vec().iter().all(|&w| w == 1) {
+        "complete tree".to_string()
+    } else if spec.is_slimmed() {
+        "slimmed tree (blocking)".to_string()
+    } else {
+        "general XGFT".to_string()
+    }
+}
+
+/// Build summaries for the default example set (representative of Fig. 1).
+pub fn run() -> Fig1Result {
+    let specs = vec![
+        XgftSpec::complete_tree(4, 2).unwrap(),
+        XgftSpec::k_ary_n_tree(4, 2),
+        XgftSpec::slimmed_two_level(4, 2).unwrap(),
+        XgftSpec::new(vec![4, 4, 4], vec![1, 2, 2]).unwrap(),
+        XgftSpec::k_ary_n_tree(2, 3),
+        XgftSpec::slimmed_two_level(16, 10).unwrap(),
+        XgftSpec::k_ary_n_tree(16, 2),
+    ];
+    run_for(&specs)
+}
+
+/// Build summaries for an explicit list of specs.
+pub fn run_for(specs: &[XgftSpec]) -> Fig1Result {
+    let examples = specs
+        .iter()
+        .map(|spec| {
+            let xgft = Xgft::new(spec.clone()).expect("example specs are valid");
+            TopologySummary {
+                spec: spec.to_string(),
+                kind: classify(spec),
+                leaves: xgft.num_leaves(),
+                switches: xgft.num_switches(),
+                cables: spec.total_cables(),
+                capacity_ratio: spec.top_level_capacity_ratio(),
+            }
+        })
+        .collect();
+    Fig1Result { examples }
+}
+
+impl Fig1Result {
+    /// Render the example table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# Fig. 1 — example XGFT instantiations\n");
+        out.push_str(&format!(
+            "{:<24} {:<30} {:>7} {:>9} {:>7} {:>9}\n",
+            "spec", "kind", "leaves", "switches", "cables", "capacity"
+        ));
+        for e in &self.examples {
+            out.push_str(&format!(
+                "{:<24} {:<30} {:>7} {:>9} {:>7} {:>9.2}\n",
+                e.spec, e.kind, e.leaves, e.switches, e.cables, e.capacity_ratio
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_examples_cover_all_kinds() {
+        let result = run();
+        assert!(result.examples.len() >= 5);
+        let kinds: std::collections::HashSet<&str> = result
+            .examples
+            .iter()
+            .map(|e| e.kind.as_str())
+            .collect();
+        assert!(kinds.iter().any(|k| k.contains("complete")));
+        assert!(kinds.iter().any(|k| k.contains("k-ary")));
+        assert!(kinds.iter().any(|k| k.contains("slimmed")));
+        let text = result.render();
+        assert!(text.contains("XGFT(2;16,16;1,10)"));
+    }
+
+    #[test]
+    fn capacity_ratio_reflects_slimming() {
+        let result = run_for(&[
+            XgftSpec::k_ary_n_tree(4, 2),
+            XgftSpec::slimmed_two_level(4, 1).unwrap(),
+        ]);
+        assert!((result.examples[0].capacity_ratio - 1.0).abs() < 1e-9);
+        assert!((result.examples[1].capacity_ratio - 0.25).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,16 @@
+//! One driver per table / figure of the paper.
+//!
+//! Every submodule exposes a `run(...)` entry point returning a serialisable
+//! result struct with a `render()` method that prints the same rows/series
+//! the paper reports. The `xgft-bench` binaries are thin wrappers around
+//! these drivers; EXPERIMENTS.md records paper-vs-measured for each one.
+
+pub mod ablation;
+pub mod equivalence;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod synthetic;
+pub mod table1;

@@ -1,0 +1,183 @@
+//! Extension experiment: the oblivious schemes on classic synthetic
+//! permutations (shift, transpose, bit-reversal, bit-complement, random).
+//!
+//! The paper evaluates two applications and notes (Sec. VII-C) that the
+//! choice between S-mod-k and D-mod-k could matter for non-symmetric
+//! patterns, and that the proposal should "avoid pathological cases" in
+//! general. This driver extends the evaluation to the synthetic permutations
+//! used by most fat-tree routing studies, so the schemes can be compared on
+//! patterns the paper only argues about qualitatively.
+
+use crate::stats::BoxplotStats;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use xgft_core::{
+    ContentionReport, DModK, RandomNcaDown, RandomNcaUp, RandomRouting, RouteTable,
+    RoutingAlgorithm, SModK,
+};
+use xgft_patterns::{generators, Pattern};
+use xgft_topo::{Xgft, XgftSpec};
+
+/// The contention a scheme achieves on one synthetic pattern.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SyntheticRow {
+    /// Pattern name.
+    pub pattern: String,
+    /// Scheme name.
+    pub algorithm: String,
+    /// Network contention level (max effective channel load); for seeded
+    /// schemes the statistics are over the seeds.
+    pub contention: BoxplotStats,
+}
+
+/// The synthetic-pattern comparison on one topology.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SyntheticResult {
+    /// Topology description.
+    pub topology: String,
+    /// One row per (pattern, algorithm).
+    pub rows: Vec<SyntheticRow>,
+}
+
+fn contention_of(xgft: &Xgft, algo: &dyn RoutingAlgorithm, pattern: &Pattern) -> f64 {
+    let flows: Vec<(usize, usize)> = pattern.phases()[0]
+        .network_flows()
+        .map(|f| (f.src, f.dst))
+        .collect();
+    let table = RouteTable::build(xgft, &algo, flows.iter().copied());
+    ContentionReport::compute(xgft, &table, flows.iter().copied()).network_contention as f64
+}
+
+/// Run the comparison on `XGFT(2;k,k;1,w2)` with the given seeds for the
+/// randomised schemes.
+pub fn run(k: usize, w2: usize, seeds: &[u64]) -> SyntheticResult {
+    let spec = XgftSpec::slimmed_two_level(k, w2).expect("valid spec");
+    let xgft = Xgft::new(spec.clone()).expect("valid topology");
+    let n = xgft.num_leaves();
+    let side = (n as f64).sqrt() as usize;
+
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let mut patterns: Vec<Pattern> = vec![
+        generators::shift(n, k, 1),
+        generators::shift(n, 1, 1),
+        generators::bit_reversal(n, 1),
+        generators::bit_complement(n, 1),
+        generators::random_permutation(n, 1, &mut rng),
+    ];
+    if side * side == n {
+        patterns.push(generators::transpose(side, 1));
+    }
+
+    let mut rows = Vec::new();
+    for pattern in &patterns {
+        // Deterministic schemes.
+        for algo in [&SModK::new() as &dyn RoutingAlgorithm, &DModK::new()] {
+            rows.push(SyntheticRow {
+                pattern: pattern.name().to_string(),
+                algorithm: algo.name(),
+                contention: BoxplotStats::from_samples(&[contention_of(&xgft, algo, pattern)]),
+            });
+        }
+        // Seeded schemes.
+        let seeded: Vec<(&str, Box<dyn Fn(u64) -> Box<dyn RoutingAlgorithm>>)> = vec![
+            ("random", Box::new(|s| Box::new(RandomRouting::new(s)))),
+            ("r-NCA-u", Box::new(|s| Box::new(RandomNcaUp::new(&xgft, s)))),
+            ("r-NCA-d", Box::new(|s| Box::new(RandomNcaDown::new(&xgft, s)))),
+        ];
+        for (name, build) in &seeded {
+            let samples: Vec<f64> = seeds
+                .iter()
+                .map(|&s| contention_of(&xgft, build(s).as_ref(), pattern))
+                .collect();
+            rows.push(SyntheticRow {
+                pattern: pattern.name().to_string(),
+                algorithm: name.to_string(),
+                contention: BoxplotStats::from_samples(&samples),
+            });
+        }
+    }
+
+    SyntheticResult {
+        topology: spec.to_string(),
+        rows,
+    }
+}
+
+impl SyntheticResult {
+    /// Render the comparison table (median contention level).
+    pub fn render(&self) -> String {
+        let mut patterns: Vec<String> = self.rows.iter().map(|r| r.pattern.clone()).collect();
+        patterns.dedup();
+        let mut algorithms: Vec<String> = self.rows.iter().map(|r| r.algorithm.clone()).collect();
+        algorithms.sort();
+        algorithms.dedup();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# Synthetic permutations on {} — network contention level (median over seeds)\n",
+            self.topology
+        ));
+        out.push_str(&format!("{:<22}", "pattern"));
+        for a in &algorithms {
+            out.push_str(&format!(" {a:>10}"));
+        }
+        out.push('\n');
+        for p in &patterns {
+            out.push_str(&format!("{p:<22}"));
+            for a in &algorithms {
+                let cell = self
+                    .rows
+                    .iter()
+                    .find(|r| &r.pattern == p && &r.algorithm == a)
+                    .map(|r| format!("{:.1}", r.contention.median))
+                    .unwrap_or_else(|| "-".to_string());
+                out.push_str(&format!(" {cell:>10}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Look up the median contention of (pattern, algorithm).
+    pub fn median(&self, pattern: &str, algorithm: &str) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.pattern == pattern && r.algorithm == algorithm)
+            .map(|r| r.contention.median)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shift_by_k_is_resolved_by_mod_k_but_not_by_chance() {
+        // shift-by-16 on the full 16-ary 2-tree: d-mod-k routes it with
+        // contention 1, random routing cannot.
+        let result = run(16, 16, &[1, 2, 3]);
+        assert_eq!(result.median("shift-16", "d-mod-k"), Some(1.0));
+        assert_eq!(result.median("shift-16", "s-mod-k"), Some(1.0));
+        assert!(result.median("shift-16", "random").unwrap() > 1.5);
+        let text = result.render();
+        assert!(text.contains("shift-16"));
+        assert!(text.contains("bit-reversal"));
+    }
+
+    #[test]
+    fn slimmed_tree_contention_respects_capacity_bound() {
+        let result = run(8, 4, &[1, 2]);
+        // With half the roots removed, no scheme can route a global
+        // permutation below 2 flows per up-link.
+        for algo in ["s-mod-k", "d-mod-k", "random", "r-NCA-u", "r-NCA-d"] {
+            let c = result.median("bit-complement", algo).unwrap();
+            assert!(c >= 2.0, "{algo} got {c}");
+        }
+    }
+
+    #[test]
+    fn transpose_is_included_for_square_node_counts() {
+        let result = run(4, 4, &[1]);
+        assert!(result.median("transpose-4x4", "d-mod-k").is_some());
+    }
+}

@@ -1,0 +1,136 @@
+//! Table I and Eq. (1): node labels, per-level node counts and link counts.
+
+use serde::{Deserialize, Serialize};
+use xgft_topo::{NodeLabel, XgftSpec};
+
+/// One row of Table I: a level of the XGFT.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LevelRow {
+    /// Level index (0 = processing nodes).
+    pub level: usize,
+    /// Number of nodes at the level.
+    pub nodes: usize,
+    /// Radix of each label digit position, most significant first
+    /// (`w` positions are marked in [`Table1Result::render`]).
+    pub digit_radices: Vec<usize>,
+    /// Links going down from this level.
+    pub links_down: usize,
+    /// Links going up from this level.
+    pub links_up: usize,
+}
+
+/// The Table I reproduction for one XGFT spec.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1Result {
+    /// The spec the table describes.
+    pub spec: String,
+    /// Height of the tree.
+    pub height: usize,
+    /// One row per level, bottom up.
+    pub rows: Vec<LevelRow>,
+    /// Total inner switches (Eq. 1).
+    pub inner_switches: usize,
+    /// Sum of per-level node counts for levels 1..h (must equal Eq. 1).
+    pub inner_switches_by_sum: usize,
+}
+
+/// Build the Table I reproduction for a spec.
+pub fn run(spec: &XgftSpec) -> Table1Result {
+    let h = spec.height();
+    let mut rows = Vec::with_capacity(h + 1);
+    for level in 0..=h {
+        let digit_radices = (1..=h)
+            .rev()
+            .map(|pos| NodeLabel::radix_at(spec, level, pos))
+            .collect();
+        rows.push(LevelRow {
+            level,
+            nodes: spec.nodes_at_level(level),
+            digit_radices,
+            links_down: spec.down_links_at_level(level),
+            links_up: spec.up_links_at_level(level),
+        });
+    }
+    Table1Result {
+        spec: spec.to_string(),
+        height: h,
+        rows,
+        inner_switches: spec.inner_switches(),
+        inner_switches_by_sum: (1..=h).map(|l| spec.nodes_at_level(l)).sum(),
+    }
+}
+
+impl Table1Result {
+    /// Render the table as text (the `table1` binary's output).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# Table I for {}\n", self.spec));
+        out.push_str(&format!(
+            "{:>6} {:>10} {:>24} {:>12} {:>10}\n",
+            "level", "#nodes", "label radices", "links down", "links up"
+        ));
+        for row in &self.rows {
+            let radices: Vec<String> = row
+                .digit_radices
+                .iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    let pos = self.height - i;
+                    if pos <= row.level {
+                        format!("w{r}")
+                    } else {
+                        format!("m{r}")
+                    }
+                })
+                .collect();
+            out.push_str(&format!(
+                "{:>6} {:>10} {:>24} {:>12} {:>10}\n",
+                row.level,
+                row.nodes,
+                format!("<{}>", radices.join(",")),
+                row.links_down,
+                row.links_up
+            ));
+        }
+        out.push_str(&format!(
+            "Eq.(1) inner switches I = {} (per-level sum {})\n",
+            self.inner_switches, self.inner_switches_by_sum
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_topology_table() {
+        let spec = XgftSpec::slimmed_two_level(16, 10).unwrap();
+        let result = run(&spec);
+        assert_eq!(result.rows.len(), 3);
+        assert_eq!(result.rows[0].nodes, 256);
+        assert_eq!(result.rows[1].nodes, 16);
+        assert_eq!(result.rows[2].nodes, 10);
+        assert_eq!(result.inner_switches, 26);
+        assert_eq!(result.inner_switches, result.inner_switches_by_sum);
+        // Link consistency between adjacent levels.
+        assert_eq!(result.rows[0].links_up, result.rows[1].links_down);
+        assert_eq!(result.rows[1].links_up, result.rows[2].links_down);
+        let text = result.render();
+        assert!(text.contains("Table I"));
+        assert!(text.contains("256"));
+    }
+
+    #[test]
+    fn three_level_radices_flip_from_m_to_w() {
+        let spec = XgftSpec::new(vec![4, 3, 2], vec![1, 2, 3]).unwrap();
+        let result = run(&spec);
+        // Leaf row: all m radices; root row: all w radices.
+        assert_eq!(result.rows[0].digit_radices, vec![2, 3, 4]);
+        assert_eq!(result.rows[3].digit_radices, vec![3, 2, 1]);
+        // Middle rows mix.
+        assert_eq!(result.rows[1].digit_radices, vec![2, 3, 1]);
+        assert_eq!(result.rows[2].digit_radices, vec![2, 2, 1]);
+    }
+}

@@ -1,0 +1,32 @@
+//! # xgft-analysis — metrics, statistics and experiment drivers
+//!
+//! This crate turns the substrates (`xgft-topo`, `xgft-core`, `xgft-netsim`,
+//! `xgft-tracesim`) into the paper's evaluation: slowdown relative to the
+//! Full-Crossbar reference, routes-per-NCA distributions, boxplot statistics
+//! over seeds, and one driver per table/figure of the paper:
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`experiments::table1`]  | Table I (labels, node/link counts) and Eq. (1) |
+//! | [`experiments::fig1`]    | Fig. 1 (example XGFTs) |
+//! | [`experiments::fig2`]    | Fig. 2 (WRF-256 / CG.D-128, classic oblivious routings) |
+//! | [`experiments::fig3`]    | Fig. 3 (CG.D-128 traffic pattern) |
+//! | [`experiments::fig4`]    | Fig. 4 (routes per NCA) |
+//! | [`experiments::fig5`]    | Fig. 5 (proposed r-NCA-u / r-NCA-d boxplots) |
+//! | [`experiments::equivalence`] | Sec. VII-B/C (S-mod-k / D-mod-k duality) |
+//!
+//! The `xgft-bench` crate wraps each driver in a binary so every figure can
+//! be regenerated from the command line; EXPERIMENTS.md records the
+//! paper-vs-measured comparison.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod slowdown;
+pub mod stats;
+pub mod sweep;
+
+pub use slowdown::{slowdown_of, SlowdownReport};
+pub use stats::BoxplotStats;
+pub use sweep::{AlgorithmSpec, SweepConfig, SweepPoint, SweepResult};

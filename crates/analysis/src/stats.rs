@@ -1,0 +1,125 @@
+//! Summary statistics for seed sweeps (the paper's boxplots).
+
+use serde::{Deserialize, Serialize};
+
+/// Five-number summary (plus mean) of a set of samples, matching the
+/// boxplots of Figs. 4 and 5: median, 25/75 percentiles, min and max
+/// whiskers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoxplotStats {
+    /// Number of samples.
+    pub n: usize,
+    /// Minimum sample.
+    pub min: f64,
+    /// 25th percentile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub q3: f64,
+    /// Maximum sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl BoxplotStats {
+    /// Compute the summary of a sample set.
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty or contains NaN.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "boxplot statistics need samples");
+        assert!(
+            samples.iter().all(|x| !x.is_nan()),
+            "samples must not contain NaN"
+        );
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let n = sorted.len();
+        BoxplotStats {
+            n,
+            min: sorted[0],
+            q1: percentile(&sorted, 0.25),
+            median: percentile(&sorted, 0.5),
+            q3: percentile(&sorted, 0.75),
+            max: sorted[n - 1],
+            mean: sorted.iter().sum::<f64>() / n as f64,
+        }
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+
+    /// Render as the compact `min/q1/median/q3/max` text used in the
+    /// experiment reports.
+    pub fn render(&self) -> String {
+        format!(
+            "{:.3}/{:.3}/{:.3}/{:.3}/{:.3}",
+            self.min, self.q1, self.median, self.q3, self.max
+        )
+    }
+}
+
+/// Linear-interpolated percentile of a sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&p));
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_number_summary_of_known_data() {
+        let s = BoxplotStats::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.iqr(), 2.0);
+    }
+
+    #[test]
+    fn order_does_not_matter() {
+        let a = BoxplotStats::from_samples(&[5.0, 1.0, 3.0, 2.0, 4.0]);
+        let b = BoxplotStats::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = BoxplotStats::from_samples(&[7.5]);
+        assert_eq!(s.min, 7.5);
+        assert_eq!(s.max, 7.5);
+        assert_eq!(s.median, 7.5);
+        assert!(s.render().contains("7.500"));
+    }
+
+    #[test]
+    #[should_panic(expected = "need samples")]
+    fn empty_samples_panic() {
+        let _ = BoxplotStats::from_samples(&[]);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let s = BoxplotStats::from_samples(&[0.0, 10.0]);
+        assert_eq!(s.q1, 2.5);
+        assert_eq!(s.median, 5.0);
+        assert_eq!(s.q3, 7.5);
+    }
+}

@@ -1,0 +1,335 @@
+//! Progressive tree-slimming sweeps (the x-axis of Figs. 2 and 5).
+//!
+//! A sweep runs one trace over the family `XGFT(2; k, k; 1, w2)` for a range
+//! of `w2` values and a set of routing algorithms, reporting the slowdown
+//! relative to the Full-Crossbar for each point. Randomised algorithms are
+//! sampled over a list of seeds and summarised as boxplots, exactly like the
+//! paper's Figs. 4 and 5 (40–60 seeds per box in the paper; the number is a
+//! parameter here).
+//!
+//! Independent (topology, algorithm, seed) runs are embarrassingly parallel;
+//! [`SweepConfig::run`] uses Rayon to spread them over cores, as the
+//! HPC-parallel guidance recommends parallelising at the outermost loop.
+
+use crate::slowdown::{run_on_crossbar, run_on_xgft};
+use crate::stats::BoxplotStats;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use xgft_core::{
+    ColoredRouting, DModK, RandomNcaDown, RandomNcaUp, RandomRouting, RoutingAlgorithm, SModK,
+};
+use xgft_netsim::NetworkConfig;
+use xgft_patterns::Pattern;
+use xgft_topo::{Xgft, XgftSpec};
+use xgft_tracesim::{workloads, Trace};
+
+/// Which routing algorithms a sweep evaluates. Deterministic algorithms are
+/// run once per topology; seeded algorithms once per seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AlgorithmSpec {
+    /// Static random NCA selection (seeded).
+    Random,
+    /// Source-mod-k (deterministic).
+    SModK,
+    /// Destination-mod-k (deterministic).
+    DModK,
+    /// Random NCA Up — the paper's proposal, source-guided (seeded).
+    RandomNcaUp,
+    /// Random NCA Down — the paper's proposal, destination-guided (seeded).
+    RandomNcaDown,
+    /// Pattern-aware baseline (deterministic, sees the pattern).
+    Colored,
+}
+
+impl AlgorithmSpec {
+    /// The name used in reports (matches the paper's legends).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AlgorithmSpec::Random => "random",
+            AlgorithmSpec::SModK => "s-mod-k",
+            AlgorithmSpec::DModK => "d-mod-k",
+            AlgorithmSpec::RandomNcaUp => "r-NCA-u",
+            AlgorithmSpec::RandomNcaDown => "r-NCA-d",
+            AlgorithmSpec::Colored => "colored",
+        }
+    }
+
+    /// True if the algorithm consumes a seed (and therefore gets a boxplot).
+    pub fn is_seeded(&self) -> bool {
+        matches!(
+            self,
+            AlgorithmSpec::Random | AlgorithmSpec::RandomNcaUp | AlgorithmSpec::RandomNcaDown
+        )
+    }
+
+    /// The full set evaluated by Fig. 2 (classic oblivious schemes).
+    pub fn figure2_set() -> Vec<AlgorithmSpec> {
+        vec![
+            AlgorithmSpec::Random,
+            AlgorithmSpec::SModK,
+            AlgorithmSpec::DModK,
+            AlgorithmSpec::Colored,
+        ]
+    }
+
+    /// The full set evaluated by Fig. 5 (proposals plus references).
+    pub fn figure5_set() -> Vec<AlgorithmSpec> {
+        vec![
+            AlgorithmSpec::SModK,
+            AlgorithmSpec::DModK,
+            AlgorithmSpec::Colored,
+            AlgorithmSpec::RandomNcaUp,
+            AlgorithmSpec::RandomNcaDown,
+            AlgorithmSpec::Random,
+        ]
+    }
+
+    /// Instantiate the algorithm for a topology / pattern / seed.
+    pub fn instantiate(
+        &self,
+        xgft: &Xgft,
+        pattern: &Pattern,
+        seed: u64,
+    ) -> Box<dyn RoutingAlgorithm + Send + Sync> {
+        match self {
+            AlgorithmSpec::Random => Box::new(RandomRouting::new(seed)),
+            AlgorithmSpec::SModK => Box::new(SModK::new()),
+            AlgorithmSpec::DModK => Box::new(DModK::new()),
+            AlgorithmSpec::RandomNcaUp => Box::new(RandomNcaUp::new(xgft, seed)),
+            AlgorithmSpec::RandomNcaDown => Box::new(RandomNcaDown::new(xgft, seed)),
+            AlgorithmSpec::Colored => Box::new(ColoredRouting::new(xgft, &pattern.combined())),
+        }
+    }
+}
+
+/// One point of a sweep: a (w2, algorithm) pair with its slowdown samples.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Number of top-level switches of the slimmed topology.
+    pub w2: usize,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Slowdown sample per seed (a single entry for deterministic schemes).
+    pub samples: Vec<f64>,
+    /// Boxplot summary of the samples.
+    pub stats: BoxplotStats,
+}
+
+/// The full result of a sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// Name of the workload.
+    pub trace: String,
+    /// Switch radix parameter `k` of the swept family.
+    pub k: usize,
+    /// The crossbar reference completion time (ps).
+    pub crossbar_ps: u64,
+    /// All sweep points, ordered by descending w2 then algorithm.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepResult {
+    /// Find a point by (w2, algorithm name).
+    pub fn point(&self, w2: usize, algorithm: &str) -> Option<&SweepPoint> {
+        self.points
+            .iter()
+            .find(|p| p.w2 == w2 && p.algorithm == algorithm)
+    }
+
+    /// Render the sweep as the text table the experiment binaries print:
+    /// one row per w2, one column per algorithm (median slowdown).
+    pub fn render_table(&self) -> String {
+        let mut algorithms: Vec<String> = self.points.iter().map(|p| p.algorithm.clone()).collect();
+        algorithms.sort();
+        algorithms.dedup();
+        let mut w2s: Vec<usize> = self.points.iter().map(|p| p.w2).collect();
+        w2s.sort_unstable_by(|a, b| b.cmp(a));
+        w2s.dedup();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# {} on XGFT(2;{k},{k};1,w2) — slowdown vs Full-Crossbar (median)\n",
+            self.trace,
+            k = self.k
+        ));
+        out.push_str(&format!("{:>4}", "w2"));
+        for a in &algorithms {
+            out.push_str(&format!(" {a:>10}"));
+        }
+        out.push('\n');
+        for &w2 in &w2s {
+            out.push_str(&format!("{w2:>4}"));
+            for a in &algorithms {
+                match self.point(w2, a) {
+                    Some(p) => out.push_str(&format!(" {:>10.3}", p.stats.median)),
+                    None => out.push_str(&format!(" {:>10}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Configuration of a progressive-slimming sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Switch radix `k` (16 in the paper).
+    pub k: usize,
+    /// The `w2` values to sweep (the paper uses 16 down to 1).
+    pub w2_values: Vec<usize>,
+    /// Algorithms to evaluate.
+    pub algorithms: Vec<AlgorithmSpec>,
+    /// Seeds for the randomised algorithms (the paper uses 40–60).
+    pub seeds: Vec<u64>,
+    /// Network parameters.
+    pub network: NetworkConfig,
+}
+
+impl SweepConfig {
+    /// The paper's Fig. 2 configuration scaled by a per-message byte count
+    /// (use the generators' constants for the full-size runs).
+    pub fn paper_family(algorithms: Vec<AlgorithmSpec>, seeds: Vec<u64>) -> Self {
+        SweepConfig {
+            k: 16,
+            w2_values: (1..=16).rev().collect(),
+            algorithms,
+            seeds,
+            network: NetworkConfig::default(),
+        }
+    }
+
+    /// Run the sweep for a workload pattern (the trace is derived from it).
+    pub fn run(&self, pattern: &Pattern) -> SweepResult {
+        let trace = workloads::trace_from_pattern(pattern, 0);
+        self.run_trace(pattern, &trace)
+    }
+
+    /// Run the sweep for an explicit trace (must communicate over the
+    /// pattern's pairs; the pattern is still needed by pattern-aware
+    /// schemes).
+    pub fn run_trace(&self, pattern: &Pattern, trace: &Trace) -> SweepResult {
+        let crossbar_ps = run_on_crossbar(trace, &self.network)
+            .expect("crossbar replay cannot deadlock")
+            .completion_ps;
+
+        // Enumerate all (w2, algorithm, seed) jobs.
+        let mut jobs: Vec<(usize, AlgorithmSpec, u64)> = Vec::new();
+        for &w2 in &self.w2_values {
+            for &algo in &self.algorithms {
+                if algo.is_seeded() {
+                    for &seed in &self.seeds {
+                        jobs.push((w2, algo, seed));
+                    }
+                } else {
+                    jobs.push((w2, algo, 0));
+                }
+            }
+        }
+
+        let k = self.k;
+        let network = self.network.clone();
+        let samples: Vec<(usize, AlgorithmSpec, f64)> = jobs
+            .par_iter()
+            .map(|&(w2, algo, seed)| {
+                let spec = XgftSpec::slimmed_two_level(k, w2).expect("valid slimmed spec");
+                let xgft = Xgft::new(spec).expect("valid topology");
+                let instance = algo.instantiate(&xgft, pattern, seed);
+                let result = run_on_xgft(trace, &xgft, instance.as_ref(), &network)
+                    .expect("replay cannot deadlock on a valid trace");
+                (w2, algo, result.completion_ps as f64 / crossbar_ps as f64)
+            })
+            .collect();
+
+        // Group samples into points.
+        let mut points = Vec::new();
+        for &w2 in &self.w2_values {
+            for &algo in &self.algorithms {
+                let values: Vec<f64> = samples
+                    .iter()
+                    .filter(|(pw2, palgo, _)| *pw2 == w2 && *palgo == algo)
+                    .map(|(_, _, s)| *s)
+                    .collect();
+                if values.is_empty() {
+                    continue;
+                }
+                points.push(SweepPoint {
+                    w2,
+                    algorithm: algo.name().to_string(),
+                    stats: BoxplotStats::from_samples(&values),
+                    samples: values,
+                });
+            }
+        }
+
+        SweepResult {
+            trace: trace.name().to_string(),
+            k,
+            crossbar_ps,
+            points,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xgft_patterns::generators;
+
+    /// A scaled-down progressive-slimming sweep (k = 4, small messages): the
+    /// qualitative shape of Fig. 2 must hold — slowdown grows as the tree is
+    /// slimmed, and D-mod-k matches the crossbar on the full tree for the
+    /// WRF-like exchange.
+    #[test]
+    fn small_wrf_sweep_has_figure2_shape() {
+        let pattern = generators::wrf_mesh_exchange(4, 4, 32 * 1024);
+        let config = SweepConfig {
+            k: 4,
+            w2_values: vec![4, 2, 1],
+            algorithms: vec![AlgorithmSpec::DModK, AlgorithmSpec::Random],
+            seeds: vec![1, 2, 3],
+            network: NetworkConfig::default(),
+        };
+        let result = config.run(&pattern);
+        assert_eq!(result.k, 4);
+        assert!(result.crossbar_ps > 0);
+
+        let full = result.point(4, "d-mod-k").unwrap();
+        assert!(full.stats.median < 1.1, "full tree d-mod-k {:?}", full.stats);
+        let slim = result.point(1, "d-mod-k").unwrap();
+        assert!(
+            slim.stats.median > 2.0,
+            "w2=1 should be much slower, got {:?}",
+            slim.stats
+        );
+        // Slimming never speeds things up.
+        assert!(slim.stats.median >= full.stats.median);
+
+        // Random gets three samples, deterministic algorithms one.
+        assert_eq!(result.point(2, "random").unwrap().samples.len(), 3);
+        assert_eq!(result.point(2, "d-mod-k").unwrap().samples.len(), 1);
+
+        let table = result.render_table();
+        assert!(table.contains("d-mod-k"));
+        assert!(table.contains("w2"));
+    }
+
+    #[test]
+    fn algorithm_spec_metadata() {
+        assert!(AlgorithmSpec::Random.is_seeded());
+        assert!(AlgorithmSpec::RandomNcaUp.is_seeded());
+        assert!(!AlgorithmSpec::DModK.is_seeded());
+        assert!(!AlgorithmSpec::Colored.is_seeded());
+        assert_eq!(AlgorithmSpec::figure2_set().len(), 4);
+        assert_eq!(AlgorithmSpec::figure5_set().len(), 6);
+        assert_eq!(AlgorithmSpec::RandomNcaDown.name(), "r-NCA-d");
+    }
+
+    #[test]
+    fn paper_family_covers_w2_16_down_to_1() {
+        let cfg = SweepConfig::paper_family(AlgorithmSpec::figure2_set(), vec![1]);
+        assert_eq!(cfg.k, 16);
+        assert_eq!(cfg.w2_values.len(), 16);
+        assert_eq!(cfg.w2_values[0], 16);
+        assert_eq!(*cfg.w2_values.last().unwrap(), 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! Criterion benches over the figure-regeneration paths themselves: one
+//! reduced sweep point per figure so regressions in the end-to-end pipeline
+//! (pattern → routes → simulation → slowdown) are caught.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xgft_analysis::experiments::fig4;
+use xgft_analysis::sweep::{AlgorithmSpec, SweepConfig};
+use xgft_netsim::NetworkConfig;
+use xgft_patterns::generators;
+
+fn fig2_single_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_single_point");
+    group.sample_size(10);
+    let pattern = generators::wrf_256(32 * 1024);
+    group.bench_function("wrf256_w2_8_dmodk", |b| {
+        let config = SweepConfig {
+            k: 16,
+            w2_values: vec![8],
+            algorithms: vec![AlgorithmSpec::DModK],
+            seeds: vec![1],
+            network: NetworkConfig::default(),
+        };
+        b.iter(|| black_box(config.run(black_box(&pattern))).points.len())
+    });
+    group.finish();
+}
+
+fn fig5_single_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_single_point");
+    group.sample_size(10);
+    let pattern = generators::cg_d(128, 32 * 1024);
+    group.bench_function("cgd128_w2_8_rnca_d", |b| {
+        let config = SweepConfig {
+            k: 16,
+            w2_values: vec![8],
+            algorithms: vec![AlgorithmSpec::RandomNcaDown],
+            seeds: vec![1, 2],
+            network: NetworkConfig::default(),
+        };
+        b.iter(|| black_box(config.run(black_box(&pattern))).points.len())
+    });
+    group.finish();
+}
+
+fn fig4_distribution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_distribution");
+    group.sample_size(10);
+    group.bench_function("w2_10_three_seeds", |b| {
+        b.iter(|| black_box(fig4::run(10, &[1, 2, 3])).distributions.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig2_single_point, fig5_single_point, fig4_distribution);
+criterion_main!(benches);

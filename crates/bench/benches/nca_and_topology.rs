@@ -1,0 +1,64 @@
+//! Criterion benches: the topology substrate (label arithmetic, NCA level
+//! computation, route expansion).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xgft_topo::{NodeLabel, Route, Xgft, XgftSpec};
+
+fn nca_level(c: &mut Criterion) {
+    let xgft = Xgft::new(XgftSpec::slimmed_two_level(16, 16).unwrap()).unwrap();
+    c.bench_function("nca_level_all_pairs_256", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for s in 0..256usize {
+                for d in 0..256usize {
+                    acc += xgft.nca_level(black_box(s), black_box(d));
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn route_expansion(c: &mut Criterion) {
+    let xgft = Xgft::new(XgftSpec::k_ary_n_tree(16, 2)).unwrap();
+    let route = Route::new(vec![0, 7]);
+    c.bench_function("route_path_expansion", |b| {
+        b.iter(|| black_box(xgft.route_path(black_box(3), black_box(250), &route).unwrap()))
+    });
+    c.bench_function("route_channels_dense", |b| {
+        b.iter(|| black_box(xgft.route_channels(black_box(3), black_box(250), &route).unwrap()))
+    });
+}
+
+fn label_round_trip(c: &mut Criterion) {
+    let spec = XgftSpec::new(vec![8, 8, 8], vec![1, 4, 4]).unwrap();
+    c.bench_function("label_round_trip_512_leaves", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for leaf in 0..spec.num_leaves() {
+                let label = NodeLabel::from_index(&spec, 0, leaf).unwrap();
+                acc += label.to_index(&spec);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn topology_construction(c: &mut Criterion) {
+    c.bench_function("xgft_construction_4096_leaves", |b| {
+        b.iter(|| {
+            let spec = XgftSpec::k_ary_n_tree(16, 3);
+            black_box(Xgft::new(spec).unwrap().num_leaves())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    nca_level,
+    route_expansion,
+    label_round_trip,
+    topology_construction
+);
+criterion_main!(benches);

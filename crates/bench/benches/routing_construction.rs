@@ -1,0 +1,67 @@
+//! Criterion benches: route-table construction throughput for every routing
+//! scheme on the paper's XGFT(2;16,16;1,16) and a slimmed variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xgft_core::{
+    ColoredRouting, DModK, RandomNcaDown, RandomNcaUp, RandomRouting, RouteTable,
+    RoutingAlgorithm, SModK,
+};
+use xgft_patterns::generators;
+use xgft_topo::{Xgft, XgftSpec};
+
+fn build_all_pairs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route_table_all_pairs");
+    group.sample_size(10);
+    for w2 in [16usize, 10] {
+        let xgft = Xgft::new(XgftSpec::slimmed_two_level(16, w2).unwrap()).unwrap();
+        let algos: Vec<(&str, Box<dyn RoutingAlgorithm>)> = vec![
+            ("s-mod-k", Box::new(SModK::new())),
+            ("d-mod-k", Box::new(DModK::new())),
+            ("random", Box::new(RandomRouting::new(1))),
+            ("r-NCA-u", Box::new(RandomNcaUp::new(&xgft, 1))),
+            ("r-NCA-d", Box::new(RandomNcaDown::new(&xgft, 1))),
+        ];
+        for (name, algo) in &algos {
+            group.bench_with_input(
+                BenchmarkId::new(*name, format!("w2={w2}")),
+                &xgft,
+                |b, xgft| {
+                    b.iter(|| {
+                        let table = RouteTable::build_all_pairs(black_box(xgft), algo.as_ref());
+                        black_box(table.len())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn build_colored(c: &mut Criterion) {
+    let mut group = c.benchmark_group("colored_pattern_aware");
+    group.sample_size(10);
+    let xgft = Xgft::new(XgftSpec::slimmed_two_level(16, 10).unwrap()).unwrap();
+    let wrf = generators::wrf_256(1024).combined();
+    let cg = generators::cg_d_128().combined();
+    group.bench_function("wrf-256", |b| {
+        b.iter(|| black_box(ColoredRouting::new(&xgft, black_box(&wrf))).num_routes())
+    });
+    group.bench_function("cg.d-128", |b| {
+        b.iter(|| black_box(ColoredRouting::new(&xgft, black_box(&cg))).num_routes())
+    });
+    group.finish();
+}
+
+fn relabeling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relabel_maps");
+    group.sample_size(20);
+    let xgft = Xgft::new(XgftSpec::slimmed_two_level(16, 10).unwrap()).unwrap();
+    group.bench_function("draw_maps", |b| {
+        b.iter(|| black_box(xgft_core::RelabelMaps::random(black_box(&xgft), 7)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, build_all_pairs, build_colored, relabeling);
+criterion_main!(benches);

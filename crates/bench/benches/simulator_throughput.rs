@@ -1,0 +1,68 @@
+//! Criterion benches: event throughput of the network simulator and the
+//! replay engine on representative workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xgft_core::{DModK, RouteTable};
+use xgft_netsim::{CrossbarSim, NetworkConfig, NetworkSim};
+use xgft_topo::{Xgft, XgftSpec};
+use xgft_tracesim::{workloads, ReplayEngine, RoutedNetwork};
+
+fn permutation_on_tree(c: &mut Criterion) {
+    let xgft = Xgft::new(XgftSpec::slimmed_two_level(16, 16).unwrap()).unwrap();
+    let table = RouteTable::build_all_pairs(&xgft, &DModK::new());
+    let mut group = c.benchmark_group("netsim_permutation_shift16");
+    group.sample_size(10);
+    group.bench_function("256_nodes_64KB", |b| {
+        b.iter(|| {
+            let mut sim = NetworkSim::new(&xgft, NetworkConfig::default());
+            for s in 0..256usize {
+                let d = (s + 16) % 256;
+                sim.schedule_message(0, s, d, 64 * 1024, table.route(s, d).unwrap().clone());
+            }
+            black_box(sim.run_to_completion().makespan_ps)
+        })
+    });
+    group.finish();
+}
+
+fn crossbar_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim_crossbar");
+    group.sample_size(10);
+    group.bench_function("256_nodes_shift_64KB", |b| {
+        b.iter(|| {
+            let mut sim = CrossbarSim::new(256, NetworkConfig::default());
+            for s in 0..256usize {
+                sim.schedule_message(0, s, (s + 16) % 256, 64 * 1024);
+            }
+            black_box(sim.run_to_completion().makespan_ps)
+        })
+    });
+    group.finish();
+}
+
+fn trace_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_replay");
+    group.sample_size(10);
+    let trace = workloads::wrf_256_trace(64 * 1024);
+    let xgft = Xgft::new(XgftSpec::slimmed_two_level(16, 8).unwrap()).unwrap();
+    let table = RouteTable::build(&xgft, &DModK::new(), trace.communication_pairs());
+    group.bench_function("wrf256_64KB_on_w2_8", |b| {
+        b.iter(|| {
+            let net = RoutedNetwork::new(
+                NetworkSim::new(&xgft, NetworkConfig::default()),
+                table.clone(),
+            );
+            black_box(
+                ReplayEngine::new(trace.clone())
+                    .run(net)
+                    .unwrap()
+                    .completion_ps,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, permutation_on_tree, crossbar_reference, trace_replay);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Ablation study of the proposed relabeling (DESIGN.md design choices):
+//! balanced vs. unbalanced random maps vs. the mod-k and Random extremes,
+//! measured by the spread of routes per NCA on full and slimmed trees.
+
+use xgft_analysis::experiments::ablation;
+use xgft_bench::ExperimentArgs;
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let seeds = args.seed_list();
+    for w2 in [16usize, 10, 6] {
+        let result = ablation::run(16, w2, &seeds);
+        println!("{}", result.render());
+        if args.json {
+            println!("{}", serde_json::to_string_pretty(&result).expect("serialisable"));
+        }
+    }
+}

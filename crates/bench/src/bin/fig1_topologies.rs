@@ -1,0 +1,9 @@
+//! Regenerates the Fig. 1 overview: example XGFT instantiations and their
+//! structural parameters.
+
+use xgft_analysis::experiments::fig1;
+
+fn main() {
+    let result = fig1::run();
+    println!("{}", result.render());
+}

@@ -1,0 +1,17 @@
+//! Regenerates Fig. 2(a): WRF-256 slowdown vs. Full-Crossbar on
+//! progressively slimmed XGFT(2;16,16;1,w2) under Random, S-mod-k, D-mod-k
+//! and the pattern-aware Colored baseline.
+
+use xgft_analysis::experiments::fig2::{Fig2Config, Workload};
+use xgft_bench::ExperimentArgs;
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let mut config = Fig2Config::new(Workload::Wrf256, args.byte_scale, args.seed_list());
+    config.w2_values = args.w2_sweep();
+    let result = config.run();
+    println!("{}", result.render_table());
+    if args.json {
+        println!("{}", serde_json::to_string_pretty(&result).expect("serialisable"));
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig. 3: the CG.D-128 traffic pattern (phase structure and
+//! block communication matrix).
+
+use xgft_analysis::experiments::fig3;
+
+fn main() {
+    let result = fig3::run(128, 750 * 1024);
+    println!("{}", result.render());
+}

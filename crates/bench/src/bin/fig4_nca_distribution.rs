@@ -1,0 +1,18 @@
+//! Regenerates Fig. 4: the distribution of routes per NCA over all
+//! (source, destination) pairs for the five routing schemes, on
+//! XGFT(2;16,16;1,16) (Fig. 4(a)) and XGFT(2;16,16;1,10) (Fig. 4(b)).
+
+use xgft_analysis::experiments::fig4;
+use xgft_bench::ExperimentArgs;
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let seeds = args.seed_list();
+    for w2 in [16usize, 10] {
+        let result = fig4::run(w2, &seeds);
+        println!("{}", result.render());
+        if args.json {
+            println!("{}", serde_json::to_string_pretty(&result).expect("serialisable"));
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Regenerates Fig. 5(a): WRF-256 under the proposed r-NCA-u / r-NCA-d
+//! schemes (boxplots over seeds) against S-mod-k, D-mod-k, Random and the
+//! pattern-aware Colored baseline.
+
+use xgft_analysis::experiments::fig5::{Fig5Claims, Fig5Config};
+use xgft_analysis::experiments::fig2::Workload;
+use xgft_bench::ExperimentArgs;
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let mut config = Fig5Config::new(Workload::Wrf256, args.byte_scale, args.seed_list());
+    config.w2_values = args.w2_sweep();
+    let result = config.run();
+    println!("{}", result.render_table());
+    println!("{}", Fig5Claims::evaluate(&result).render());
+    if args.json {
+        println!("{}", serde_json::to_string_pretty(&result).expect("serialisable"));
+    }
+}

@@ -1,0 +1,76 @@
+//! The [`RoutingAlgorithm`] trait shared by every routing scheme.
+
+use xgft_topo::{Route, Xgft};
+
+/// A routing scheme: a deterministic function from a (source, destination)
+/// pair to a minimal route (an up-port sequence reaching one of the pair's
+/// NCAs).
+///
+/// *Oblivious* schemes compute the route from the pair alone (plus any
+/// internal randomness fixed at construction time by a seed). *Pattern-aware*
+/// schemes ([`crate::ColoredRouting`]) additionally look at the
+/// communication pattern when they are constructed; they report
+/// `is_pattern_aware() == true`.
+///
+/// Implementations must return a route whose length equals
+/// `xgft.nca_level(s, d)` and whose ports are valid for the topology, so the
+/// result always passes [`Xgft::validate_route`].
+pub trait RoutingAlgorithm {
+    /// Human-readable name used in reports and figures (e.g. `"d-mod-k"`).
+    fn name(&self) -> String;
+
+    /// Compute the route for the ordered pair `(s, d)`.
+    ///
+    /// # Panics
+    /// Implementations may panic if `s` or `d` is not a leaf of `xgft`, or if
+    /// the algorithm was constructed for a different topology.
+    fn route(&self, xgft: &Xgft, s: usize, d: usize) -> Route;
+
+    /// True if the scheme used knowledge of the communication pattern.
+    fn is_pattern_aware(&self) -> bool {
+        false
+    }
+}
+
+/// Blanket implementation so `Box<dyn RoutingAlgorithm>` and references can
+/// be used wherever an algorithm is expected.
+impl<T: RoutingAlgorithm + ?Sized> RoutingAlgorithm for &T {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn route(&self, xgft: &Xgft, s: usize, d: usize) -> Route {
+        (**self).route(xgft, s, d)
+    }
+    fn is_pattern_aware(&self) -> bool {
+        (**self).is_pattern_aware()
+    }
+}
+
+impl<T: RoutingAlgorithm + ?Sized> RoutingAlgorithm for Box<T> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn route(&self, xgft: &Xgft, s: usize, d: usize) -> Route {
+        (**self).route(xgft, s, d)
+    }
+    fn is_pattern_aware(&self) -> bool {
+        (**self).is_pattern_aware()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modk::SModK;
+
+    #[test]
+    fn references_and_boxes_delegate() {
+        let xgft = Xgft::k_ary_n_tree(4, 2);
+        let algo = SModK::new();
+        let by_ref: &dyn RoutingAlgorithm = &algo;
+        let boxed: Box<dyn RoutingAlgorithm> = Box::new(SModK::new());
+        assert_eq!(by_ref.name(), boxed.name());
+        assert_eq!(by_ref.route(&xgft, 1, 9), boxed.route(&xgft, 1, 9));
+        assert!(!boxed.is_pattern_aware());
+    }
+}

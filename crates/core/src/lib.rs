@@ -1,0 +1,51 @@
+//! # xgft-core — oblivious routing schemes for XGFTs
+//!
+//! This crate implements the routing algorithms studied and proposed by the
+//! CLUSTER 2009 paper *"Oblivious Routing Schemes in Extended Generalized
+//! Fat Tree Networks"*:
+//!
+//! * [`RandomRouting`] — a random NCA per (source, destination) pair, the
+//!   default of Myrinet/InfiniBand-style interconnects (Sec. V).
+//! * [`SModK`] — Source-mod-k self-routing: the up-port at every level is a
+//!   digit of the *source* label, so every source has a unique ascent and
+//!   endpoint contention from the source side is concentrated (Sec. V, VII).
+//! * [`DModK`] — Destination-mod-k: the converse, every destination has a
+//!   unique descent (Sec. V, VII).
+//! * [`RandomNcaUp`] / [`RandomNcaDown`] — the paper's proposal (Sec. VIII):
+//!   a *balanced random, neighbourhood-preserving relabeling* of the nodes
+//!   followed by mod-style self-routing on the new labels. They concentrate
+//!   endpoint contention like S-mod-k / D-mod-k, distribute routes evenly
+//!   over the NCAs like Random, and break the regularity that makes the
+//!   mod-k schemes pathological on patterns such as CG.D-128.
+//! * [`ColoredRouting`] — a pattern-aware NCA assignment used as the
+//!   best-achievable baseline (the paper uses the authors' "Colored" scheme
+//!   from ICS'09; here a greedy + refinement heuristic over an
+//!   endpoint-contention-aware cost plays that role).
+//!
+//! Supporting machinery: [`RouteTable`] (materialised routes for a pattern
+//! or for all pairs), [`contention`] (the network-contention metrics of
+//! Sec. IV and VII), and [`distribution`] (routes-per-NCA histograms of
+//! Fig. 4).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod algorithm;
+pub mod colored;
+pub mod contention;
+pub mod distribution;
+pub mod modk;
+pub mod random;
+pub mod relabel;
+pub mod rnca;
+pub mod table;
+
+pub use algorithm::RoutingAlgorithm;
+pub use colored::ColoredRouting;
+pub use contention::{ChannelLoads, ContentionReport};
+pub use distribution::nca_route_distribution;
+pub use modk::{DModK, SModK};
+pub use random::RandomRouting;
+pub use relabel::RelabelMaps;
+pub use rnca::{RandomNcaDown, RandomNcaUp};
+pub use table::RouteTable;

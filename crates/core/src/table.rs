@@ -1,0 +1,126 @@
+//! Materialised route tables.
+//!
+//! A [`RouteTable`] holds the routes an algorithm assigns to a set of
+//! (source, destination) pairs — either the pairs of a communication pattern
+//! or all ordered pairs of the machine. This is what gets loaded into the
+//! simulator and what the contention / distribution analyses consume, and it
+//! mirrors how the paper's framework feeds precomputed routes to Venus.
+
+use crate::algorithm::RoutingAlgorithm;
+use std::collections::HashMap;
+use xgft_topo::{Route, Xgft};
+
+/// Routes for a set of ordered pairs, produced by one routing algorithm.
+#[derive(Debug, Clone)]
+pub struct RouteTable {
+    algorithm: String,
+    pattern_aware: bool,
+    routes: HashMap<(usize, usize), Route>,
+}
+
+impl RouteTable {
+    /// Build a table for an explicit set of pairs. Self-pairs are skipped.
+    pub fn build<A: RoutingAlgorithm + ?Sized>(
+        xgft: &Xgft,
+        algo: &A,
+        pairs: impl IntoIterator<Item = (usize, usize)>,
+    ) -> Self {
+        let mut routes = HashMap::new();
+        for (s, d) in pairs {
+            if s == d {
+                continue;
+            }
+            routes.entry((s, d)).or_insert_with(|| algo.route(xgft, s, d));
+        }
+        RouteTable {
+            algorithm: algo.name(),
+            pattern_aware: algo.is_pattern_aware(),
+            routes,
+        }
+    }
+
+    /// Build a table for every ordered pair of distinct leaves.
+    pub fn build_all_pairs<A: RoutingAlgorithm + ?Sized>(xgft: &Xgft, algo: &A) -> Self {
+        let n = xgft.num_leaves();
+        let pairs = (0..n).flat_map(move |s| (0..n).map(move |d| (s, d)));
+        Self::build(xgft, algo, pairs)
+    }
+
+    /// The name of the algorithm that produced the table.
+    pub fn algorithm(&self) -> &str {
+        &self.algorithm
+    }
+
+    /// True if the producing algorithm was pattern-aware.
+    pub fn is_pattern_aware(&self) -> bool {
+        self.pattern_aware
+    }
+
+    /// The route stored for `(s, d)`, if any.
+    pub fn route(&self, s: usize, d: usize) -> Option<&Route> {
+        self.routes.get(&(s, d))
+    }
+
+    /// Number of stored routes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// True if no routes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// Iterate over `((source, destination), route)` entries in arbitrary
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (&(usize, usize), &Route)> {
+        self.routes.iter()
+    }
+
+    /// Validate every stored route against the topology (used by tests and
+    /// by the simulator before loading a table).
+    pub fn validate(&self, xgft: &Xgft) -> Result<(), xgft_topo::TopologyError> {
+        for (&(s, d), route) in &self.routes {
+            xgft.validate_route(s, d, route)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modk::DModK;
+    use crate::random::RandomRouting;
+    use xgft_topo::XgftSpec;
+
+    #[test]
+    fn build_from_pairs_skips_self_pairs_and_deduplicates() {
+        let xgft = Xgft::k_ary_n_tree(4, 2);
+        let table = RouteTable::build(&xgft, &DModK::new(), vec![(0, 1), (0, 1), (2, 2), (3, 4)]);
+        assert_eq!(table.len(), 2);
+        assert!(table.route(0, 1).is_some());
+        assert!(table.route(2, 2).is_none());
+        assert_eq!(table.algorithm(), "d-mod-k");
+        assert!(!table.is_pattern_aware());
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn all_pairs_table_has_n_times_n_minus_one_entries() {
+        let xgft = Xgft::k_ary_n_tree(4, 2);
+        let table = RouteTable::build_all_pairs(&xgft, &RandomRouting::new(1));
+        assert_eq!(table.len(), 16 * 15);
+        assert!(table.validate(&xgft).is_ok());
+    }
+
+    #[test]
+    fn validation_covers_slimmed_trees() {
+        let xgft = Xgft::new(XgftSpec::slimmed_two_level(8, 3).unwrap()).unwrap();
+        let table = RouteTable::build_all_pairs(&xgft, &DModK::new());
+        assert!(table.validate(&xgft).is_ok());
+        for (&(s, d), route) in table.iter() {
+            assert_eq!(route.nca_level(), xgft.nca_level(s, d));
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! The ideal single-stage Full-Crossbar reference network.
+//!
+//! The paper normalises every result by the completion time of "a single
+//! ideal single-stage crossbar network connecting all the nodes", which has
+//! no routing and no routing contention — only endpoint serialization at the
+//! injection and ejection links remains.
+//!
+//! That network is exactly the degenerate `XGFT(1; N; 1)`: one switch with
+//! `N` children. Every (s, d) pair has a single minimal route (`<0>`), so
+//! the same event-driven simulator can be reused unchanged.
+
+use crate::config::NetworkConfig;
+use crate::message::MessageId;
+use crate::sim::{Completion, NetworkSim};
+use crate::stats::SimReport;
+use xgft_topo::{Route, Xgft, XgftSpec};
+
+/// Build the single-stage crossbar topology for `n` nodes.
+pub fn crossbar_xgft(n: usize) -> Xgft {
+    Xgft::new(XgftSpec::new(vec![n], vec![1]).expect("valid crossbar spec"))
+        .expect("crossbar topology always builds")
+}
+
+/// The network configuration used for the crossbar reference. Link
+/// parameters and the switch traversal latency are kept, but the internal
+/// buffering is made effectively unlimited: the paper's reference is an
+/// *ideal* crossbar whose only constraints are the injection and ejection
+/// links, so head-of-line blocking inside the reference switch must not
+/// exist (otherwise it would not lower-bound every XGFT).
+pub fn crossbar_config(base: &NetworkConfig) -> NetworkConfig {
+    NetworkConfig {
+        input_buffer_segments: usize::MAX / 4,
+        ..base.clone()
+    }
+}
+
+/// A thin wrapper around [`NetworkSim`] for the Full-Crossbar reference:
+/// routes are implicit (there is only one), so callers just schedule
+/// (src, dst, bytes) triples.
+#[derive(Debug)]
+pub struct CrossbarSim {
+    sim: NetworkSim,
+}
+
+impl CrossbarSim {
+    /// Create a crossbar simulator for `n` nodes.
+    pub fn new(n: usize, config: NetworkConfig) -> Self {
+        let xgft = crossbar_xgft(n);
+        CrossbarSim {
+            sim: NetworkSim::new(&xgft, crossbar_config(&config)),
+        }
+    }
+
+    /// Schedule a message; the unique route is filled in automatically.
+    pub fn schedule_message(
+        &mut self,
+        at_ps: u64,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+    ) -> MessageId {
+        let route = if src == dst {
+            Route::empty()
+        } else {
+            Route::new(vec![0])
+        };
+        self.sim.schedule_message(at_ps, src, dst, bytes, route)
+    }
+
+    /// See [`NetworkSim::run_until_next_completion`].
+    pub fn run_until_next_completion(&mut self) -> Option<Completion> {
+        self.sim.run_until_next_completion()
+    }
+
+    /// See [`NetworkSim::run_to_completion`].
+    pub fn run_to_completion(&mut self) -> SimReport {
+        self.sim.run_to_completion()
+    }
+
+    /// Current simulation time in picoseconds.
+    pub fn now_ps(&self) -> u64 {
+        self.sim.now_ps()
+    }
+
+    /// Access the underlying simulator (e.g. for statistics).
+    pub fn inner(&self) -> &NetworkSim {
+        &self.sim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossbar_topology_shape() {
+        let x = crossbar_xgft(256);
+        assert_eq!(x.num_leaves(), 256);
+        assert_eq!(x.num_switches(), 1);
+        assert_eq!(x.height(), 1);
+        for s in [0usize, 100, 255] {
+            for d in [1usize, 77] {
+                if s != d {
+                    assert_eq!(x.nca_level(s, d), 1);
+                    assert_eq!(x.ncas(s, d).unwrap().len(), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_pairs_do_not_contend() {
+        // A permutation on the crossbar finishes in (almost) the time of a
+        // single message: no routing contention exists.
+        let cfg = NetworkConfig::default();
+        let bytes = 64 * 1024u64;
+        let mut single = CrossbarSim::new(16, cfg.clone());
+        single.schedule_message(0, 0, 1, bytes);
+        let t_single = single.run_to_completion().makespan_ps;
+
+        let mut perm = CrossbarSim::new(16, cfg);
+        for s in 0..16usize {
+            perm.schedule_message(0, s, (s + 1) % 16, bytes);
+        }
+        let t_perm = perm.run_to_completion().makespan_ps;
+        assert_eq!(t_perm, t_single);
+    }
+
+    #[test]
+    fn endpoint_contention_still_serializes_on_the_crossbar() {
+        // Two senders to one destination still share the ejection link: the
+        // crossbar removes routing contention, not endpoint contention.
+        let cfg = NetworkConfig::default();
+        let bytes = 64 * 1024u64;
+        let mut fan_in = CrossbarSim::new(16, cfg.clone());
+        fan_in.schedule_message(0, 0, 5, bytes);
+        fan_in.schedule_message(0, 1, 5, bytes);
+        let t_fan_in = fan_in.run_to_completion().makespan_ps;
+
+        let mut single = CrossbarSim::new(16, cfg);
+        single.schedule_message(0, 0, 5, bytes);
+        let t_single = single.run_to_completion().makespan_ps;
+        let ratio = t_fan_in as f64 / t_single as f64;
+        assert!(ratio > 1.8, "expected ~2x from endpoint contention, got {ratio:.2}");
+    }
+
+    #[test]
+    fn self_messages_cost_nothing() {
+        let mut sim = CrossbarSim::new(8, NetworkConfig::default());
+        sim.schedule_message(100, 3, 3, 1024);
+        let report = sim.run_to_completion();
+        assert_eq!(report.completed_messages, 1);
+        assert_eq!(report.makespan_ps, 100);
+        assert_eq!(sim.now_ps(), 0);
+        assert_eq!(sim.inner().num_messages(), 1);
+    }
+}

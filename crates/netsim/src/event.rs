@@ -1,0 +1,139 @@
+//! The discrete-event queue.
+//!
+//! Events are ordered by (time, sequence number) so simulations are fully
+//! deterministic: ties are broken by insertion order, never by heap
+//! internals.
+
+use crate::message::Segment;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// The kinds of events the simulator processes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Event {
+    /// The source adapter of `src` should try to hand its next segment to
+    /// the injection channel.
+    AdapterTryInject { src: usize },
+    /// A segment has finished its transmission over `channel` and now sits
+    /// in the downstream input buffer.
+    SegmentArrived { segment: Segment, channel: usize },
+    /// A segment that arrived earlier has crossed the switch and is ready to
+    /// be queued for its next hop.
+    SegmentReadyForNextHop { segment: Segment },
+    /// A downstream buffer slot of `channel` has been vacated; the channel
+    /// should re-examine its waiting queue.
+    CreditReturn { channel: usize },
+}
+
+#[derive(Debug)]
+struct QueuedEvent {
+    time_ps: u64,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time_ps == other.time_ps && self.seq == other.seq
+    }
+}
+impl Eq for QueuedEvent {}
+
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to get earliest-first.
+        other
+            .time_ps
+            .cmp(&self.time_ps)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic discrete-event queue.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<QueuedEvent>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `event` at absolute time `time_ps`.
+    pub fn push(&mut self, time_ps: u64, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(QueuedEvent {
+            time_ps,
+            seq,
+            event,
+        });
+    }
+
+    /// Pop the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(u64, Event)> {
+        self.heap.pop().map(|q| (q.time_ps, q.event))
+    }
+
+    /// Peek at the time of the earliest event.
+    #[allow(dead_code)]
+    pub fn next_time(&self) -> Option<u64> {
+        self.heap.peek().map(|q| q.time_ps)
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Number of pending events.
+    #[allow(dead_code)]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_come_out_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, Event::CreditReturn { channel: 3 });
+        q.push(10, Event::CreditReturn { channel: 1 });
+        q.push(20, Event::CreditReturn { channel: 2 });
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.next_time(), Some(10));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(5, Event::CreditReturn { channel: 10 });
+        q.push(5, Event::CreditReturn { channel: 20 });
+        q.push(5, Event::CreditReturn { channel: 30 });
+        let order: Vec<usize> = std::iter::from_fn(|| {
+            q.pop().map(|(_, e)| match e {
+                Event::CreditReturn { channel } => channel,
+                _ => unreachable!(),
+            })
+        })
+        .collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Messages and their lifecycle inside the simulator.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a message inside one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MessageId(pub u64);
+
+/// Lifecycle of a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MessageStatus {
+    /// Scheduled but the adapter has not started injecting it yet.
+    Pending,
+    /// At least one segment has been injected, not all delivered.
+    InFlight,
+    /// Every segment has been delivered to the destination adapter.
+    Delivered,
+}
+
+/// Internal per-message bookkeeping.
+#[derive(Debug, Clone)]
+pub(crate) struct MessageState {
+    pub id: MessageId,
+    pub src: usize,
+    pub dst: usize,
+    pub bytes: u64,
+    /// Dense channel indices of the full path (ascent then descent).
+    pub path: Vec<usize>,
+    /// Time the message was handed to the source adapter (ps).
+    pub injected_at_ps: u64,
+    /// Number of segments already handed to the injection queue.
+    pub segments_injected: u64,
+    /// Number of segments fully delivered at the destination.
+    pub segments_delivered: u64,
+    /// Total number of segments.
+    pub total_segments: u64,
+    /// Completion time, once delivered (ps).
+    pub completed_at_ps: Option<u64>,
+}
+
+impl MessageState {
+    /// Current lifecycle status.
+    pub fn status(&self) -> MessageStatus {
+        if self.completed_at_ps.is_some() {
+            MessageStatus::Delivered
+        } else if self.segments_injected > 0 {
+            MessageStatus::InFlight
+        } else {
+            MessageStatus::Pending
+        }
+    }
+
+    /// True once every segment has been handed to the injection queue.
+    pub fn fully_injected(&self) -> bool {
+        self.segments_injected >= self.total_segments
+    }
+}
+
+/// A segment in flight: which message it belongs to, its index and how far
+/// along the path it has progressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub(crate) struct Segment {
+    pub message: MessageId,
+    pub index: u64,
+    pub bytes: u64,
+    /// Index into the message's path of the channel the segment is currently
+    /// queued for / traversing.
+    pub hop: usize,
+    /// Dense channel index whose downstream buffer slot this segment is
+    /// currently occupying (`None` while still at the source adapter).
+    pub holds_buffer_of: Option<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_transitions() {
+        let mut m = MessageState {
+            id: MessageId(1),
+            src: 0,
+            dst: 1,
+            bytes: 4096,
+            path: vec![0, 1],
+            injected_at_ps: 0,
+            segments_injected: 0,
+            segments_delivered: 0,
+            total_segments: 4,
+            completed_at_ps: None,
+        };
+        assert_eq!(m.status(), MessageStatus::Pending);
+        m.segments_injected = 1;
+        assert_eq!(m.status(), MessageStatus::InFlight);
+        assert!(!m.fully_injected());
+        m.segments_injected = 4;
+        assert!(m.fully_injected());
+        m.segments_delivered = 4;
+        m.completed_at_ps = Some(123);
+        assert_eq!(m.status(), MessageStatus::Delivered);
+    }
+}

@@ -1,0 +1,112 @@
+//! Simulation reports and per-message records.
+
+use crate::message::MessageId;
+use serde::{Deserialize, Serialize};
+
+/// The record of one delivered message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageRecord {
+    /// Message identifier.
+    pub id: MessageId,
+    /// Source leaf.
+    pub src: usize,
+    /// Destination leaf.
+    pub dst: usize,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Time the message was handed to the source adapter (ps).
+    pub injected_at_ps: u64,
+    /// Time the last segment arrived at the destination (ps).
+    pub completed_at_ps: u64,
+}
+
+impl MessageRecord {
+    /// End-to-end latency of the message in picoseconds.
+    pub fn latency_ps(&self) -> u64 {
+        self.completed_at_ps - self.injected_at_ps
+    }
+}
+
+/// Summary of a finished simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Number of messages delivered.
+    pub completed_messages: usize,
+    /// Total payload bytes delivered.
+    pub total_bytes: u64,
+    /// Time of the last delivery (ps); 0 if nothing was delivered.
+    pub makespan_ps: u64,
+    /// Per-message delivery records, in completion order.
+    pub messages: Vec<MessageRecord>,
+    /// Highest observed occupancy of any channel waiting queue (segments).
+    pub max_queue_depth: usize,
+    /// Busy time of the most utilised channel divided by the makespan.
+    pub max_channel_utilization: f64,
+    /// Number of simulation events processed.
+    pub events_processed: u64,
+}
+
+impl SimReport {
+    /// Makespan in nanoseconds (convenience).
+    pub fn makespan_ns(&self) -> f64 {
+        self.makespan_ps as f64 / 1000.0
+    }
+
+    /// Makespan in milliseconds (convenience).
+    pub fn makespan_ms(&self) -> f64 {
+        self.makespan_ps as f64 / 1e9
+    }
+
+    /// Mean message latency in picoseconds.
+    pub fn mean_latency_ps(&self) -> f64 {
+        if self.messages.is_empty() {
+            0.0
+        } else {
+            self.messages.iter().map(|m| m.latency_ps() as f64).sum::<f64>()
+                / self.messages.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_and_conversions() {
+        let rec = MessageRecord {
+            id: MessageId(1),
+            src: 0,
+            dst: 1,
+            bytes: 1024,
+            injected_at_ps: 1_000,
+            completed_at_ps: 5_000,
+        };
+        assert_eq!(rec.latency_ps(), 4_000);
+        let report = SimReport {
+            completed_messages: 1,
+            total_bytes: 1024,
+            makespan_ps: 2_000_000_000,
+            messages: vec![rec],
+            max_queue_depth: 3,
+            max_channel_utilization: 0.5,
+            events_processed: 10,
+        };
+        assert!((report.makespan_ms() - 2.0).abs() < 1e-9);
+        assert!((report.mean_latency_ps() - 4_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_latency_is_zero() {
+        let report = SimReport {
+            completed_messages: 0,
+            total_bytes: 0,
+            makespan_ps: 0,
+            messages: vec![],
+            max_queue_depth: 0,
+            max_channel_utilization: 0.0,
+            events_processed: 0,
+        };
+        assert_eq!(report.mean_latency_ps(), 0.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests of the event-driven network simulator.
+
+use proptest::prelude::*;
+use xgft_netsim::{CrossbarSim, NetworkConfig, NetworkSim, SwitchingMode};
+use xgft_topo::{Route, Xgft, XgftSpec};
+
+/// Random small topologies plus random message sets with routes picked among
+/// each pair's valid NCAs.
+fn scenario() -> impl Strategy<Value = (XgftSpec, Vec<(usize, usize, u64, usize)>)> {
+    (2usize..=4, 1usize..=4)
+        .prop_map(|(k, w2)| XgftSpec::new(vec![k, k], vec![1, w2.min(k)]).expect("valid"))
+        .prop_flat_map(|spec| {
+            let n = spec.num_leaves();
+            let msgs = prop::collection::vec(
+                (0..n, 0..n, 512u64..32_768, 0usize..64),
+                1..24,
+            );
+            (Just(spec), msgs)
+        })
+}
+
+fn pick_route(xgft: &Xgft, s: usize, d: usize, choice: usize) -> Route {
+    if s == d {
+        return Route::empty();
+    }
+    let ncas = xgft.ncas(s, d).expect("valid pair");
+    Route::new(ncas.route_digits(choice % ncas.len()).expect("in range"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Conservation: every scheduled message is delivered exactly once, all
+    /// bytes arrive, and the makespan is at least the ideal serialization
+    /// time of the largest message.
+    #[test]
+    fn conservation_and_lower_bound((spec, msgs) in scenario()) {
+        let xgft = Xgft::new(spec).unwrap();
+        let config = NetworkConfig::default();
+        let mut sim = NetworkSim::new(&xgft, config.clone());
+        let mut total_bytes = 0u64;
+        let mut max_ideal = 0u64;
+        for &(s, d, bytes, choice) in &msgs {
+            let route = pick_route(&xgft, s, d, choice);
+            sim.schedule_message(0, s, d, bytes, route);
+            total_bytes += bytes;
+            if s != d {
+                max_ideal = max_ideal.max(config.ideal_transfer_ps(bytes));
+            }
+        }
+        let report = sim.run_to_completion();
+        prop_assert_eq!(report.completed_messages, msgs.len());
+        prop_assert_eq!(report.total_bytes, total_bytes);
+        prop_assert!(report.makespan_ps >= max_ideal);
+        prop_assert!(report.max_channel_utilization <= 1.0 + 1e-9);
+    }
+
+    /// Determinism: running the same scenario twice gives identical reports.
+    #[test]
+    fn determinism((spec, msgs) in scenario()) {
+        let xgft = Xgft::new(spec).unwrap();
+        let run = || {
+            let mut sim = NetworkSim::new(&xgft, NetworkConfig::default());
+            for &(s, d, bytes, choice) in &msgs {
+                let route = pick_route(&xgft, s, d, choice);
+                sim.schedule_message(0, s, d, bytes, route);
+            }
+            sim.run_to_completion()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// The ideal crossbar never takes longer than any XGFT for the same
+    /// message set (endpoint contention is identical, routing contention can
+    /// only be worse on the tree), and cut-through never loses to
+    /// store-and-forward.
+    #[test]
+    fn crossbar_and_cut_through_are_lower_bounds((spec, msgs) in scenario()) {
+        let xgft = Xgft::new(spec).unwrap();
+        let config = NetworkConfig::default();
+
+        let tree_time = {
+            let mut sim = NetworkSim::new(&xgft, config.clone());
+            for &(s, d, bytes, choice) in &msgs {
+                sim.schedule_message(0, s, d, bytes, pick_route(&xgft, s, d, choice));
+            }
+            sim.run_to_completion().makespan_ps
+        };
+        let crossbar_time = {
+            let mut sim = CrossbarSim::new(xgft.num_leaves(), config.clone());
+            for &(s, d, bytes, _) in &msgs {
+                sim.schedule_message(0, s, d, bytes);
+            }
+            sim.run_to_completion().makespan_ps
+        };
+        prop_assert!(crossbar_time <= tree_time);
+
+        let ct_time = {
+            let ct_config = NetworkConfig { switching: SwitchingMode::CutThrough, ..config };
+            let mut sim = NetworkSim::new(&xgft, ct_config);
+            for &(s, d, bytes, choice) in &msgs {
+                sim.schedule_message(0, s, d, bytes, pick_route(&xgft, s, d, choice));
+            }
+            sim.run_to_completion().makespan_ps
+        };
+        prop_assert!(ct_time <= tree_time);
+    }
+
+    /// Per-message latency is never less than the contention-free latency of
+    /// that message alone on an idle network.
+    #[test]
+    fn per_message_latency_lower_bound((spec, msgs) in scenario()) {
+        let xgft = Xgft::new(spec).unwrap();
+        let config = NetworkConfig::default();
+        let mut sim = NetworkSim::new(&xgft, config.clone());
+        let mut solo_latency = std::collections::HashMap::new();
+        for (i, &(s, d, bytes, choice)) in msgs.iter().enumerate() {
+            let route = pick_route(&xgft, s, d, choice);
+            // Contention-free latency of this message alone.
+            let mut solo = NetworkSim::new(&xgft, config.clone());
+            solo.schedule_message(0, s, d, bytes, route.clone());
+            solo_latency.insert(i, solo.run_to_completion().makespan_ps);
+            sim.schedule_message(0, s, d, bytes, route);
+        }
+        let report = sim.run_to_completion();
+        for (i, record) in report.messages.iter().enumerate() {
+            // Records are in completion order; match by id order instead.
+            let _ = i;
+            let idx = record.id.0 as usize;
+            prop_assert!(record.latency_ps() >= solo_latency[&idx]);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Decomposition of general patterns into permutations (Sec. VII-C).
+//!
+//! Any general pattern `G` can be written as a union of (partial)
+//! permutations `G = ∪_i P_i`. The paper uses this to argue that S-mod-k and
+//! D-mod-k route the same number of general patterns at every contention
+//! level: each permutation of the decomposition behaves under one scheme as
+//! its inverse does under the other, and flows sharing a source (resp.
+//! destination) only add endpoint contention.
+//!
+//! The decomposition implemented here is the classic greedy edge-colouring
+//! of the bipartite multigraph of flows: repeatedly extract a maximal
+//! matching (each source and each destination used at most once) until no
+//! flows remain. The number of rounds is at most the maximum endpoint
+//! degree of the pattern for the patterns used in this workspace.
+
+use crate::matrix::{ConnectivityMatrix, Flow};
+
+/// A partial permutation extracted from a general pattern: a set of flows in
+/// which every source and every destination appears at most once.
+pub type PartialPermutation = Vec<Flow>;
+
+/// Decompose a pattern into partial permutations by greedy maximal matching.
+/// Self-flows are ignored (they never enter the network).
+pub fn decompose_into_permutations(pattern: &ConnectivityMatrix) -> Vec<PartialPermutation> {
+    let n = pattern.num_nodes();
+    let mut remaining: Vec<Flow> = pattern.network_flows().collect();
+    let mut rounds = Vec::new();
+    while !remaining.is_empty() {
+        let mut src_used = vec![false; n];
+        let mut dst_used = vec![false; n];
+        let mut round: PartialPermutation = Vec::new();
+        let mut rest = Vec::with_capacity(remaining.len());
+        for f in remaining {
+            if !src_used[f.src] && !dst_used[f.dst] {
+                src_used[f.src] = true;
+                dst_used[f.dst] = true;
+                round.push(f);
+            } else {
+                rest.push(f);
+            }
+        }
+        debug_assert!(!round.is_empty(), "matching must make progress");
+        rounds.push(round);
+        remaining = rest;
+    }
+    rounds
+}
+
+/// Rebuild a connectivity matrix from a decomposition (used to verify that
+/// decomposition is lossless).
+pub fn recompose(num_nodes: usize, rounds: &[PartialPermutation]) -> ConnectivityMatrix {
+    let mut m = ConnectivityMatrix::new(num_nodes);
+    for round in rounds {
+        for f in round {
+            m.add_flow(f.src, f.dst, f.bytes);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern_with(flows: &[(usize, usize, u64)], n: usize) -> ConnectivityMatrix {
+        let mut m = ConnectivityMatrix::new(n);
+        for &(s, d, b) in flows {
+            m.add_flow(s, d, b);
+        }
+        m
+    }
+
+    #[test]
+    fn permutation_decomposes_into_one_round() {
+        let m = pattern_with(&[(0, 1, 10), (1, 2, 10), (2, 0, 10)], 3);
+        let rounds = decompose_into_permutations(&m);
+        assert_eq!(rounds.len(), 1);
+        assert_eq!(rounds[0].len(), 3);
+    }
+
+    #[test]
+    fn fan_out_needs_as_many_rounds_as_out_degree() {
+        // Node 0 sends to three destinations: 3 rounds needed.
+        let m = pattern_with(&[(0, 1, 1), (0, 2, 1), (0, 3, 1)], 4);
+        let rounds = decompose_into_permutations(&m);
+        assert_eq!(rounds.len(), 3);
+        for round in &rounds {
+            assert_eq!(round.len(), 1);
+        }
+    }
+
+    #[test]
+    fn rounds_are_partial_permutations() {
+        let m = pattern_with(
+            &[
+                (0, 1, 1),
+                (0, 2, 1),
+                (1, 2, 1),
+                (2, 3, 1),
+                (3, 2, 1),
+                (3, 0, 1),
+            ],
+            4,
+        );
+        let rounds = decompose_into_permutations(&m);
+        for round in &rounds {
+            let mut srcs: Vec<usize> = round.iter().map(|f| f.src).collect();
+            let mut dsts: Vec<usize> = round.iter().map(|f| f.dst).collect();
+            srcs.sort_unstable();
+            dsts.sort_unstable();
+            let s_len = srcs.len();
+            let d_len = dsts.len();
+            srcs.dedup();
+            dsts.dedup();
+            assert_eq!(srcs.len(), s_len);
+            assert_eq!(dsts.len(), d_len);
+        }
+    }
+
+    #[test]
+    fn decomposition_is_lossless() {
+        let m = pattern_with(
+            &[(0, 1, 5), (0, 2, 7), (1, 0, 3), (2, 1, 9), (3, 1, 2)],
+            4,
+        );
+        let rounds = decompose_into_permutations(&m);
+        let rebuilt = recompose(4, &rounds);
+        assert_eq!(rebuilt, m);
+    }
+
+    #[test]
+    fn self_flows_are_ignored() {
+        let m = pattern_with(&[(1, 1, 100), (0, 1, 1)], 2);
+        let rounds = decompose_into_permutations(&m);
+        assert_eq!(rounds.len(), 1);
+        assert_eq!(rounds[0].len(), 1);
+        assert_eq!(rounds[0][0].src, 0);
+    }
+
+    #[test]
+    fn empty_pattern_gives_no_rounds() {
+        let m = ConnectivityMatrix::new(8);
+        assert!(decompose_into_permutations(&m).is_empty());
+    }
+}

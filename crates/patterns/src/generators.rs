@@ -1,0 +1,329 @@
+//! Pattern generators: the application patterns of the paper's evaluation
+//! and the synthetic patterns common in fat-tree routing studies.
+//!
+//! ## WRF-256 (Sec. VII-A)
+//!
+//! "The communication pattern of WRF-256 consists of pairwise exchanges in a
+//! 16 × 16 mesh. Every task `T_i` initiates two outstanding communications
+//! to nodes `T_(i±16)` (except for the first and last 16 tasks, which only
+//! send to `T_(i+16)` and `T_(i−16)` respectively)."
+//!
+//! ## CG.D-128 (Sec. VII-A, Fig. 3)
+//!
+//! "CG has a communication pattern that consists of five exchanges of equal
+//! size, four of which are local to the first-level switch for the radix we
+//! have used (m1 = 16). Only the fifth phase is non-local … each processor
+//! `s` inside a switch communicates to a processor
+//! `d = s/2 · 16 + (s mod 2)`" with 750 KB messages.
+//!
+//! The four local phases are modelled as the recursive-halving exchanges of
+//! the NAS CG row reduction: partner `s XOR 2^j` for `j = 0..3`, which stay
+//! inside every aligned block of 16 ranks. The fifth phase is the NAS CG
+//! transpose exchange for a `nprows × npcols = 8 × 16` process grid,
+//! `d = 2·(((s/2) mod 8)·8 + (s/2)/8) + (s mod 2)`, which reduces to the
+//! paper's formula `d = (s/2)·16 + (s mod 2)` for the ranks of the first
+//! switch and is an involutive permutation over all 128 ranks.
+
+use crate::matrix::ConnectivityMatrix;
+use crate::pattern::Pattern;
+use crate::permutation::Permutation;
+use rand::Rng;
+
+/// Default per-message size used for the WRF-256 synthetic trace (bytes).
+pub const WRF_DEFAULT_BYTES: u64 = 512 * 1024;
+/// Per-message size of the CG.D-128 exchanges reported by the paper (bytes).
+pub const CG_D_PHASE_BYTES: u64 = 750 * 1024;
+
+/// The WRF-256 pairwise mesh-exchange pattern on a `rows × cols` task mesh:
+/// every task exchanges with the tasks one row above and one row below
+/// (`±cols` in task numbering). A single phase with all messages outstanding.
+pub fn wrf_mesh_exchange(rows: usize, cols: usize, bytes: u64) -> Pattern {
+    let n = rows * cols;
+    let mut m = ConnectivityMatrix::new(n);
+    for t in 0..n {
+        if t + cols < n {
+            m.add_flow(t, t + cols, bytes);
+        }
+        if t >= cols {
+            m.add_flow(t, t - cols, bytes);
+        }
+    }
+    Pattern::single_phase(format!("WRF-{n}"), m)
+}
+
+/// The WRF-256 pattern with the paper's parameters: a 16 × 16 mesh.
+pub fn wrf_256(bytes: u64) -> Pattern {
+    wrf_mesh_exchange(16, 16, bytes)
+}
+
+/// The CG transpose-exchange permutation for `n` ranks (`n` a power of two).
+/// For an even power the grid is square and the exchange is the matrix
+/// transpose of rank indices; for an odd power (`npcols = 2·nprows`) the NAS
+/// CG formula pairs even/odd ranks as described in the module docs.
+pub fn cg_transpose_partner(s: usize, n: usize) -> usize {
+    assert!(n.is_power_of_two(), "CG requires a power-of-two rank count");
+    let log = n.trailing_zeros() as usize;
+    if log % 2 == 0 {
+        let side = 1usize << (log / 2);
+        let row = s / side;
+        let col = s % side;
+        col * side + row
+    } else {
+        let nprows = 1usize << ((log - 1) / 2);
+        let half = s / 2;
+        let parity = s % 2;
+        2 * ((half % nprows) * nprows + half / nprows) + parity
+    }
+}
+
+/// The five-phase CG.D pattern for `n` ranks (power of two, `n ≥ 32`):
+/// four XOR-exchange phases local to every aligned block of 16 ranks
+/// followed by the non-local transpose exchange. Every phase moves `bytes`
+/// bytes per rank, matching the paper's "five exchanges of equal size".
+pub fn cg_d(n: usize, bytes: u64) -> Pattern {
+    assert!(n.is_power_of_two() && n >= 32, "CG.D needs a power-of-two n >= 32");
+    let mut phases = Vec::with_capacity(5);
+    for j in 0..4 {
+        let mut m = ConnectivityMatrix::new(n);
+        for s in 0..n {
+            m.add_flow(s, s ^ (1usize << j), bytes);
+        }
+        phases.push(m);
+    }
+    let mut fifth = ConnectivityMatrix::new(n);
+    for s in 0..n {
+        let d = cg_transpose_partner(s, n);
+        if d != s {
+            fifth.add_flow(s, d, bytes);
+        }
+    }
+    phases.push(fifth);
+    Pattern::new(format!("CG.D-{n}"), phases)
+}
+
+/// The CG.D-128 pattern with the paper's parameters.
+pub fn cg_d_128() -> Pattern {
+    cg_d(128, CG_D_PHASE_BYTES)
+}
+
+/// Cyclic shift by `offset`: node `i` sends to `(i + offset) mod n`.
+pub fn shift(n: usize, offset: usize, bytes: u64) -> Pattern {
+    let mapping: Vec<usize> = (0..n).map(|i| (i + offset) % n).collect();
+    let p = Permutation::new(mapping).expect("shift is a permutation");
+    Pattern::single_phase(format!("shift-{offset}"), p.to_matrix(bytes))
+}
+
+/// Matrix transpose on a square grid of `side × side` nodes: node
+/// `(r, c)` sends to `(c, r)`.
+pub fn transpose(side: usize, bytes: u64) -> Pattern {
+    let n = side * side;
+    let mapping: Vec<usize> = (0..n).map(|i| (i % side) * side + i / side).collect();
+    let p = Permutation::new(mapping).expect("transpose is a permutation");
+    Pattern::single_phase(format!("transpose-{side}x{side}"), p.to_matrix(bytes))
+}
+
+/// Bit-reversal permutation on `n = 2^b` nodes.
+pub fn bit_reversal(n: usize, bytes: u64) -> Pattern {
+    assert!(n.is_power_of_two(), "bit reversal needs a power-of-two size");
+    let bits = n.trailing_zeros();
+    let mapping: Vec<usize> = (0..n)
+        .map(|i| (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1))
+        .collect();
+    let p = Permutation::new(mapping).expect("bit reversal is a permutation");
+    Pattern::single_phase("bit-reversal", p.to_matrix(bytes))
+}
+
+/// Bit-complement permutation on `n = 2^b` nodes: node `i` sends to `!i`.
+pub fn bit_complement(n: usize, bytes: u64) -> Pattern {
+    assert!(n.is_power_of_two(), "bit complement needs a power-of-two size");
+    let mapping: Vec<usize> = (0..n).map(|i| (!i) & (n - 1)).collect();
+    let p = Permutation::new(mapping).expect("bit complement is a permutation");
+    Pattern::single_phase("bit-complement", p.to_matrix(bytes))
+}
+
+/// All-to-all personalised exchange: every node sends `bytes` to every other
+/// node, in a single phase.
+pub fn all_to_all(n: usize, bytes: u64) -> Pattern {
+    let mut m = ConnectivityMatrix::new(n);
+    for s in 0..n {
+        for d in 0..n {
+            if s != d {
+                m.add_flow(s, d, bytes);
+            }
+        }
+    }
+    Pattern::single_phase("all-to-all", m)
+}
+
+/// A uniformly random permutation pattern.
+pub fn random_permutation<R: Rng + ?Sized>(n: usize, bytes: u64, rng: &mut R) -> Pattern {
+    let p = Permutation::random(n, rng);
+    Pattern::single_phase("random-permutation", p.to_matrix(bytes))
+}
+
+/// Uniform random traffic: `flows_per_node` destinations drawn uniformly at
+/// random (with replacement, excluding self) for every source.
+pub fn uniform_random<R: Rng + ?Sized>(
+    n: usize,
+    flows_per_node: usize,
+    bytes: u64,
+    rng: &mut R,
+) -> Pattern {
+    let mut m = ConnectivityMatrix::new(n);
+    for s in 0..n {
+        for _ in 0..flows_per_node {
+            let mut d = rng.gen_range(0..n);
+            if d == s {
+                d = (d + 1) % n;
+            }
+            m.add_flow(s, d, bytes);
+        }
+    }
+    Pattern::single_phase("uniform-random", m)
+}
+
+/// A ring exchange: every node sends to both neighbours on a ring.
+pub fn ring_exchange(n: usize, bytes: u64) -> Pattern {
+    let mut m = ConnectivityMatrix::new(n);
+    for s in 0..n {
+        m.add_flow(s, (s + 1) % n, bytes);
+        m.add_flow(s, (s + n - 1) % n, bytes);
+    }
+    Pattern::single_phase("ring-exchange", m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn wrf_256_matches_paper_description() {
+        let p = wrf_256(WRF_DEFAULT_BYTES);
+        assert_eq!(p.num_nodes(), 256);
+        assert_eq!(p.num_phases(), 1);
+        let m = &p.phases()[0];
+        // First 16 tasks only send downwards, last 16 only upwards.
+        for t in 0..16 {
+            assert_eq!(m.out_degree(t), 1, "task {t}");
+            assert_eq!(m.bytes(t, t + 16), WRF_DEFAULT_BYTES);
+        }
+        for t in 240..256 {
+            assert_eq!(m.out_degree(t), 1, "task {t}");
+            assert_eq!(m.bytes(t, t - 16), WRF_DEFAULT_BYTES);
+        }
+        // Interior tasks send both ways.
+        for t in 16..240 {
+            assert_eq!(m.out_degree(t), 2, "task {t}");
+        }
+        // The pattern is symmetric, as the paper notes.
+        assert!(m.is_symmetric());
+        // Total flows: 2*256 - 32.
+        assert_eq!(m.num_flows(), 480);
+    }
+
+    #[test]
+    fn cg_transpose_matches_paper_formula_inside_first_switch() {
+        // For s < 16 the partner is (s/2)*16 + (s mod 2) -- Eq. (2).
+        for s in 0..16 {
+            assert_eq!(cg_transpose_partner(s, 128), (s / 2) * 16 + (s % 2), "s={s}");
+        }
+    }
+
+    #[test]
+    fn cg_transpose_is_an_involutive_permutation() {
+        for &n in &[32usize, 64, 128, 256] {
+            let mut seen = vec![false; n];
+            for s in 0..n {
+                let d = cg_transpose_partner(s, n);
+                assert!(d < n);
+                assert!(!seen[d], "n={n}: destination {d} repeated");
+                seen[d] = true;
+                assert_eq!(cg_transpose_partner(d, n), s, "involution broken at {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn cg_d_128_has_four_local_and_one_nonlocal_phase() {
+        let p = cg_d_128();
+        assert_eq!(p.num_phases(), 5);
+        assert_eq!(p.num_nodes(), 128);
+        // Phases 0-3 stay within aligned blocks of 16 (same level-1 switch
+        // under sequential mapping with m1 = 16).
+        for (i, phase) in p.phases()[..4].iter().enumerate() {
+            for f in phase.network_flows() {
+                assert_eq!(f.src / 16, f.dst / 16, "phase {i} leaks out of the switch");
+                assert_eq!(f.bytes, CG_D_PHASE_BYTES);
+            }
+        }
+        // The fifth phase is a permutation and mostly non-local.
+        let fifth = &p.phases()[4];
+        assert!(fifth.is_permutation());
+        let nonlocal = fifth
+            .network_flows()
+            .filter(|f| f.src / 16 != f.dst / 16)
+            .count();
+        assert!(nonlocal > 100, "fifth phase should be dominated by non-local flows");
+        // All phases carry equal per-message sizes.
+        assert!(p
+            .phases()
+            .iter()
+            .flat_map(|m| m.network_flows())
+            .all(|f| f.bytes == CG_D_PHASE_BYTES));
+    }
+
+    #[test]
+    fn fifth_phase_first_port_congruence() {
+        // The pathological behaviour: under D-mod-16 the first up-port is
+        // d mod 16, which given Eq. (2) is only ever 0 or 1 for the sources
+        // of one switch.
+        let p = cg_d_128();
+        let fifth = &p.phases()[4];
+        for f in fifth.network_flows().filter(|f| f.src < 16) {
+            assert!(f.dst % 16 <= 1, "src {} -> dst {}", f.src, f.dst);
+        }
+    }
+
+    #[test]
+    fn synthetic_permutations_are_valid() {
+        assert!(shift(64, 5, 1).phases()[0].is_permutation());
+        assert!(transpose(8, 1).phases()[0].is_permutation());
+        assert!(bit_reversal(64, 1).phases()[0].is_permutation());
+        assert!(bit_complement(64, 1).phases()[0].is_permutation());
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(random_permutation(64, 1, &mut rng).phases()[0].is_permutation());
+    }
+
+    #[test]
+    fn all_to_all_and_ring_flow_counts() {
+        let a2a = all_to_all(8, 1);
+        assert_eq!(a2a.phases()[0].num_flows(), 8 * 7);
+        let ring = ring_exchange(8, 1);
+        assert_eq!(ring.phases()[0].num_flows(), 16);
+        assert!(ring.phases()[0].is_symmetric());
+    }
+
+    #[test]
+    fn uniform_random_respects_flow_count() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = uniform_random(32, 3, 10, &mut rng);
+        let m = &p.phases()[0];
+        // Every node emits exactly 3 flows worth of bytes (possibly merged).
+        for s in 0..32 {
+            let bytes: u64 = m.flows().filter(|f| f.src == s).map(|f| f.bytes).sum();
+            assert_eq!(bytes, 30);
+        }
+    }
+
+    #[test]
+    fn wrf_shape_generalises_to_other_meshes() {
+        let p = wrf_mesh_exchange(4, 8, 100);
+        assert_eq!(p.num_nodes(), 32);
+        let m = &p.phases()[0];
+        assert_eq!(m.out_degree(0), 1);
+        assert_eq!(m.out_degree(15), 2);
+        assert!(m.is_symmetric());
+    }
+}

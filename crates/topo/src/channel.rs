@@ -1,0 +1,254 @@
+//! Directed channel (link) identification and dense indexing.
+//!
+//! Every cable of an XGFT connects a node at some level `l` (the *low* end)
+//! to one of its parents at level `l+1`, through the low end's up-port
+//! `p ∈ [0, w_{l+1})`. Each cable carries two directed channels: `Up`
+//! (towards the roots) and `Down` (towards the leaves). The level-0 up
+//! channels are the injection links of the processing nodes and the level-0
+//! down channels are their ejection links, so endpoint contention is visible
+//! as load on level-0 `Down` channels.
+//!
+//! [`ChannelTable`] maps every [`ChannelId`] to a dense `usize` index so that
+//! simulators and analysis code can keep per-channel state in flat vectors.
+
+use crate::spec::XgftSpec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Direction of a channel along a cable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// From level `l` towards level `l+1` (ascent towards the NCAs).
+    Up,
+    /// From level `l+1` towards level `l` (descent towards the leaves).
+    Down,
+}
+
+impl Direction {
+    fn bit(self) -> usize {
+        match self {
+            Direction::Up => 0,
+            Direction::Down => 1,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::Up => write!(f, "up"),
+            Direction::Down => write!(f, "down"),
+        }
+    }
+}
+
+/// A directed channel, identified by the cable's low end and direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ChannelId {
+    /// Level of the *lower* endpoint of the cable (0 = leaf level).
+    pub level: usize,
+    /// Index of the lower endpoint within its level.
+    pub low_index: usize,
+    /// Up-port of the lower endpoint this cable is attached to.
+    pub up_port: usize,
+    /// Direction of travel on the cable.
+    pub dir: Direction,
+}
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ch[L{}:{}, port {}, {}]",
+            self.level, self.low_index, self.up_port, self.dir
+        )
+    }
+}
+
+/// Dense indexing of every directed channel of an XGFT.
+#[derive(Debug, Clone)]
+pub struct ChannelTable {
+    spec: XgftSpec,
+    /// Starting dense index of each level's channel block.
+    level_offsets: Vec<usize>,
+    /// Number of cables at each level (`nodes_at_level(l) * w_{l+1}`).
+    cables_per_level: Vec<usize>,
+    total: usize,
+}
+
+impl ChannelTable {
+    /// Build the channel table for a spec.
+    pub fn new(spec: &XgftSpec) -> Self {
+        let h = spec.height();
+        let mut level_offsets = Vec::with_capacity(h);
+        let mut cables_per_level = Vec::with_capacity(h);
+        let mut total = 0usize;
+        for l in 0..h {
+            level_offsets.push(total);
+            let cables = spec.up_links_at_level(l);
+            cables_per_level.push(cables);
+            total += 2 * cables;
+        }
+        ChannelTable {
+            spec: spec.clone(),
+            level_offsets,
+            cables_per_level,
+            total,
+        }
+    }
+
+    /// Total number of directed channels.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// True if the topology has no channels (degenerate, never happens for a
+    /// valid spec).
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of cables (bidirectional links) with their low end at `level`.
+    pub fn cables_at_level(&self, level: usize) -> usize {
+        self.cables_per_level[level]
+    }
+
+    /// Dense index of a channel.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the channel is out of range for the spec.
+    pub fn index(&self, ch: &ChannelId) -> usize {
+        debug_assert!(ch.level < self.spec.height());
+        let w_next = self.spec.w(ch.level + 1);
+        debug_assert!(ch.up_port < w_next);
+        debug_assert!(ch.low_index < self.spec.nodes_at_level(ch.level));
+        let cable = ch.low_index * w_next + ch.up_port;
+        self.level_offsets[ch.level] + 2 * cable + ch.dir.bit()
+    }
+
+    /// Inverse of [`ChannelTable::index`].
+    pub fn channel(&self, mut dense: usize) -> ChannelId {
+        assert!(dense < self.total, "dense channel index out of range");
+        let mut level = self.spec.height() - 1;
+        for l in 0..self.spec.height() {
+            let next = if l + 1 < self.spec.height() {
+                self.level_offsets[l + 1]
+            } else {
+                self.total
+            };
+            if dense < next {
+                level = l;
+                break;
+            }
+        }
+        dense -= self.level_offsets[level];
+        let dir = if dense % 2 == 0 {
+            Direction::Up
+        } else {
+            Direction::Down
+        };
+        let cable = dense / 2;
+        let w_next = self.spec.w(level + 1);
+        ChannelId {
+            level,
+            low_index: cable / w_next,
+            up_port: cable % w_next,
+            dir,
+        }
+    }
+
+    /// The dense index of the injection channel (level-0 `Up`) of a leaf.
+    /// Valid when `w_1 = 1` (single adapter per node, the common case); for
+    /// multi-ported leaves this returns the port-0 channel.
+    pub fn injection_channel(&self, leaf: usize) -> usize {
+        self.index(&ChannelId {
+            level: 0,
+            low_index: leaf,
+            up_port: 0,
+            dir: Direction::Up,
+        })
+    }
+
+    /// The dense index of the ejection channel (level-0 `Down`) of a leaf.
+    pub fn ejection_channel(&self, leaf: usize) -> usize {
+        self.index(&ChannelId {
+            level: 0,
+            low_index: leaf,
+            up_port: 0,
+            dir: Direction::Down,
+        })
+    }
+
+    /// The spec this table was built for.
+    pub fn spec(&self) -> &XgftSpec {
+        &self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_channel_count_matches_spec() {
+        let spec = XgftSpec::slimmed_two_level(16, 10).unwrap();
+        let table = ChannelTable::new(&spec);
+        // Level 0: 256 cables, level 1: 16 * 10 = 160 cables, 2 dirs each.
+        assert_eq!(table.len(), 2 * (256 + 160));
+        assert_eq!(table.cables_at_level(0), 256);
+        assert_eq!(table.cables_at_level(1), 160);
+    }
+
+    #[test]
+    fn index_round_trips_for_every_channel() {
+        let spec = XgftSpec::new(vec![3, 4, 2], vec![1, 2, 3]).unwrap();
+        let table = ChannelTable::new(&spec);
+        let mut seen = vec![false; table.len()];
+        for level in 0..spec.height() {
+            for low in 0..spec.nodes_at_level(level) {
+                for port in 0..spec.w(level + 1) {
+                    for dir in [Direction::Up, Direction::Down] {
+                        let ch = ChannelId {
+                            level,
+                            low_index: low,
+                            up_port: port,
+                            dir,
+                        };
+                        let dense = table.index(&ch);
+                        assert!(!seen[dense], "dense index {dense} reused");
+                        seen[dense] = true;
+                        assert_eq!(table.channel(dense), ch);
+                    }
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every dense index must be used");
+    }
+
+    #[test]
+    fn injection_and_ejection_channels_differ() {
+        let spec = XgftSpec::k_ary_n_tree(4, 2);
+        let table = ChannelTable::new(&spec);
+        for leaf in 0..spec.num_leaves() {
+            let inj = table.injection_channel(leaf);
+            let eje = table.ejection_channel(leaf);
+            assert_ne!(inj, eje);
+            assert_eq!(table.channel(inj).dir, Direction::Up);
+            assert_eq!(table.channel(eje).dir, Direction::Down);
+            assert_eq!(table.channel(inj).low_index, leaf);
+        }
+    }
+
+    #[test]
+    fn direction_display() {
+        assert_eq!(Direction::Up.to_string(), "up");
+        assert_eq!(Direction::Down.to_string(), "down");
+        let ch = ChannelId {
+            level: 1,
+            low_index: 3,
+            up_port: 2,
+            dir: Direction::Down,
+        };
+        assert!(ch.to_string().contains("L1:3"));
+    }
+}

@@ -1,0 +1,81 @@
+//! Graphviz (DOT) export of XGFT topologies.
+//!
+//! Fig. 1 of the paper is a drawing of several family members; this module
+//! renders any [`Xgft`] as a DOT graph (levels as ranks, leaves at the
+//! bottom) so the figures can be regenerated with `dot -Tpdf`. It is also a
+//! convenient debugging aid when defining new family members.
+
+use crate::topology::{NodeRef, Xgft};
+use std::fmt::Write as _;
+
+/// Render the topology as a Graphviz DOT string. Nodes are named
+/// `L<level>_<index>` and labelled with their Table I digit tuple; one
+/// undirected edge is emitted per cable.
+pub fn to_dot(xgft: &Xgft) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph \"{}\" {{", xgft.spec());
+    let _ = writeln!(out, "  rankdir=BT;");
+    let _ = writeln!(out, "  node [shape=box, fontsize=10];");
+    for level in 0..=xgft.height() {
+        let _ = writeln!(out, "  subgraph level_{level} {{ rank=same;");
+        for index in 0..xgft.nodes_at_level(level) {
+            let node = NodeRef { level, index };
+            let label = xgft
+                .node_label(node)
+                .map(|l| l.to_string())
+                .unwrap_or_else(|_| format!("{node}"));
+            let shape = if level == 0 { "ellipse" } else { "box" };
+            let _ = writeln!(
+                out,
+                "    L{level}_{index} [label=\"{label}\", shape={shape}];"
+            );
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    // One edge per cable: enumerate every node's up-ports.
+    for level in 0..xgft.height() {
+        for index in 0..xgft.nodes_at_level(level) {
+            let node = NodeRef { level, index };
+            for port in 0..xgft.spec().w(level + 1) {
+                if let Ok(parent) = xgft.parent_of(node, port) {
+                    let _ = writeln!(
+                        out,
+                        "  L{level}_{index} -- L{}_{};",
+                        parent.level, parent.index
+                    );
+                }
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::XgftSpec;
+
+    #[test]
+    fn dot_contains_every_node_and_cable() {
+        let xgft = Xgft::new(XgftSpec::k_ary_n_tree(2, 2)).unwrap();
+        let dot = to_dot(&xgft);
+        // 4 leaves + 2 + 2 switches.
+        for level in 0..=2 {
+            for index in 0..xgft.nodes_at_level(level) {
+                assert!(dot.contains(&format!("L{level}_{index} [label=")));
+            }
+        }
+        // 4 + 4 cables.
+        assert_eq!(dot.matches(" -- ").count(), xgft.spec().total_cables());
+        assert!(dot.starts_with("graph"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn slimmed_tree_has_fewer_edges() {
+        let full = to_dot(&Xgft::new(XgftSpec::slimmed_two_level(4, 4).unwrap()).unwrap());
+        let slim = to_dot(&Xgft::new(XgftSpec::slimmed_two_level(4, 2).unwrap()).unwrap());
+        assert!(slim.matches(" -- ").count() < full.matches(" -- ").count());
+    }
+}

@@ -1,0 +1,143 @@
+//! Error types for topology construction and route validation.
+
+use std::fmt;
+
+/// Errors produced while constructing an [`crate::Xgft`] or validating
+/// labels, nodes and routes against it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The specification has zero height.
+    EmptySpec,
+    /// The `m` (children-per-level) vector has the wrong length.
+    BadChildArity {
+        /// Expected length (the height `h`).
+        expected: usize,
+        /// Actual length supplied.
+        got: usize,
+    },
+    /// The `w` (parents-per-level) vector has the wrong length.
+    BadParentArity {
+        /// Expected length (the height `h`).
+        expected: usize,
+        /// Actual length supplied.
+        got: usize,
+    },
+    /// A level parameter (`m_i` or `w_i`) is zero.
+    ZeroParameter {
+        /// 1-based level index of the offending parameter.
+        level: usize,
+    },
+    /// A slimmed level is wider than the corresponding full level
+    /// (`w_i > m_i` is allowed in general XGFTs but can be rejected by
+    /// callers that require slimmed trees; this variant is used by the
+    /// strict constructors).
+    NotSlimmed {
+        /// 1-based level index of the offending parameter.
+        level: usize,
+    },
+    /// A leaf identifier is out of range.
+    LeafOutOfRange {
+        /// Offending leaf index.
+        leaf: usize,
+        /// Number of leaves in the topology.
+        num_leaves: usize,
+    },
+    /// A node reference points outside the topology.
+    NodeOutOfRange {
+        /// Level of the offending node.
+        level: usize,
+        /// Index of the offending node within its level.
+        index: usize,
+    },
+    /// A label does not match the radix structure of its level.
+    InvalidLabel {
+        /// Human-readable description of the mismatch.
+        reason: String,
+    },
+    /// A route is malformed for the given source/destination pair.
+    InvalidRoute {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A port number exceeds the arity of the node it is used on.
+    PortOutOfRange {
+        /// Level of the node.
+        level: usize,
+        /// Offending port.
+        port: usize,
+        /// Number of ports available in that direction.
+        available: usize,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::EmptySpec => write!(f, "XGFT specification must have height >= 1"),
+            TopologyError::BadChildArity { expected, got } => write!(
+                f,
+                "children vector m has length {got}, expected {expected} (the height)"
+            ),
+            TopologyError::BadParentArity { expected, got } => write!(
+                f,
+                "parents vector w has length {got}, expected {expected} (the height)"
+            ),
+            TopologyError::ZeroParameter { level } => {
+                write!(f, "XGFT parameter at level {level} must be non-zero")
+            }
+            TopologyError::NotSlimmed { level } => write!(
+                f,
+                "level {level} has more parents than children of the level below; not a slimmed tree"
+            ),
+            TopologyError::LeafOutOfRange { leaf, num_leaves } => {
+                write!(f, "leaf {leaf} out of range (topology has {num_leaves} leaves)")
+            }
+            TopologyError::NodeOutOfRange { level, index } => {
+                write!(f, "node index {index} out of range at level {level}")
+            }
+            TopologyError::InvalidLabel { reason } => write!(f, "invalid node label: {reason}"),
+            TopologyError::InvalidRoute { reason } => write!(f, "invalid route: {reason}"),
+            TopologyError::PortOutOfRange {
+                level,
+                port,
+                available,
+            } => write!(
+                f,
+                "port {port} out of range at level {level} ({available} ports available)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TopologyError::LeafOutOfRange {
+            leaf: 300,
+            num_leaves: 256,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("300"));
+        assert!(msg.contains("256"));
+
+        let e = TopologyError::BadChildArity {
+            expected: 3,
+            got: 2,
+        };
+        assert!(e.to_string().contains("expected 3"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(TopologyError::EmptySpec, TopologyError::EmptySpec);
+        assert_ne!(
+            TopologyError::EmptySpec,
+            TopologyError::ZeroParameter { level: 1 }
+        );
+    }
+}

@@ -1,0 +1,330 @@
+//! Variable-radix node labels (Table I of the paper).
+//!
+//! A node at level `l` of an `XGFT(h; m⃗; w⃗)` is labeled by the tuple
+//! `<M_h, …, M_{l+1}, W_l, …, W_1>`: digit position `j` (1-based) has radix
+//! `w_j` when `j ≤ l` and radix `m_j` when `j > l`. Leaves (`l = 0`) are
+//! labeled purely with `M` digits, roots (`l = h`) purely with `W` digits.
+//!
+//! Internally digits are stored least-significant-first: `digits[0]` is the
+//! position-1 digit. The linear index of a node within its level treats the
+//! position-`h` digit as most significant, which makes leaf labels of k-ary
+//! n-trees coincide with the usual base-`k` reading of the leaf number.
+
+use crate::error::TopologyError;
+use crate::spec::XgftSpec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A node label: its level and its digit tuple (least-significant digit
+/// first).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NodeLabel {
+    level: usize,
+    digits: Vec<usize>,
+}
+
+impl NodeLabel {
+    /// Build a label from a level and digits (least-significant first),
+    /// validating every digit against the spec's radix structure.
+    pub fn new(
+        spec: &XgftSpec,
+        level: usize,
+        digits: Vec<usize>,
+    ) -> Result<Self, TopologyError> {
+        if level > spec.height() {
+            return Err(TopologyError::InvalidLabel {
+                reason: format!("level {level} exceeds height {}", spec.height()),
+            });
+        }
+        if digits.len() != spec.height() {
+            return Err(TopologyError::InvalidLabel {
+                reason: format!(
+                    "label must have {} digits, got {}",
+                    spec.height(),
+                    digits.len()
+                ),
+            });
+        }
+        for pos in 1..=spec.height() {
+            let radix = Self::radix_at(spec, level, pos);
+            let d = digits[pos - 1];
+            if d >= radix {
+                return Err(TopologyError::InvalidLabel {
+                    reason: format!(
+                        "digit {d} at position {pos} exceeds radix {radix} for level {level}"
+                    ),
+                });
+            }
+        }
+        Ok(NodeLabel { level, digits })
+    }
+
+    /// The radix of digit position `pos` (1-based) for a node at `level`:
+    /// `w_pos` if `pos ≤ level`, else `m_pos`.
+    pub fn radix_at(spec: &XgftSpec, level: usize, pos: usize) -> usize {
+        if pos <= level {
+            spec.w(pos)
+        } else {
+            spec.m(pos)
+        }
+    }
+
+    /// Build the label of the node with linear index `index` at `level`.
+    /// The position-`h` digit is the most significant.
+    pub fn from_index(
+        spec: &XgftSpec,
+        level: usize,
+        index: usize,
+    ) -> Result<Self, TopologyError> {
+        let count = spec.nodes_at_level(level);
+        if index >= count {
+            return Err(TopologyError::NodeOutOfRange { level, index });
+        }
+        let h = spec.height();
+        let mut digits = vec![0usize; h];
+        let mut rem = index;
+        // Least-significant digit is position 1; divide starting there.
+        for pos in 1..=h {
+            let radix = Self::radix_at(spec, level, pos);
+            digits[pos - 1] = rem % radix;
+            rem /= radix;
+        }
+        debug_assert_eq!(rem, 0);
+        Ok(NodeLabel { level, digits })
+    }
+
+    /// The linear index of this node within its level (inverse of
+    /// [`NodeLabel::from_index`]).
+    pub fn to_index(&self, spec: &XgftSpec) -> usize {
+        let h = spec.height();
+        let mut index = 0usize;
+        for pos in (1..=h).rev() {
+            let radix = Self::radix_at(spec, self.level, pos);
+            index = index * radix + self.digits[pos - 1];
+        }
+        index
+    }
+
+    /// The level of the labelled node.
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// The digit at `pos` (1-based).
+    pub fn digit(&self, pos: usize) -> usize {
+        self.digits[pos - 1]
+    }
+
+    /// All digits, least-significant first.
+    pub fn digits(&self) -> &[usize] {
+        &self.digits
+    }
+
+    /// The label of the parent reached through up-port `port`
+    /// (`0 ≤ port < w_{level+1}`): digit `level+1` is replaced by `port`.
+    pub fn parent(&self, spec: &XgftSpec, port: usize) -> Result<NodeLabel, TopologyError> {
+        let l = self.level;
+        if l >= spec.height() {
+            return Err(TopologyError::InvalidLabel {
+                reason: "root nodes have no parents".to_string(),
+            });
+        }
+        let w_next = spec.w(l + 1);
+        if port >= w_next {
+            return Err(TopologyError::PortOutOfRange {
+                level: l,
+                port,
+                available: w_next,
+            });
+        }
+        let mut digits = self.digits.clone();
+        digits[l] = port; // position l+1, radix becomes w_{l+1}
+        Ok(NodeLabel {
+            level: l + 1,
+            digits,
+        })
+    }
+
+    /// The label of the child reached through down-port `port`
+    /// (`0 ≤ port < m_level`): digit `level` is replaced by `port` and the
+    /// level decreases by one.
+    pub fn child(&self, spec: &XgftSpec, port: usize) -> Result<NodeLabel, TopologyError> {
+        let l = self.level;
+        if l == 0 {
+            return Err(TopologyError::InvalidLabel {
+                reason: "leaf nodes have no children".to_string(),
+            });
+        }
+        let m_l = spec.m(l);
+        if port >= m_l {
+            return Err(TopologyError::PortOutOfRange {
+                level: l,
+                port,
+                available: m_l,
+            });
+        }
+        let mut digits = self.digits.clone();
+        digits[l - 1] = port; // position l, radix becomes m_l
+        Ok(NodeLabel {
+            level: l - 1,
+            digits,
+        })
+    }
+
+    /// The up-port that, taken from `child`, leads to this node. This is the
+    /// position-`level` digit of this (parent) label.
+    pub fn up_port_from_child(&self) -> usize {
+        debug_assert!(self.level >= 1);
+        self.digits[self.level - 1]
+    }
+
+    /// The down-port of this node that leads to `child_digit` (the child's
+    /// position-`level` digit).
+    pub fn down_port_to(&self, child: &NodeLabel) -> usize {
+        debug_assert_eq!(child.level + 1, self.level);
+        child.digits[self.level - 1]
+    }
+
+    /// True if this node is an ancestor of the given leaf label: all digits
+    /// strictly above this node's level coincide.
+    pub fn is_ancestor_of_leaf(&self, leaf: &NodeLabel) -> bool {
+        debug_assert_eq!(leaf.level, 0);
+        let h = self.digits.len();
+        ((self.level + 1)..=h).all(|pos| self.digits[pos - 1] == leaf.digits[pos - 1])
+    }
+}
+
+impl fmt::Display for NodeLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Most significant digit first, marking W digits with 'w'.
+        let h = self.digits.len();
+        let parts: Vec<String> = (1..=h)
+            .rev()
+            .map(|pos| {
+                if pos <= self.level {
+                    format!("w{}", self.digits[pos - 1])
+                } else {
+                    format!("{}", self.digits[pos - 1])
+                }
+            })
+            .collect();
+        write!(f, "L{}<{}>", self.level, parts.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec_16_10() -> XgftSpec {
+        XgftSpec::slimmed_two_level(16, 10).unwrap()
+    }
+
+    #[test]
+    fn leaf_labels_round_trip() {
+        let spec = spec_16_10();
+        for leaf in 0..spec.num_leaves() {
+            let label = NodeLabel::from_index(&spec, 0, leaf).unwrap();
+            assert_eq!(label.to_index(&spec), leaf);
+            assert_eq!(label.level(), 0);
+        }
+    }
+
+    #[test]
+    fn all_level_labels_round_trip() {
+        let spec = XgftSpec::new(vec![3, 4, 2], vec![1, 2, 3]).unwrap();
+        for level in 0..=spec.height() {
+            for idx in 0..spec.nodes_at_level(level) {
+                let label = NodeLabel::from_index(&spec, level, idx).unwrap();
+                assert_eq!(label.to_index(&spec), idx, "level {level} idx {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_digits_match_base_k_reading() {
+        let spec = XgftSpec::k_ary_n_tree(4, 3);
+        // Leaf 27 in base 4 is 123: digit1 = 3, digit2 = 2, digit3 = 1.
+        let label = NodeLabel::from_index(&spec, 0, 27).unwrap();
+        assert_eq!(label.digit(1), 3);
+        assert_eq!(label.digit(2), 2);
+        assert_eq!(label.digit(3), 1);
+    }
+
+    #[test]
+    fn parent_replaces_correct_digit() {
+        let spec = spec_16_10();
+        let leaf = NodeLabel::from_index(&spec, 0, 37).unwrap(); // digits: 5, 2
+        assert_eq!(leaf.digit(1), 5);
+        assert_eq!(leaf.digit(2), 2);
+        // Only one up-port at level 0 (w1 = 1).
+        let l1 = leaf.parent(&spec, 0).unwrap();
+        assert_eq!(l1.level(), 1);
+        assert_eq!(l1.digit(1), 0); // replaced by port
+        assert_eq!(l1.digit(2), 2); // preserved
+        // Level-1 nodes have w2 = 10 up-ports.
+        let root = l1.parent(&spec, 7).unwrap();
+        assert_eq!(root.level(), 2);
+        assert_eq!(root.digit(2), 7);
+        assert_eq!(root.digit(1), 0);
+        assert!(l1.parent(&spec, 10).is_err());
+    }
+
+    #[test]
+    fn child_inverts_parent() {
+        let spec = XgftSpec::new(vec![4, 3, 2], vec![1, 2, 2]).unwrap();
+        for leaf in 0..spec.num_leaves() {
+            let l0 = NodeLabel::from_index(&spec, 0, leaf).unwrap();
+            let l1 = l0.parent(&spec, 0).unwrap();
+            let back = l1.child(&spec, l0.digit(1)).unwrap();
+            assert_eq!(back, l0);
+        }
+    }
+
+    #[test]
+    fn ancestor_relation_via_digits() {
+        let spec = spec_16_10();
+        let leaf = NodeLabel::from_index(&spec, 0, 200).unwrap(); // digits 8, 12
+        let sw = leaf.parent(&spec, 0).unwrap();
+        assert!(sw.is_ancestor_of_leaf(&leaf));
+        let other_leaf = NodeLabel::from_index(&spec, 0, 10).unwrap(); // digits 10, 0
+        assert!(!sw.is_ancestor_of_leaf(&other_leaf));
+        // Every root is an ancestor of every leaf in a two-level tree.
+        let root = sw.parent(&spec, 3).unwrap();
+        assert!(root.is_ancestor_of_leaf(&leaf));
+        assert!(root.is_ancestor_of_leaf(&other_leaf));
+    }
+
+    #[test]
+    fn invalid_labels_rejected() {
+        let spec = spec_16_10();
+        // Digit 12 at position 1 is fine for leaves (radix m1=16) but not for
+        // a level-1 node (radix w1=1).
+        assert!(NodeLabel::new(&spec, 0, vec![12, 3]).is_ok());
+        assert!(NodeLabel::new(&spec, 1, vec![12, 3]).is_err());
+        assert!(NodeLabel::new(&spec, 3, vec![0, 0]).is_err());
+        assert!(NodeLabel::new(&spec, 0, vec![0]).is_err());
+        assert!(NodeLabel::new(&spec, 2, vec![0, 10]).is_err());
+        assert!(NodeLabel::new(&spec, 2, vec![0, 9]).is_ok());
+    }
+
+    #[test]
+    fn display_marks_w_digits() {
+        let spec = spec_16_10();
+        let leaf = NodeLabel::from_index(&spec, 0, 37).unwrap();
+        assert_eq!(leaf.to_string(), "L0<2,5>");
+        let sw = leaf.parent(&spec, 0).unwrap();
+        assert_eq!(sw.to_string(), "L1<2,w0>");
+    }
+
+    #[test]
+    fn up_and_down_port_helpers_agree() {
+        let spec = XgftSpec::k_ary_n_tree(4, 2);
+        let leaf = NodeLabel::from_index(&spec, 0, 9).unwrap();
+        let sw = leaf.parent(&spec, 0).unwrap();
+        let root = sw.parent(&spec, 2).unwrap();
+        assert_eq!(root.up_port_from_child(), 2);
+        assert_eq!(root.down_port_to(&sw), sw.digit(2));
+        assert_eq!(sw.down_port_to(&leaf), leaf.digit(1));
+    }
+}

@@ -1,0 +1,67 @@
+//! # xgft-topo — Extended Generalized Fat Tree topology substrate
+//!
+//! This crate implements the topology layer of the CLUSTER 2009 paper
+//! *"Oblivious Routing Schemes in Extended Generalized Fat Tree Networks"*:
+//! the XGFT family of Öhring et al., its node/link labeling (Table I of the
+//! paper), Nearest Common Ancestor (NCA) computation, and minimal up*/down*
+//! route construction.
+//!
+//! An `XGFT(h; m_1..m_h; w_1..w_h)` has `N = Π m_i` leaf (processing) nodes
+//! at level 0 and `h` levels of switches above them. A non-leaf node at level
+//! `i` has `m_i` children; a non-root node at level `i` has `w_{i+1}` parents.
+//!
+//! The key structural facts used throughout the workspace:
+//!
+//! * A node at level `l` is labeled `<M_h, …, M_{l+1}, W_l, …, W_1>`
+//!   (most-significant digit first), where digit `j ≤ l` has radix `w_j` and
+//!   digit `j > l` has radix `m_j`.
+//! * Moving up one level through parent port `p ∈ [0, w_{l+1})` replaces the
+//!   `M_{l+1}` digit with `W_{l+1} = p`; every other digit is preserved.
+//! * Two leaves share an ancestor at level `l` iff their digits strictly above
+//!   position `l` coincide; the NCA *level* of a pair is the highest digit
+//!   position where their labels differ.
+//! * A minimal route is an up-phase to one NCA followed by the unique
+//!   down-phase to the destination, so a route is fully described by the
+//!   sequence of up-ports (equivalently the `W` digits of the chosen NCA).
+//!
+//! # Example
+//!
+//! ```
+//! use xgft_topo::{Xgft, XgftSpec, Route};
+//!
+//! // A 4-ary 2-tree: XGFT(2; 4,4; 1,4), 16 leaves.
+//! let spec = XgftSpec::k_ary_n_tree(4, 2);
+//! let xgft = Xgft::new(spec).unwrap();
+//! assert_eq!(xgft.num_leaves(), 16);
+//! assert_eq!(xgft.spec().inner_switches(), 8);
+//!
+//! // Leaves 0 and 5 differ in their second digit, so their NCAs live at level 2.
+//! assert_eq!(xgft.nca_level(0, 5), 2);
+//!
+//! // Route through up-ports [0, 3]: reaches root <3, 0> and descends to 5.
+//! let route = Route::new(vec![0, 3]);
+//! let path = xgft.route_path(0, 5, &route).unwrap();
+//! assert_eq!(path.len(), 4); // two hops up, two hops down
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod channel;
+pub mod dot;
+pub mod error;
+pub mod kary;
+pub mod label;
+pub mod nca;
+pub mod route;
+pub mod spec;
+pub mod topology;
+
+pub use channel::{ChannelId, ChannelTable, Direction};
+pub use error::TopologyError;
+pub use kary::KAryNTree;
+pub use label::NodeLabel;
+pub use nca::NcaSet;
+pub use route::{Hop, Route};
+pub use spec::XgftSpec;
+pub use topology::{NodeRef, Xgft};

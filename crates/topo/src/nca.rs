@@ -1,0 +1,150 @@
+//! Nearest Common Ancestor (NCA) sets.
+//!
+//! For a pair of leaves whose labels first differ at digit position
+//! `l = l_NCA`, the NCAs are all nodes at level `l` whose `M` digits (the
+//! positions above `l`) equal the common prefix of the two leaves and whose
+//! `W` digits (positions `1..=l`) are arbitrary. There are
+//! `Π_{j=1}^{l} w_j` of them.
+
+use crate::label::NodeLabel;
+use crate::spec::XgftSpec;
+use crate::topology::NodeRef;
+
+/// The set of NCAs of a (source, destination) pair.
+#[derive(Debug, Clone)]
+pub struct NcaSet {
+    spec: XgftSpec,
+    level: usize,
+    /// Digits of the source leaf; positions above `level` are the shared
+    /// prefix that all NCAs carry.
+    base_digits: Vec<usize>,
+    count: usize,
+}
+
+impl NcaSet {
+    /// Build the NCA set from the spec, the source leaf's digits and the NCA
+    /// level.
+    pub(crate) fn new(spec: &XgftSpec, leaf_digits: &[usize], level: usize) -> Self {
+        let count = spec.ncas_at_level(level);
+        NcaSet {
+            spec: spec.clone(),
+            level,
+            base_digits: leaf_digits.to_vec(),
+            count,
+        }
+    }
+
+    /// The level the NCAs live at.
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Number of NCAs (equivalently, number of distinct minimal routes).
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when the pair is a self-pair (level 0, a single trivial "NCA").
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The `i`-th NCA (0-based), enumerated by reading the W digits of the
+    /// ancestor as a mixed-radix number with `w_1` least significant.
+    pub fn nth(&self, i: usize) -> Option<NodeRef> {
+        if i >= self.count {
+            return None;
+        }
+        let mut digits = self.base_digits.clone();
+        let mut rem = i;
+        for pos in 1..=self.level {
+            let w = self.spec.w(pos);
+            digits[pos - 1] = rem % w;
+            rem /= w;
+        }
+        let label = NodeLabel::new(&self.spec, self.level, digits).ok()?;
+        Some(NodeRef {
+            level: self.level,
+            index: label.to_index(&self.spec),
+        })
+    }
+
+    /// Iterate over every NCA of the pair.
+    pub fn iter(&self) -> impl Iterator<Item = NodeRef> + '_ {
+        (0..self.count).filter_map(move |i| self.nth(i))
+    }
+
+    /// The W-digit tuple (up-port sequence) that reaches the `i`-th NCA.
+    pub fn route_digits(&self, i: usize) -> Option<Vec<usize>> {
+        if i >= self.count {
+            return None;
+        }
+        let mut ports = Vec::with_capacity(self.level);
+        let mut rem = i;
+        for pos in 1..=self.level {
+            let w = self.spec.w(pos);
+            ports.push(rem % w);
+            rem /= w;
+        }
+        Some(ports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Xgft;
+
+    #[test]
+    fn nca_count_matches_spec() {
+        let x = Xgft::new(XgftSpec::slimmed_two_level(16, 10).unwrap()).unwrap();
+        let set = x.ncas(0, 200).unwrap();
+        assert_eq!(set.level(), 2);
+        assert_eq!(set.len(), 10);
+        let set_local = x.ncas(0, 5).unwrap();
+        assert_eq!(set_local.level(), 1);
+        assert_eq!(set_local.len(), 1);
+    }
+
+    #[test]
+    fn every_nca_is_a_distinct_ancestor_of_both_endpoints() {
+        let x = Xgft::k_ary_n_tree(4, 3);
+        let (s, d) = (7usize, 55usize);
+        let set = x.ncas(s, d).unwrap();
+        let s_label = x.leaf_label(s).unwrap();
+        let d_label = x.leaf_label(d).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for nca in set.iter() {
+            assert!(seen.insert(nca), "duplicate NCA {nca}");
+            let label = x.node_label(nca).unwrap();
+            assert!(label.is_ancestor_of_leaf(&s_label));
+            assert!(label.is_ancestor_of_leaf(&d_label));
+        }
+        assert_eq!(seen.len(), set.len());
+    }
+
+    #[test]
+    fn route_digits_reach_the_same_nca() {
+        let x = Xgft::new(XgftSpec::new(vec![4, 4, 4], vec![1, 2, 3]).unwrap()).unwrap();
+        let (s, d) = (3usize, 60usize);
+        let set = x.ncas(s, d).unwrap();
+        for i in 0..set.len() {
+            let ports = set.route_digits(i).unwrap();
+            let route = crate::route::Route::new(ports);
+            let via_route = x.nca_of_route(s, &route).unwrap();
+            assert_eq!(via_route, set.nth(i).unwrap());
+        }
+        assert!(set.nth(set.len()).is_none());
+        assert!(set.route_digits(set.len()).is_none());
+    }
+
+    #[test]
+    fn nca_sets_cover_all_roots_in_full_tree() {
+        let x = Xgft::k_ary_n_tree(4, 2);
+        let set = x.ncas(0, 15).unwrap();
+        assert_eq!(set.level(), 2);
+        let roots: std::collections::HashSet<usize> = set.iter().map(|n| n.index).collect();
+        assert_eq!(roots.len(), 4);
+        assert_eq!(roots, (0..4).collect());
+    }
+}

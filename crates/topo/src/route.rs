@@ -1,0 +1,105 @@
+//! Routes and expanded paths.
+//!
+//! A minimal route in an XGFT is an ascent from the source leaf to one of the
+//! pair's Nearest Common Ancestors followed by the unique descent to the
+//! destination leaf. The ascent is fully described by the sequence of
+//! up-ports taken at levels `0, 1, …, l_NCA − 1`; these are exactly the
+//! `W_1 … W_{l_NCA}` digits of the chosen NCA. The descent needs no choices:
+//! at every level the only child leading towards the destination is selected.
+
+use crate::channel::ChannelId;
+use crate::topology::NodeRef;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An oblivious route: the up-port chosen at each level of the ascent.
+///
+/// `up_ports[l]` is the port taken when moving from level `l` to level
+/// `l + 1`; it must be `< w_{l+1}`. The length of the vector is the NCA level
+/// of the (source, destination) pair the route is intended for.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Route {
+    up_ports: Vec<usize>,
+}
+
+impl Route {
+    /// Create a route from its up-port sequence.
+    pub fn new(up_ports: Vec<usize>) -> Self {
+        Route { up_ports }
+    }
+
+    /// The empty route (source == destination or intra-node traffic).
+    pub fn empty() -> Self {
+        Route { up_ports: vec![] }
+    }
+
+    /// The up-port chosen when moving from `level` to `level + 1`.
+    pub fn up_port(&self, level: usize) -> usize {
+        self.up_ports[level]
+    }
+
+    /// The up-port sequence (equivalently, the W digits of the chosen NCA).
+    pub fn up_ports(&self) -> &[usize] {
+        &self.up_ports
+    }
+
+    /// The level of the NCA this route climbs to.
+    pub fn nca_level(&self) -> usize {
+        self.up_ports.len()
+    }
+
+    /// True if the route never leaves the source (s == d case).
+    pub fn is_empty(&self) -> bool {
+        self.up_ports.is_empty()
+    }
+}
+
+impl fmt::Display for Route {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ports: Vec<String> = self.up_ports.iter().map(|p| p.to_string()).collect();
+        write!(f, "<{}>", ports.join(","))
+    }
+}
+
+/// One hop of an expanded path: the traversed directed channel together with
+/// the nodes it connects.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Hop {
+    /// Node the hop leaves from.
+    pub from: NodeRef,
+    /// Node the hop arrives at.
+    pub to: NodeRef,
+    /// The directed channel traversed.
+    pub channel: ChannelId,
+}
+
+impl fmt::Display for Hop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {} via {}", self.from, self.to, self.channel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_accessors() {
+        let r = Route::new(vec![0, 5, 2]);
+        assert_eq!(r.nca_level(), 3);
+        assert_eq!(r.up_port(0), 0);
+        assert_eq!(r.up_port(1), 5);
+        assert_eq!(r.up_port(2), 2);
+        assert_eq!(r.up_ports(), &[0, 5, 2]);
+        assert!(!r.is_empty());
+        assert_eq!(r.to_string(), "<0,5,2>");
+    }
+
+    #[test]
+    fn empty_route() {
+        let r = Route::empty();
+        assert!(r.is_empty());
+        assert_eq!(r.nca_level(), 0);
+        assert_eq!(r.to_string(), "<>");
+    }
+}

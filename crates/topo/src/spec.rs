@@ -1,0 +1,385 @@
+//! XGFT specifications: the `(h; m_1..m_h; w_1..w_h)` parameter vectors.
+
+use crate::error::TopologyError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The parameters of an `XGFT(h; m_1..m_h; w_1..w_h)`.
+///
+/// * `h` — height of the tree; leaves live at level 0, roots at level `h`.
+/// * `m_i` — number of children of every non-leaf node at level `i`
+///   (1-based, `1 ≤ i ≤ h`).
+/// * `w_i` — number of parents of every non-root node at level `i − 1`
+///   (1-based, `1 ≤ i ≤ h`), i.e. the number of "colors" of level-`i`
+///   switches reachable from below.
+///
+/// A k-ary n-tree is `XGFT(n; k,…,k; 1,k,…,k)`; a *slimmed* k-ary n-tree has
+/// some `w_i < k` for `i ≥ 2`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct XgftSpec {
+    m: Vec<usize>,
+    w: Vec<usize>,
+}
+
+impl XgftSpec {
+    /// Create a specification from the `m` and `w` vectors (both of length
+    /// `h`, the height). Parameters are validated: both vectors must be
+    /// non-empty, of equal length, and strictly positive.
+    pub fn new(m: Vec<usize>, w: Vec<usize>) -> Result<Self, TopologyError> {
+        if m.is_empty() || w.is_empty() {
+            return Err(TopologyError::EmptySpec);
+        }
+        if m.len() != w.len() {
+            return Err(TopologyError::BadParentArity {
+                expected: m.len(),
+                got: w.len(),
+            });
+        }
+        for (i, &mi) in m.iter().enumerate() {
+            if mi == 0 {
+                return Err(TopologyError::ZeroParameter { level: i + 1 });
+            }
+        }
+        for (i, &wi) in w.iter().enumerate() {
+            if wi == 0 {
+                return Err(TopologyError::ZeroParameter { level: i + 1 });
+            }
+        }
+        Ok(XgftSpec { m, w })
+    }
+
+    /// The canonical k-ary n-tree: `XGFT(n; k,…,k; 1,k,…,k)`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `n == 0`.
+    pub fn k_ary_n_tree(k: usize, n: usize) -> Self {
+        assert!(k > 0 && n > 0, "k-ary n-tree requires k >= 1 and n >= 1");
+        let m = vec![k; n];
+        let mut w = vec![k; n];
+        w[0] = 1;
+        XgftSpec { m, w }
+    }
+
+    /// A slimmed two-level tree built from `radix`-port switches:
+    /// `XGFT(2; k, k; 1, w2)` — the family swept in Figures 2 and 5 of the
+    /// paper (`k = 16`, `w2 = 16 … 1`).
+    pub fn slimmed_two_level(k: usize, w2: usize) -> Result<Self, TopologyError> {
+        XgftSpec::new(vec![k, k], vec![1, w2])
+    }
+
+    /// A slimmed k-ary n-tree where level `i ≥ 2` keeps only `w[i]` parents.
+    /// `w_overrides` supplies `w_2 … w_n`; missing entries default to `k`.
+    pub fn slimmed_k_ary_n_tree(
+        k: usize,
+        n: usize,
+        w_overrides: &[usize],
+    ) -> Result<Self, TopologyError> {
+        if n == 0 || k == 0 {
+            return Err(TopologyError::EmptySpec);
+        }
+        let m = vec![k; n];
+        let mut w = vec![k; n];
+        w[0] = 1;
+        for (i, &ov) in w_overrides.iter().enumerate() {
+            let level = i + 2;
+            if level > n {
+                break;
+            }
+            if ov == 0 {
+                return Err(TopologyError::ZeroParameter { level });
+            }
+            if ov > k {
+                return Err(TopologyError::NotSlimmed { level });
+            }
+            w[level - 1] = ov;
+        }
+        XgftSpec::new(m, w)
+    }
+
+    /// An `m`-ary complete tree: `XGFT(h; m,…,m; 1,…,1)` (single path to a
+    /// single root subtree at every level).
+    pub fn complete_tree(m: usize, h: usize) -> Result<Self, TopologyError> {
+        XgftSpec::new(vec![m; h], vec![1; h])
+    }
+
+    /// Height `h` of the tree (number of switch levels).
+    pub fn height(&self) -> usize {
+        self.m.len()
+    }
+
+    /// `m_i`, the number of children of a node at level `i` (1-based).
+    ///
+    /// # Panics
+    /// Panics if `i` is 0 or exceeds the height.
+    pub fn m(&self, i: usize) -> usize {
+        assert!(i >= 1 && i <= self.height(), "m index {i} out of range");
+        self.m[i - 1]
+    }
+
+    /// `w_i`, the number of parents of a node at level `i − 1` (1-based).
+    ///
+    /// # Panics
+    /// Panics if `i` is 0 or exceeds the height.
+    pub fn w(&self, i: usize) -> usize {
+        assert!(i >= 1 && i <= self.height(), "w index {i} out of range");
+        self.w[i - 1]
+    }
+
+    /// The full `m` vector (`m_1 … m_h`).
+    pub fn m_vec(&self) -> &[usize] {
+        &self.m
+    }
+
+    /// The full `w` vector (`w_1 … w_h`).
+    pub fn w_vec(&self) -> &[usize] {
+        &self.w
+    }
+
+    /// Number of leaf (processing) nodes, `N = Π_{i=1}^{h} m_i`.
+    pub fn num_leaves(&self) -> usize {
+        self.m.iter().product()
+    }
+
+    /// Number of nodes at level `l` (0-based level, `0 ≤ l ≤ h`):
+    /// `N_l = Π_{j=l+1}^{h} m_j · Π_{j=1}^{l} w_j`.
+    pub fn nodes_at_level(&self, l: usize) -> usize {
+        assert!(l <= self.height(), "level {l} out of range");
+        let above: usize = self.m[l..].iter().product();
+        let below: usize = self.w[..l].iter().product();
+        above * below
+    }
+
+    /// Total number of inner (switch) nodes, Eq. (1) of the paper:
+    /// `I = Σ_{i=1}^{h} ( Π_{j=i+1}^{h} m_j · Π_{j=1}^{i} w_j )`.
+    pub fn inner_switches(&self) -> usize {
+        (1..=self.height()).map(|i| self.nodes_at_level(i)).sum()
+    }
+
+    /// Number of up-links leaving level `l` (towards level `l+1`):
+    /// `N_l · w_{l+1}`. Returns 0 for the root level.
+    pub fn up_links_at_level(&self, l: usize) -> usize {
+        assert!(l <= self.height(), "level {l} out of range");
+        if l == self.height() {
+            0
+        } else {
+            self.nodes_at_level(l) * self.w(l + 1)
+        }
+    }
+
+    /// Number of down-links leaving level `l` (towards level `l−1`):
+    /// `N_l · m_l`. Returns 0 for the leaf level. By construction this equals
+    /// [`XgftSpec::up_links_at_level`]`(l-1)`.
+    pub fn down_links_at_level(&self, l: usize) -> usize {
+        assert!(l <= self.height(), "level {l} out of range");
+        if l == 0 {
+            0
+        } else {
+            self.nodes_at_level(l) * self.m(l)
+        }
+    }
+
+    /// Total number of bidirectional cables in the network
+    /// (= Σ_l up_links(l)).
+    pub fn total_cables(&self) -> usize {
+        (0..self.height()).map(|l| self.up_links_at_level(l)).sum()
+    }
+
+    /// Number of distinct NCAs available to a pair whose nearest common
+    /// ancestors live at `level`: `Π_{j=1}^{level} w_j`.
+    pub fn ncas_at_level(&self, level: usize) -> usize {
+        assert!(level <= self.height(), "level {level} out of range");
+        self.w[..level].iter().product()
+    }
+
+    /// True if this spec is a (possibly slimmed) k-ary n-tree: all `m_i`
+    /// equal, `w_1 = 1`.
+    pub fn is_k_ary_like(&self) -> bool {
+        self.w[0] == 1 && self.m.iter().all(|&mi| mi == self.m[0])
+    }
+
+    /// True if this spec is a *full* k-ary n-tree (no slimming).
+    pub fn is_full_k_ary_n_tree(&self) -> bool {
+        self.is_k_ary_like() && self.w[1..].iter().zip(&self.m[1..]).all(|(&wi, &mi)| wi == mi)
+    }
+
+    /// True if some level has fewer parents than the full tree would
+    /// (`w_i < m_i` for some `i ≥ 2`), i.e. the network is blocking.
+    pub fn is_slimmed(&self) -> bool {
+        self.w
+            .iter()
+            .zip(&self.m)
+            .skip(1)
+            .any(|(&wi, &mi)| wi < mi)
+    }
+
+    /// Bisection-style capacity ratio at the top level: the ratio between the
+    /// number of links entering level `h` and the number of leaves. For a
+    /// full k-ary n-tree this is 1.0 (full bisection bandwidth); slimming
+    /// reduces it proportionally.
+    pub fn top_level_capacity_ratio(&self) -> f64 {
+        let h = self.height();
+        self.down_links_at_level(h) as f64 / self.num_leaves() as f64
+    }
+}
+
+impl fmt::Display for XgftSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ms: Vec<String> = self.m.iter().map(|x| x.to_string()).collect();
+        let ws: Vec<String> = self.w.iter().map(|x| x.to_string()).collect();
+        write!(
+            f,
+            "XGFT({};{};{})",
+            self.height(),
+            ms.join(","),
+            ws.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_ary_n_tree_parameters() {
+        let s = XgftSpec::k_ary_n_tree(4, 3);
+        assert_eq!(s.height(), 3);
+        assert_eq!(s.num_leaves(), 64);
+        assert_eq!(s.m_vec(), &[4, 4, 4]);
+        assert_eq!(s.w_vec(), &[1, 4, 4]);
+        assert!(s.is_k_ary_like());
+        assert!(s.is_full_k_ary_n_tree());
+        assert!(!s.is_slimmed());
+    }
+
+    #[test]
+    fn k_ary_n_tree_switch_count_matches_closed_form() {
+        // A k-ary n-tree has n * k^(n-1) switches.
+        for k in 2..=5 {
+            for n in 1..=4 {
+                let s = XgftSpec::k_ary_n_tree(k, n);
+                assert_eq!(
+                    s.inner_switches(),
+                    n * k.pow(n as u32 - 1),
+                    "k={k}, n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eq1_examples_from_paper_family() {
+        // XGFT(2;16,16;1,w2) has 16 level-1 switches and w2 level-2 switches.
+        for w2 in 1..=16 {
+            let s = XgftSpec::slimmed_two_level(16, w2).unwrap();
+            assert_eq!(s.nodes_at_level(1), 16);
+            assert_eq!(s.nodes_at_level(2), w2);
+            assert_eq!(s.inner_switches(), 16 + w2);
+            assert_eq!(s.num_leaves(), 256);
+        }
+    }
+
+    #[test]
+    fn nodes_per_level_match_table_i() {
+        let s = XgftSpec::new(vec![4, 4, 4], vec![1, 2, 2]).unwrap();
+        // Level 0: m1*m2*m3 = 64 leaves.
+        assert_eq!(s.nodes_at_level(0), 64);
+        // Level 1: m2*m3*w1 = 16.
+        assert_eq!(s.nodes_at_level(1), 16);
+        // Level 2: m3*w1*w2 = 8.
+        assert_eq!(s.nodes_at_level(2), 8);
+        // Level 3 (roots): w1*w2*w3 = 4.
+        assert_eq!(s.nodes_at_level(3), 4);
+        assert_eq!(s.inner_switches(), 16 + 8 + 4);
+    }
+
+    #[test]
+    fn link_counts_are_consistent_between_levels() {
+        let s = XgftSpec::new(vec![4, 3, 2], vec![1, 2, 3]).unwrap();
+        for l in 1..=s.height() {
+            assert_eq!(
+                s.down_links_at_level(l),
+                s.up_links_at_level(l - 1),
+                "level {l}"
+            );
+        }
+        assert_eq!(s.up_links_at_level(s.height()), 0);
+        assert_eq!(s.down_links_at_level(0), 0);
+    }
+
+    #[test]
+    fn slimmed_two_level_detection() {
+        let full = XgftSpec::slimmed_two_level(16, 16).unwrap();
+        assert!(!full.is_slimmed());
+        assert!(full.is_full_k_ary_n_tree());
+        let slim = XgftSpec::slimmed_two_level(16, 9).unwrap();
+        assert!(slim.is_slimmed());
+        assert!(!slim.is_full_k_ary_n_tree());
+        assert!(slim.is_k_ary_like());
+    }
+
+    #[test]
+    fn slimmed_k_ary_n_tree_overrides() {
+        let s = XgftSpec::slimmed_k_ary_n_tree(4, 3, &[2, 3]).unwrap();
+        assert_eq!(s.w_vec(), &[1, 2, 3]);
+        assert!(s.is_slimmed());
+        assert!(XgftSpec::slimmed_k_ary_n_tree(4, 3, &[5]).is_err());
+        assert!(XgftSpec::slimmed_k_ary_n_tree(4, 3, &[0]).is_err());
+    }
+
+    #[test]
+    fn ncas_at_level_counts() {
+        let s = XgftSpec::slimmed_two_level(16, 10).unwrap();
+        assert_eq!(s.ncas_at_level(0), 1);
+        assert_eq!(s.ncas_at_level(1), 1);
+        assert_eq!(s.ncas_at_level(2), 10);
+        let k = XgftSpec::k_ary_n_tree(4, 3);
+        assert_eq!(k.ncas_at_level(3), 16);
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        assert_eq!(
+            XgftSpec::new(vec![], vec![]),
+            Err(TopologyError::EmptySpec)
+        );
+        assert!(XgftSpec::new(vec![2, 2], vec![1]).is_err());
+        assert_eq!(
+            XgftSpec::new(vec![2, 0], vec![1, 2]),
+            Err(TopologyError::ZeroParameter { level: 2 })
+        );
+        assert_eq!(
+            XgftSpec::new(vec![2, 2], vec![0, 2]),
+            Err(TopologyError::ZeroParameter { level: 1 })
+        );
+    }
+
+    #[test]
+    fn capacity_ratio_reflects_slimming() {
+        let full = XgftSpec::slimmed_two_level(16, 16).unwrap();
+        assert!((full.top_level_capacity_ratio() - 1.0).abs() < 1e-12);
+        let half = XgftSpec::slimmed_two_level(16, 8).unwrap();
+        assert!((half.top_level_capacity_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complete_tree_has_single_root() {
+        let s = XgftSpec::complete_tree(4, 3).unwrap();
+        assert_eq!(s.nodes_at_level(3), 1);
+        assert_eq!(s.num_leaves(), 64);
+        assert_eq!(s.inner_switches(), 16 + 4 + 1);
+    }
+
+    #[test]
+    fn display_is_round_trippable_by_eye() {
+        let s = XgftSpec::new(vec![16, 16], vec![1, 10]).unwrap();
+        assert_eq!(s.to_string(), "XGFT(2;16,16;1,10)");
+    }
+
+    #[test]
+    fn total_cables_counts_every_level() {
+        let s = XgftSpec::k_ary_n_tree(2, 2); // 4 leaves, 2+2 switches
+        // Level 0 up-links: 4*1 = 4; level 1 up-links: 2*2 = 4.
+        assert_eq!(s.total_cables(), 8);
+    }
+}

@@ -1,0 +1,47 @@
+//! # xgft-tracesim — trace-driven MPI replay coupled to the network simulator
+//!
+//! This crate plays the role of **Dimemas** in the paper's evaluation
+//! framework (Sec. VI-B): an MPI replay engine driven by a per-rank event
+//! program (computation, sends, receives, barriers) that reconstructs the
+//! temporal behaviour of an application, relying on the network simulator
+//! (`xgft-netsim`, our Venus) for the detailed timing of every message.
+//!
+//! The paper replays post-mortem traces of real WRF-256 and CG.D-128 runs.
+//! Those traces are not available, so [`workloads`] generates synthetic
+//! traces that reproduce the communication structure the paper documents for
+//! each application (see DESIGN.md §6); any [`xgft_patterns::Pattern`] can
+//! be turned into a trace with [`workloads::trace_from_pattern`].
+//!
+//! ```
+//! use xgft_tracesim::{workloads, ReplayEngine, RoutedNetwork};
+//! use xgft_netsim::{NetworkConfig, NetworkSim, CrossbarSim};
+//! use xgft_core::{DModK, RouteTable};
+//! use xgft_topo::{Xgft, XgftSpec};
+//!
+//! // A small WRF-like exchange on a 4-ary 2-tree.
+//! let trace = workloads::wrf_trace(4, 4, 8 * 1024);
+//! let xgft = Xgft::new(XgftSpec::k_ary_n_tree(4, 2)).unwrap();
+//! let table = RouteTable::build(&xgft, &DModK::new(), trace.communication_pairs());
+//! let net = RoutedNetwork::new(NetworkSim::new(&xgft, NetworkConfig::default()), table);
+//! let result = ReplayEngine::new(trace.clone()).run(net).unwrap();
+//!
+//! // The ideal single-stage crossbar reference.
+//! let reference = ReplayEngine::new(trace)
+//!     .run(CrossbarSim::new(16, NetworkConfig::default()))
+//!     .unwrap();
+//! assert!(result.completion_ps >= reference.completion_ps);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod mapping;
+pub mod network;
+pub mod replay;
+pub mod trace;
+pub mod workloads;
+
+pub use mapping::{MappedNetwork, Mapping};
+pub use network::{Network, RoutedNetwork};
+pub use replay::{ReplayEngine, ReplayError, ReplayResult};
+pub use trace::{RankEvent, Trace};

@@ -1,0 +1,152 @@
+//! The network abstraction the replay engine drives.
+//!
+//! The replay engine only needs three operations from a network: schedule a
+//! message, advance to the next delivery, and report the current time. Both
+//! the routed XGFT simulator and the Full-Crossbar reference implement the
+//! [`Network`] trait, so a trace can be replayed on either with the same
+//! code path — exactly the Dimemas/Venus coupling of the paper.
+
+use xgft_core::RouteTable;
+use xgft_netsim::sim::Completion;
+use xgft_netsim::{CrossbarSim, MessageId, NetworkSim, SimReport};
+use xgft_topo::Route;
+
+/// What the replay engine needs from a network model.
+pub trait Network {
+    /// Schedule a message for injection at `at_ps`.
+    fn schedule_message(&mut self, at_ps: u64, src: usize, dst: usize, bytes: u64) -> MessageId;
+    /// Advance the network to the next message delivery.
+    fn run_until_next_completion(&mut self) -> Option<Completion>;
+    /// Current network time (ps).
+    fn now_ps(&self) -> u64;
+    /// Final report of everything delivered so far.
+    fn report(&self) -> SimReport;
+    /// A short label for result tables (e.g. the routing algorithm name).
+    fn label(&self) -> String;
+}
+
+/// An XGFT network simulator paired with a route table: messages look up
+/// their route at injection time.
+#[derive(Debug)]
+pub struct RoutedNetwork {
+    sim: NetworkSim,
+    table: RouteTable,
+}
+
+impl RoutedNetwork {
+    /// Pair a simulator with the route table to use for its messages.
+    pub fn new(sim: NetworkSim, table: RouteTable) -> Self {
+        RoutedNetwork { sim, table }
+    }
+
+    /// The underlying simulator.
+    pub fn sim(&self) -> &NetworkSim {
+        &self.sim
+    }
+
+    /// The route table in use.
+    pub fn table(&self) -> &RouteTable {
+        &self.table
+    }
+}
+
+impl Network for RoutedNetwork {
+    fn schedule_message(&mut self, at_ps: u64, src: usize, dst: usize, bytes: u64) -> MessageId {
+        let route = if src == dst {
+            Route::empty()
+        } else {
+            self.table
+                .route(src, dst)
+                .cloned()
+                .unwrap_or_else(|| panic!("no route for pair ({src}, {dst}) in the route table"))
+        };
+        self.sim.schedule_message(at_ps, src, dst, bytes, route)
+    }
+
+    fn run_until_next_completion(&mut self) -> Option<Completion> {
+        self.sim.run_until_next_completion()
+    }
+
+    fn now_ps(&self) -> u64 {
+        self.sim.now_ps()
+    }
+
+    fn report(&self) -> SimReport {
+        self.sim.report()
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "{} on {}",
+            self.table.algorithm(),
+            self.sim.xgft().spec()
+        )
+    }
+}
+
+impl Network for CrossbarSim {
+    fn schedule_message(&mut self, at_ps: u64, src: usize, dst: usize, bytes: u64) -> MessageId {
+        CrossbarSim::schedule_message(self, at_ps, src, dst, bytes)
+    }
+
+    fn run_until_next_completion(&mut self) -> Option<Completion> {
+        CrossbarSim::run_until_next_completion(self)
+    }
+
+    fn now_ps(&self) -> u64 {
+        CrossbarSim::now_ps(self)
+    }
+
+    fn report(&self) -> SimReport {
+        self.inner().report()
+    }
+
+    fn label(&self) -> String {
+        "full-crossbar".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xgft_core::{DModK, RouteTable};
+    use xgft_netsim::NetworkConfig;
+    use xgft_topo::{Xgft, XgftSpec};
+
+    #[test]
+    fn routed_network_uses_table_routes() {
+        let xgft = Xgft::new(XgftSpec::k_ary_n_tree(4, 2)).unwrap();
+        let table = RouteTable::build_all_pairs(&xgft, &DModK::new());
+        let mut net = RoutedNetwork::new(NetworkSim::new(&xgft, NetworkConfig::default()), table);
+        net.schedule_message(0, 0, 9, 4096);
+        net.schedule_message(0, 3, 3, 4096); // self message needs no route
+        let mut count = 0;
+        while net.run_until_next_completion().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 2);
+        assert!(net.label().contains("d-mod-k"));
+        assert_eq!(net.report().completed_messages, 2);
+        assert_eq!(net.table().algorithm(), "d-mod-k");
+        assert!(net.sim().num_messages() == 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no route for pair")]
+    fn missing_route_panics() {
+        let xgft = Xgft::new(XgftSpec::k_ary_n_tree(4, 2)).unwrap();
+        let table = RouteTable::build(&xgft, &DModK::new(), vec![(0, 1)]);
+        let mut net = RoutedNetwork::new(NetworkSim::new(&xgft, NetworkConfig::default()), table);
+        net.schedule_message(0, 2, 9, 4096);
+    }
+
+    #[test]
+    fn crossbar_implements_network() {
+        let mut net = CrossbarSim::new(8, NetworkConfig::default());
+        Network::schedule_message(&mut net, 0, 0, 1, 2048);
+        assert_eq!(Network::label(&net), "full-crossbar");
+        let c = Network::run_until_next_completion(&mut net).unwrap();
+        assert_eq!(c.dst, 1);
+        assert_eq!(Network::report(&net).completed_messages, 1);
+    }
+}

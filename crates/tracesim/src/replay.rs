@@ -1,0 +1,405 @@
+//! The replay engine: causal reconstruction of a trace on a network model.
+//!
+//! Every rank executes its program against a local clock. `Compute` advances
+//! the clock, `Send` posts a message into the network at the current clock,
+//! `Recv` blocks until the matching message has been delivered (the rank's
+//! clock then jumps to the delivery time), and `Barrier` synchronises all
+//! ranks to the latest arrival. The engine alternates between (a) running
+//! every unblocked rank as far as it can go and (b) advancing the network to
+//! its next delivery — the co-simulation structure of Dimemas + Venus.
+
+use crate::network::Network;
+use crate::trace::{RankEvent, Trace};
+use std::collections::{HashMap, VecDeque};
+use xgft_netsim::SimReport;
+
+/// Errors the replay can encounter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The trace failed validation before the replay started.
+    InvalidTrace(String),
+    /// Every rank is blocked but the network has nothing left to deliver.
+    Deadlock {
+        /// Ranks that were still blocked.
+        blocked_ranks: Vec<usize>,
+    },
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::InvalidTrace(msg) => write!(f, "invalid trace: {msg}"),
+            ReplayError::Deadlock { blocked_ranks } => {
+                write!(f, "replay deadlocked with ranks {blocked_ranks:?} blocked")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// The outcome of a replay.
+#[derive(Debug, Clone)]
+pub struct ReplayResult {
+    /// Label of the network the trace ran on.
+    pub network: String,
+    /// Name of the trace.
+    pub trace: String,
+    /// Application completion time: the latest rank finish time (ps).
+    pub completion_ps: u64,
+    /// Finish time of every rank (ps).
+    pub rank_finish_ps: Vec<u64>,
+    /// The network-level report (per-message records, utilization, events).
+    pub network_report: SimReport,
+}
+
+impl ReplayResult {
+    /// Completion time in milliseconds.
+    pub fn completion_ms(&self) -> f64 {
+        self.completion_ps as f64 / 1e9
+    }
+}
+
+/// Per-rank execution state.
+#[derive(Debug)]
+struct RankState {
+    clock_ps: u64,
+    pc: usize,
+    blocked_on: Option<(usize, u32)>,
+    at_barrier: bool,
+    finished: bool,
+}
+
+/// The replay engine for one trace.
+#[derive(Debug)]
+pub struct ReplayEngine {
+    trace: Trace,
+}
+
+impl ReplayEngine {
+    /// Create an engine for a trace.
+    pub fn new(trace: Trace) -> Self {
+        ReplayEngine { trace }
+    }
+
+    /// The trace this engine replays.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Replay the trace on `network` and return the timing result.
+    pub fn run<N: Network>(&self, mut network: N) -> Result<ReplayResult, ReplayError> {
+        self.trace
+            .validate()
+            .map_err(ReplayError::InvalidTrace)?;
+        let n = self.trace.num_ranks();
+        let mut ranks: Vec<RankState> = (0..n)
+            .map(|_| RankState {
+                clock_ps: 0,
+                pc: 0,
+                blocked_on: None,
+                at_barrier: false,
+                finished: false,
+            })
+            .collect();
+
+        // Delivered messages not yet consumed by a Recv, keyed by
+        // (src, dst, tag) -> completion times in delivery order.
+        let mut delivered: HashMap<(usize, usize, u32), VecDeque<u64>> = HashMap::new();
+        // Messages in flight, keyed by MessageId -> (src, dst, tag).
+        let mut in_flight: HashMap<u64, (usize, usize, u32)> = HashMap::new();
+
+        loop {
+            // Phase 1: run every unblocked rank as far as possible.
+            let mut progressed = true;
+            while progressed {
+                progressed = false;
+                for rank in 0..n {
+                    progressed |= Self::progress_rank(
+                        &self.trace,
+                        rank,
+                        &mut ranks,
+                        &mut delivered,
+                        &mut in_flight,
+                        &mut network,
+                    );
+                }
+                // Barrier resolution: if every unfinished rank sits at a
+                // barrier, release them all at the latest arrival time.
+                let unfinished: Vec<usize> =
+                    (0..n).filter(|&r| !ranks[r].finished).collect();
+                if !unfinished.is_empty() && unfinished.iter().all(|&r| ranks[r].at_barrier) {
+                    let release = unfinished
+                        .iter()
+                        .map(|&r| ranks[r].clock_ps)
+                        .max()
+                        .unwrap_or(0);
+                    for &r in &unfinished {
+                        ranks[r].clock_ps = release;
+                        ranks[r].at_barrier = false;
+                        ranks[r].pc += 1;
+                    }
+                    progressed = true;
+                }
+            }
+
+            if ranks.iter().all(|r| r.finished) {
+                break;
+            }
+
+            // Phase 2: advance the network to the next delivery.
+            match network.run_until_next_completion() {
+                Some(completion) => {
+                    let key = in_flight
+                        .remove(&completion.id.0)
+                        .expect("completion for an unknown message");
+                    delivered
+                        .entry(key)
+                        .or_default()
+                        .push_back(completion.completed_at_ps);
+                }
+                None => {
+                    let blocked_ranks: Vec<usize> = (0..n)
+                        .filter(|&r| !ranks[r].finished)
+                        .collect();
+                    return Err(ReplayError::Deadlock { blocked_ranks });
+                }
+            }
+        }
+
+        let rank_finish_ps: Vec<u64> = ranks.iter().map(|r| r.clock_ps).collect();
+        let completion_ps = rank_finish_ps.iter().copied().max().unwrap_or(0);
+        Ok(ReplayResult {
+            network: network.label(),
+            trace: self.trace.name().to_string(),
+            completion_ps,
+            rank_finish_ps,
+            network_report: network.report(),
+        })
+    }
+
+    /// Run one rank until it blocks or finishes. Returns true if it made any
+    /// progress.
+    fn progress_rank<N: Network>(
+        trace: &Trace,
+        rank: usize,
+        ranks: &mut [RankState],
+        delivered: &mut HashMap<(usize, usize, u32), VecDeque<u64>>,
+        in_flight: &mut HashMap<u64, (usize, usize, u32)>,
+        network: &mut N,
+    ) -> bool {
+        let program = trace.program(rank);
+        let mut progressed = false;
+        loop {
+            let state = &mut ranks[rank];
+            if state.finished || state.at_barrier {
+                return progressed;
+            }
+            if state.pc >= program.len() {
+                state.finished = true;
+                return progressed;
+            }
+            match program[state.pc] {
+                RankEvent::Compute { duration_ps } => {
+                    state.clock_ps += duration_ps;
+                    state.pc += 1;
+                    progressed = true;
+                }
+                RankEvent::Send { dst, bytes, tag } => {
+                    // Injection cannot happen before the network's current
+                    // time (the rank may be "ahead" only in virtual terms).
+                    let at = state.clock_ps.max(network.now_ps());
+                    let id = network.schedule_message(at, rank, dst, bytes);
+                    in_flight.insert(id.0, (rank, dst, tag));
+                    state.pc += 1;
+                    progressed = true;
+                }
+                RankEvent::Recv { src, tag } => {
+                    let key = (src, rank, tag);
+                    let available = delivered.get_mut(&key).and_then(|q| q.pop_front());
+                    match available {
+                        Some(time) => {
+                            state.clock_ps = state.clock_ps.max(time);
+                            state.blocked_on = None;
+                            state.pc += 1;
+                            progressed = true;
+                        }
+                        None => {
+                            state.blocked_on = Some((src, tag));
+                            return progressed;
+                        }
+                    }
+                }
+                RankEvent::Barrier => {
+                    state.at_barrier = true;
+                    return true;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::RoutedNetwork;
+    use xgft_core::{DModK, RouteTable};
+    use xgft_netsim::{CrossbarSim, NetworkConfig, NetworkSim};
+    use xgft_topo::{Xgft, XgftSpec};
+
+    fn routed(xgft: &Xgft) -> RoutedNetwork {
+        let table = RouteTable::build_all_pairs(xgft, &DModK::new());
+        RoutedNetwork::new(NetworkSim::new(xgft, NetworkConfig::default()), table)
+    }
+
+    #[test]
+    fn ping_pong_orders_events_causally() {
+        // Rank 0 sends, rank 1 receives then replies, rank 0 receives.
+        let trace = Trace::new(
+            "ping-pong",
+            vec![
+                vec![
+                    RankEvent::Send {
+                        dst: 1,
+                        bytes: 4096,
+                        tag: 0,
+                    },
+                    RankEvent::Recv { src: 1, tag: 1 },
+                ],
+                vec![
+                    RankEvent::Recv { src: 0, tag: 0 },
+                    RankEvent::Send {
+                        dst: 0,
+                        bytes: 4096,
+                        tag: 1,
+                    },
+                ],
+            ],
+        );
+        let xgft = Xgft::new(XgftSpec::k_ary_n_tree(4, 2)).unwrap();
+        let result = ReplayEngine::new(trace).run(routed(&xgft)).unwrap();
+        // The reply can only start after the request arrives, so the total
+        // time is at least twice the one-way time of a 4 KB message.
+        let one_way = {
+            let mut sim = NetworkSim::new(&xgft, NetworkConfig::default());
+            sim.schedule_message(0, 0, 1, 4096, xgft_topo::Route::new(vec![0]));
+            sim.run_to_completion().makespan_ps
+        };
+        assert!(result.completion_ps >= 2 * one_way);
+        assert_eq!(result.rank_finish_ps.len(), 16_usize.min(2));
+        assert_eq!(result.network_report.completed_messages, 2);
+    }
+
+    #[test]
+    fn compute_time_delays_injection() {
+        let trace = Trace::new(
+            "compute-then-send",
+            vec![
+                vec![
+                    RankEvent::Compute {
+                        duration_ps: 1_000_000,
+                    },
+                    RankEvent::Send {
+                        dst: 1,
+                        bytes: 1024,
+                        tag: 0,
+                    },
+                ],
+                vec![RankEvent::Recv { src: 0, tag: 0 }],
+            ],
+        );
+        let xgft = Xgft::new(XgftSpec::k_ary_n_tree(2, 2)).unwrap();
+        let result = ReplayEngine::new(trace).run(routed(&xgft)).unwrap();
+        assert!(result.completion_ps > 1_000_000);
+        assert!(result.rank_finish_ps[1] > 1_000_000);
+        assert!(result.completion_ms() > 0.0);
+    }
+
+    #[test]
+    fn barrier_synchronises_ranks() {
+        let trace = Trace::new(
+            "barrier",
+            vec![
+                vec![
+                    RankEvent::Compute {
+                        duration_ps: 5_000_000,
+                    },
+                    RankEvent::Barrier,
+                ],
+                vec![RankEvent::Barrier],
+            ],
+        );
+        let xgft = Xgft::new(XgftSpec::k_ary_n_tree(2, 2)).unwrap();
+        let result = ReplayEngine::new(trace).run(routed(&xgft)).unwrap();
+        assert_eq!(result.completion_ps, 5_000_000);
+        assert_eq!(result.rank_finish_ps[0], result.rank_finish_ps[1]);
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        // A circular wait: both ranks receive before they send. Every Recv
+        // has a matching Send somewhere, so the static validator accepts the
+        // trace, but causally neither message can ever be injected.
+        let trace = Trace::new(
+            "deadlock",
+            vec![
+                vec![
+                    RankEvent::Recv { src: 1, tag: 1 },
+                    RankEvent::Send {
+                        dst: 1,
+                        bytes: 64,
+                        tag: 0,
+                    },
+                ],
+                vec![
+                    RankEvent::Recv { src: 0, tag: 0 },
+                    RankEvent::Send {
+                        dst: 0,
+                        bytes: 64,
+                        tag: 1,
+                    },
+                ],
+            ],
+        );
+        let xgft = Xgft::new(XgftSpec::k_ary_n_tree(2, 2)).unwrap();
+        let err = ReplayEngine::new(trace).run(routed(&xgft)).unwrap_err();
+        match err {
+            ReplayError::Deadlock { blocked_ranks } => {
+                assert!(blocked_ranks.contains(&0) && blocked_ranks.contains(&1));
+            }
+            other => panic!("expected deadlock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn invalid_trace_is_rejected_before_running() {
+        let trace = Trace::new("bad", vec![vec![RankEvent::Recv { src: 0, tag: 0 }]]);
+        let err = ReplayEngine::new(trace)
+            .run(CrossbarSim::new(4, NetworkConfig::default()))
+            .unwrap_err();
+        assert!(matches!(err, ReplayError::InvalidTrace(_)));
+    }
+
+    #[test]
+    fn crossbar_is_never_slower_than_the_tree() {
+        // A fan-in pattern: completion on the ideal crossbar lower-bounds the
+        // slimmed tree.
+        let mut programs = vec![vec![]; 8];
+        for s in 1..8usize {
+            programs[s].push(RankEvent::Send {
+                dst: 0,
+                bytes: 32 * 1024,
+                tag: 0,
+            });
+            programs[0].push(RankEvent::Recv { src: s, tag: 0 });
+        }
+        let trace = Trace::new("fan-in", programs);
+        let xgft = Xgft::new(XgftSpec::new(vec![4, 2], vec![1, 1]).unwrap()).unwrap();
+        let tree_result = ReplayEngine::new(trace.clone()).run(routed(&xgft)).unwrap();
+        let xbar_result = ReplayEngine::new(trace)
+            .run(CrossbarSim::new(8, NetworkConfig::default()))
+            .unwrap();
+        assert!(tree_result.completion_ps >= xbar_result.completion_ps);
+        assert!(xbar_result.completion_ps > 0);
+    }
+}

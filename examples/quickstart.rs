@@ -1,0 +1,68 @@
+//! Quickstart: build an XGFT, route a workload with every oblivious scheme,
+//! simulate it, and print the slowdown relative to the ideal Full-Crossbar.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use xgft_oblivious_routing::analysis::slowdown::{run_on_crossbar, slowdown_of};
+use xgft_oblivious_routing::prelude::*;
+use xgft_oblivious_routing::routing::RandomNcaDown;
+use xgft_oblivious_routing::tracesim::workloads;
+
+fn main() {
+    // The paper's slimmed family: 256 nodes behind 16-port switches, with
+    // only 10 of the 16 possible root switches installed.
+    let spec = XgftSpec::slimmed_two_level(16, 10).expect("valid spec");
+    let xgft = Xgft::new(spec).expect("valid topology");
+    println!(
+        "Topology {}: {} nodes, {} switches, {} cables",
+        xgft.spec(),
+        xgft.num_leaves(),
+        xgft.num_switches(),
+        xgft.spec().total_cables()
+    );
+
+    // A scaled-down WRF-256 workload (64 KB per message keeps this example
+    // fast; pass the full 512 KB for paper-scale numbers).
+    let trace = workloads::wrf_256_trace(64 * 1024);
+    let config = NetworkConfig::default();
+    let crossbar = run_on_crossbar(&trace, &config)
+        .expect("crossbar replay")
+        .completion_ps;
+    println!(
+        "Full-Crossbar reference completes the exchange in {:.3} ms",
+        crossbar as f64 / 1e9
+    );
+
+    let algorithms: Vec<Box<dyn RoutingAlgorithm>> = vec![
+        Box::new(RandomRouting::new(1)),
+        Box::new(SModK::new()),
+        Box::new(DModK::new()),
+        Box::new(RandomNcaDown::new(&xgft, 1)),
+        Box::new(ColoredRouting::new(
+            &xgft,
+            &workloads_pattern(&trace),
+        )),
+    ];
+    println!("{:>10} {:>12} {:>10}", "routing", "time (ms)", "slowdown");
+    for algo in &algorithms {
+        let report = slowdown_of(&trace, &xgft, algo.as_ref(), &config, Some(crossbar))
+            .expect("replay succeeds");
+        println!(
+            "{:>10} {:>12.3} {:>10.3}",
+            report.algorithm,
+            report.completion_ps as f64 / 1e9,
+            report.slowdown
+        );
+    }
+}
+
+/// The connectivity matrix of the trace (what a pattern-aware scheme sees).
+fn workloads_pattern(
+    trace: &Trace,
+) -> xgft_oblivious_routing::patterns::ConnectivityMatrix {
+    let mut m = xgft_oblivious_routing::patterns::ConnectivityMatrix::new(trace.num_ranks());
+    for (s, d) in trace.communication_pairs() {
+        m.add_flow(s, d, 1);
+    }
+    m
+}

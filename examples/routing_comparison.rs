@@ -1,0 +1,56 @@
+//! Routing comparison on the CG.D pathological pattern (Sec. VII-A of the
+//! paper): shows how D-mod-k collapses the fifth CG exchange onto two roots
+//! per switch, how much network contention that creates, and how the
+//! proposed r-NCA-d scheme and a pattern-aware assignment avoid it.
+//!
+//! Run with `cargo run --release --example routing_comparison`.
+
+use xgft_oblivious_routing::patterns::generators;
+use xgft_oblivious_routing::prelude::*;
+use xgft_oblivious_routing::routing::{ContentionReport, RandomNcaDown, RandomNcaUp};
+
+fn main() {
+    let xgft = Xgft::new(XgftSpec::slimmed_two_level(16, 16).expect("spec")).expect("topology");
+    let cg = generators::cg_d_128();
+    let fifth = &cg.phases()[4];
+    let flows: Vec<(usize, usize)> = fifth.network_flows().map(|f| (f.src, f.dst)).collect();
+    println!(
+        "CG.D-128 fifth exchange: {} messages of {} KB on {}",
+        flows.len(),
+        generators::CG_D_PHASE_BYTES / 1024,
+        xgft.spec()
+    );
+
+    let algorithms: Vec<Box<dyn RoutingAlgorithm>> = vec![
+        Box::new(SModK::new()),
+        Box::new(DModK::new()),
+        Box::new(RandomRouting::new(7)),
+        Box::new(RandomNcaUp::new(&xgft, 7)),
+        Box::new(RandomNcaDown::new(&xgft, 7)),
+        Box::new(ColoredRouting::new(&xgft, fifth)),
+    ];
+
+    println!(
+        "{:>10} {:>12} {:>14} {:>14}",
+        "routing", "max flows", "net contention", "used channels"
+    );
+    for algo in &algorithms {
+        let table = RouteTable::build(&xgft, algo.as_ref(), flows.iter().copied());
+        let report = ContentionReport::compute(&xgft, &table, flows.iter().copied());
+        println!(
+            "{:>10} {:>12} {:>14} {:>14}",
+            report.algorithm,
+            report.max_raw_load,
+            report.network_contention,
+            report.used_channels
+        );
+    }
+    println!();
+    println!("Interpretation (matches the paper's analysis of Eq. 2):");
+    println!(" * d-mod-k funnels the eight even / eight odd sources of every switch");
+    println!("   through the same one or two roots -> network contention ~7-8.");
+    println!(" * the balanced random relabeling (r-NCA-d) spreads the same flows over");
+    println!("   many roots while still giving every destination a unique descent.");
+    println!(" * the pattern-aware assignment resolves the permutation with contention 1");
+    println!("   because the full 16-ary 2-tree is rearrangeable.");
+}

@@ -1,0 +1,43 @@
+//! # XGFT Oblivious Routing
+//!
+//! A reproduction of *"Oblivious Routing Schemes in Extended Generalized Fat
+//! Tree Networks"* (Rodríguez et al., IEEE CLUSTER 2009) as a Rust workspace.
+//!
+//! This umbrella crate re-exports the public API of every workspace crate so
+//! that examples, integration tests and downstream users can depend on a
+//! single package:
+//!
+//! * [`topo`] — the XGFT topology substrate (labels, NCAs, routes).
+//! * [`patterns`] — communication patterns and workload generators.
+//! * [`routing`] — the oblivious routing family (the paper's contribution).
+//! * [`netsim`] — the event-driven flit/segment-level network simulator.
+//! * [`tracesim`] — the Dimemas-like trace replay engine and synthetic
+//!   WRF-256 / CG.D-128 workloads.
+//! * [`analysis`] — metrics, statistics and experiment drivers for every
+//!   table and figure in the paper.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` / `EXPERIMENTS.md` for
+//! the reproduction methodology.
+
+pub use xgft_analysis as analysis;
+pub use xgft_core as routing;
+pub use xgft_netsim as netsim;
+pub use xgft_patterns as patterns;
+pub use xgft_topo as topo;
+pub use xgft_tracesim as tracesim;
+
+/// Commonly used items for quick experimentation.
+pub mod prelude {
+    pub use xgft_analysis::slowdown::SlowdownReport;
+    pub use xgft_core::{
+        ColoredRouting, DModK, RandomNcaDown, RandomNcaUp, RandomRouting, RouteTable,
+        RoutingAlgorithm, SModK,
+    };
+    pub use xgft_netsim::{NetworkConfig, SwitchingMode};
+    pub use xgft_patterns::{ConnectivityMatrix, Pattern};
+    pub use xgft_topo::{KAryNTree, NodeLabel, Route, Xgft, XgftSpec};
+    pub use xgft_tracesim::{
+        workloads::{cg_d_trace, wrf_trace},
+        ReplayEngine, Trace,
+    };
+}
