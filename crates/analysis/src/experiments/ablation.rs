@@ -61,13 +61,11 @@ pub fn run(k: usize, w2: usize, seeds: &[u64]) -> AblationResult {
     let mut rows = Vec::new();
 
     // Reference extremes.
-    let dmodk: Vec<f64> = top_level_distribution_all_pairs(
-        &xgft,
-        &RouteTable::build_all_pairs(&xgft, &DModK::new()),
-    )
-    .iter()
-    .map(|&c| c as f64)
-    .collect();
+    let dmodk: Vec<f64> =
+        top_level_distribution_all_pairs(&xgft, &RouteTable::build_all_pairs(&xgft, &DModK::new()))
+            .iter()
+            .map(|&c| c as f64)
+            .collect();
     rows.push(summarise("d-mod-k", &dmodk));
 
     let mut random_samples = Vec::new();
@@ -149,7 +147,10 @@ mod tests {
         let balanced = result.row("r-NCA-d (balanced)").unwrap().imbalance_ratio;
         let unbalanced = result.row("r-NCA-d (unbalanced)").unwrap().imbalance_ratio;
         assert!((dmodk - 2.0).abs() < 1e-9, "mod-k wrap gives exactly 2x");
-        assert!(balanced < dmodk, "balanced {balanced:.2} vs d-mod-k {dmodk:.2}");
+        assert!(
+            balanced < dmodk,
+            "balanced {balanced:.2} vs d-mod-k {dmodk:.2}"
+        );
         assert!(
             balanced < unbalanced,
             "balanced {balanced:.2} must beat unbalanced {unbalanced:.2}"

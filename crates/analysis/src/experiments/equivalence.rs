@@ -96,8 +96,14 @@ impl EquivalenceResult {
             "duality C(S,P) == C(D,P^-1): {}/{} permutations\n",
             self.duality_holds, self.permutations
         ));
-        out.push_str(&format!("S-mod-k contention levels: {}\n", self.s_stats.render()));
-        out.push_str(&format!("D-mod-k contention levels: {}\n", self.d_stats.render()));
+        out.push_str(&format!(
+            "S-mod-k contention levels: {}\n",
+            self.s_stats.render()
+        ));
+        out.push_str(&format!(
+            "D-mod-k contention levels: {}\n",
+            self.d_stats.render()
+        ));
         out
     }
 }

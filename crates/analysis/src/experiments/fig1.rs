@@ -104,11 +104,8 @@ mod tests {
     fn default_examples_cover_all_kinds() {
         let result = run();
         assert!(result.examples.len() >= 5);
-        let kinds: std::collections::HashSet<&str> = result
-            .examples
-            .iter()
-            .map(|e| e.kind.as_str())
-            .collect();
+        let kinds: std::collections::HashSet<&str> =
+            result.examples.iter().map(|e| e.kind.as_str()).collect();
         assert!(kinds.iter().any(|k| k.contains("complete")));
         assert!(kinds.iter().any(|k| k.contains("k-ary")));
         assert!(kinds.iter().any(|k| k.contains("slimmed")));

@@ -129,6 +129,8 @@ mod tests {
     fn scaled_down_variant_keeps_the_shape() {
         let result = run(64, 1024);
         assert_eq!(result.phases.len(), 5);
-        assert!(result.phases[..4].iter().all(|p| p.switch_local == p.messages));
+        assert!(result.phases[..4]
+            .iter()
+            .all(|p| p.switch_local == p.messages));
     }
 }

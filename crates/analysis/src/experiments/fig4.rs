@@ -49,11 +49,17 @@ pub fn run_for(spec: &XgftSpec, seeds: &[u64]) -> Fig4Result {
     for (name, dist) in [
         (
             "s-mod-k",
-            top_level_distribution_all_pairs(&xgft, &RouteTable::build_all_pairs(&xgft, &SModK::new())),
+            top_level_distribution_all_pairs(
+                &xgft,
+                &RouteTable::build_all_pairs(&xgft, &SModK::new()),
+            ),
         ),
         (
             "d-mod-k",
-            top_level_distribution_all_pairs(&xgft, &RouteTable::build_all_pairs(&xgft, &DModK::new())),
+            top_level_distribution_all_pairs(
+                &xgft,
+                &RouteTable::build_all_pairs(&xgft, &DModK::new()),
+            ),
         ),
     ] {
         let per_nca: Vec<f64> = dist.iter().map(|&c| c as f64).collect();
@@ -65,7 +71,8 @@ pub fn run_for(spec: &XgftSpec, seeds: &[u64]) -> Fig4Result {
     }
 
     // Seeded schemes: aggregate over seeds.
-    let seeded: Vec<(&str, Box<dyn Fn(u64) -> RouteTable>)> = vec![
+    type SeededBuilders<'a> = Vec<(&'a str, Box<dyn Fn(u64) -> RouteTable + 'a>)>;
+    let seeded: SeededBuilders = vec![
         (
             "random",
             Box::new(|seed| RouteTable::build_all_pairs(&xgft, &RandomRouting::new(seed))),
@@ -150,7 +157,10 @@ mod tests {
     fn full_vs_slimmed_distributions() {
         let full = run_for(&XgftSpec::slimmed_two_level(8, 8).unwrap(), &[1, 2]);
         let dmodk = full.distribution("d-mod-k").unwrap();
-        assert!(dmodk.spread.iqr() == 0.0, "full tree mod-k must be exactly even");
+        assert!(
+            dmodk.spread.iqr() == 0.0,
+            "full tree mod-k must be exactly even"
+        );
 
         let slim = run_for(&XgftSpec::slimmed_two_level(8, 5).unwrap(), &[1, 2]);
         assert_eq!(slim.num_ncas, 5);

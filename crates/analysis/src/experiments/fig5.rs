@@ -67,8 +67,7 @@ impl Fig5Claims {
         let mut u_beats = true;
         let mut d_beats = true;
         let mut worst_gap: f64 = 1.0;
-        let w2s: std::collections::BTreeSet<usize> =
-            result.points.iter().map(|p| p.w2).collect();
+        let w2s: std::collections::BTreeSet<usize> = result.points.iter().map(|p| p.w2).collect();
         for &w2 in &w2s {
             let random = result.point(w2, "random").map(|p| p.stats.median);
             let u = result.point(w2, "r-NCA-u").map(|p| p.stats.median);

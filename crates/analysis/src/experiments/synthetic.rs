@@ -80,10 +80,17 @@ pub fn run(k: usize, w2: usize, seeds: &[u64]) -> SyntheticResult {
             });
         }
         // Seeded schemes.
-        let seeded: Vec<(&str, Box<dyn Fn(u64) -> Box<dyn RoutingAlgorithm>>)> = vec![
+        type SeededAlgos<'a> = Vec<(&'a str, Box<dyn Fn(u64) -> Box<dyn RoutingAlgorithm> + 'a>)>;
+        let seeded: SeededAlgos = vec![
             ("random", Box::new(|s| Box::new(RandomRouting::new(s)))),
-            ("r-NCA-u", Box::new(|s| Box::new(RandomNcaUp::new(&xgft, s)))),
-            ("r-NCA-d", Box::new(|s| Box::new(RandomNcaDown::new(&xgft, s)))),
+            (
+                "r-NCA-u",
+                Box::new(|s| Box::new(RandomNcaUp::new(&xgft, s))),
+            ),
+            (
+                "r-NCA-d",
+                Box::new(|s| Box::new(RandomNcaDown::new(&xgft, s))),
+            ),
         ];
         for (name, build) in &seeded {
             let samples: Vec<f64> = seeds

@@ -16,8 +16,8 @@
 //! | [`experiments::equivalence`] | Sec. VII-B/C (S-mod-k / D-mod-k duality) |
 //!
 //! The `xgft-bench` crate wraps each driver in a binary so every figure can
-//! be regenerated from the command line; EXPERIMENTS.md records the
-//! paper-vs-measured comparison.
+//! be regenerated from the command line; see the repository `README.md` for
+//! the reproduction workflow.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

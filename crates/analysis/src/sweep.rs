@@ -294,7 +294,11 @@ mod tests {
         assert!(result.crossbar_ps > 0);
 
         let full = result.point(4, "d-mod-k").unwrap();
-        assert!(full.stats.median < 1.1, "full tree d-mod-k {:?}", full.stats);
+        assert!(
+            full.stats.median < 1.1,
+            "full tree d-mod-k {:?}",
+            full.stats
+        );
         let slim = result.point(1, "d-mod-k").unwrap();
         assert!(
             slim.stats.median > 2.0,

@@ -33,9 +33,9 @@ fn sweep_points_cover_every_requested_combination() {
     assert_eq!(result.points.len(), 3 * 4);
     for &w2 in &[8usize, 4, 2] {
         for name in ["d-mod-k", "s-mod-k", "random", "r-NCA-d"] {
-            let point = result.point(w2, name).unwrap_or_else(|| {
-                panic!("missing sweep point for w2={w2}, algorithm {name}")
-            });
+            let point = result
+                .point(w2, name)
+                .unwrap_or_else(|| panic!("missing sweep point for w2={w2}, algorithm {name}"));
             let expected_samples = if name == "random" || name == "r-NCA-d" {
                 3
             } else {

@@ -52,5 +52,10 @@ fn fig4_distribution(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, fig2_single_point, fig5_single_point, fig4_distribution);
+criterion_group!(
+    benches,
+    fig2_single_point,
+    fig5_single_point,
+    fig4_distribution
+);
 criterion_main!(benches);

@@ -24,10 +24,20 @@ fn route_expansion(c: &mut Criterion) {
     let xgft = Xgft::new(XgftSpec::k_ary_n_tree(16, 2)).unwrap();
     let route = Route::new(vec![0, 7]);
     c.bench_function("route_path_expansion", |b| {
-        b.iter(|| black_box(xgft.route_path(black_box(3), black_box(250), &route).unwrap()))
+        b.iter(|| {
+            black_box(
+                xgft.route_path(black_box(3), black_box(250), &route)
+                    .unwrap(),
+            )
+        })
     });
     c.bench_function("route_channels_dense", |b| {
-        b.iter(|| black_box(xgft.route_channels(black_box(3), black_box(250), &route).unwrap()))
+        b.iter(|| {
+            black_box(
+                xgft.route_channels(black_box(3), black_box(250), &route)
+                    .unwrap(),
+            )
+        })
     });
 }
 

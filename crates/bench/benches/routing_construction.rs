@@ -4,8 +4,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use xgft_core::{
-    ColoredRouting, DModK, RandomNcaDown, RandomNcaUp, RandomRouting, RouteTable,
-    RoutingAlgorithm, SModK,
+    ColoredRouting, DModK, RandomNcaDown, RandomNcaUp, RandomRouting, RouteTable, RoutingAlgorithm,
+    SModK,
 };
 use xgft_patterns::generators;
 use xgft_topo::{Xgft, XgftSpec};

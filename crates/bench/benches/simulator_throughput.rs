@@ -64,5 +64,10 @@ fn trace_replay(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, permutation_on_tree, crossbar_reference, trace_replay);
+criterion_group!(
+    benches,
+    permutation_on_tree,
+    crossbar_reference,
+    trace_replay
+);
 criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! Ablation study of the proposed relabeling (DESIGN.md design choices):
+//! Ablation study of the proposed relabeling's design choices:
 //! balanced vs. unbalanced random maps vs. the mod-k and Random extremes,
 //! measured by the spread of routes per NCA on full and slimmed trees.
 
@@ -12,7 +12,10 @@ fn main() {
         let result = ablation::run(16, w2, &seeds);
         println!("{}", result.render());
         if args.json {
-            println!("{}", serde_json::to_string_pretty(&result).expect("serialisable"));
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&result).expect("serialisable")
+            );
         }
     }
 }

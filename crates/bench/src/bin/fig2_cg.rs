@@ -12,6 +12,9 @@ fn main() {
     let result = config.run();
     println!("{}", result.render_table());
     if args.json {
-        println!("{}", serde_json::to_string_pretty(&result).expect("serialisable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&result).expect("serialisable")
+        );
     }
 }

@@ -12,7 +12,10 @@ fn main() {
         let result = fig4::run(w2, &seeds);
         println!("{}", result.render());
         if args.json {
-            println!("{}", serde_json::to_string_pretty(&result).expect("serialisable"));
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&result).expect("serialisable")
+            );
         }
     }
 }

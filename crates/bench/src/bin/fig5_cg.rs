@@ -2,8 +2,8 @@
 //! schemes (boxplots over seeds) against S-mod-k, D-mod-k, Random and the
 //! pattern-aware Colored baseline.
 
-use xgft_analysis::experiments::fig5::{Fig5Claims, Fig5Config};
 use xgft_analysis::experiments::fig2::Workload;
+use xgft_analysis::experiments::fig5::{Fig5Claims, Fig5Config};
 use xgft_bench::ExperimentArgs;
 
 fn main() {
@@ -14,6 +14,9 @@ fn main() {
     println!("{}", result.render_table());
     println!("{}", Fig5Claims::evaluate(&result).render());
     if args.json {
-        println!("{}", serde_json::to_string_pretty(&result).expect("serialisable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&result).expect("serialisable")
+        );
     }
 }

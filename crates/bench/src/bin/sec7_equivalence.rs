@@ -13,7 +13,10 @@ fn main() {
         let result = equivalence::run(16, w2, samples, 2009);
         println!("{}", result.render());
         if args.json {
-            println!("{}", serde_json::to_string_pretty(&result).expect("serialisable"));
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&result).expect("serialisable")
+            );
         }
     }
 }

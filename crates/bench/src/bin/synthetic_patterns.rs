@@ -12,7 +12,10 @@ fn main() {
         let result = synthetic::run(16, w2, &seeds);
         println!("{}", result.render());
         if args.json {
-            println!("{}", serde_json::to_string_pretty(&result).expect("serialisable"));
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&result).expect("serialisable")
+            );
         }
     }
 }

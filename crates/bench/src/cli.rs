@@ -60,15 +60,13 @@ impl ExperimentArgs {
                 }
                 "--scale" => {
                     let v = iter.next().ok_or("--scale needs a value")?;
-                    parsed.byte_scale =
-                        v.parse().map_err(|_| format!("bad --scale value: {v}"))?;
+                    parsed.byte_scale = v.parse().map_err(|_| format!("bad --scale value: {v}"))?;
                 }
                 "--w2" => {
                     let v = iter.next().ok_or("--w2 needs a comma-separated list")?;
                     let values: Result<Vec<usize>, _> =
                         v.split(',').map(|x| x.trim().parse()).collect();
-                    parsed.w2_values =
-                        Some(values.map_err(|_| format!("bad --w2 list: {v}"))?);
+                    parsed.w2_values = Some(values.map_err(|_| format!("bad --w2 list: {v}"))?);
                 }
                 "--json" => parsed.json = true,
                 "--help" | "-h" => {
@@ -137,7 +135,10 @@ mod tests {
 
     #[test]
     fn explicit_values() {
-        let a = parse(&["--seeds", "12", "--scale", "0.5", "--w2", "16,8,1", "--json"]).unwrap();
+        let a = parse(&[
+            "--seeds", "12", "--scale", "0.5", "--w2", "16,8,1", "--json",
+        ])
+        .unwrap();
         assert_eq!(a.seeds, 12);
         assert_eq!(a.byte_scale, 0.5);
         assert_eq!(a.w2_values, Some(vec![16, 8, 1]));

@@ -1,8 +1,9 @@
 //! # xgft-bench — experiment binaries and Criterion benches
 //!
-//! One binary per table/figure of the paper (see DESIGN.md §3 for the
-//! index) plus Criterion micro-benchmarks of the machinery itself. This
-//! library hosts the small command-line helper the binaries share.
+//! One binary per table/figure of the paper (the repository `README.md`
+//! carries the index) plus Criterion micro-benchmarks of the machinery
+//! itself. This library hosts the small command-line helper the binaries
+//! share.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -85,10 +85,8 @@ impl ColoredRouting {
 
     /// Assign routes with an explicit number of refinement passes.
     pub fn with_passes(xgft: &Xgft, pattern: &ConnectivityMatrix, passes: usize) -> Self {
-        let mut flows: Vec<(usize, usize)> = pattern
-            .network_flows()
-            .map(|f| (f.src, f.dst))
-            .collect();
+        let mut flows: Vec<(usize, usize)> =
+            pattern.network_flows().map(|f| (f.src, f.dst)).collect();
         // Highest NCA level first, then deterministic order.
         flows.sort_by_key(|&(s, d)| (std::cmp::Reverse(xgft.nca_level(s, d)), s, d));
 
@@ -137,14 +135,7 @@ impl ColoredRouting {
         self.routes.len()
     }
 
-    fn apply(
-        xgft: &Xgft,
-        tracker: &mut LoadTracker,
-        s: usize,
-        d: usize,
-        route: &Route,
-        add: bool,
-    ) {
+    fn apply(xgft: &Xgft, tracker: &mut LoadTracker, s: usize, d: usize, route: &Route, add: bool) {
         let channels = xgft.channels();
         let path = xgft.route_path(s, d, route).expect("valid route");
         for hop in path {
@@ -185,9 +176,7 @@ impl ColoredRouting {
             let candidate = (max_load, sum_load, i, route);
             let better = match &best {
                 None => true,
-                Some((bm, bs, bi, _)) => {
-                    (candidate.0, candidate.1, candidate.2) < (*bm, *bs, *bi)
-                }
+                Some((bm, bs, bi, _)) => (candidate.0, candidate.1, candidate.2) < (*bm, *bs, *bi),
             };
             if better {
                 best = Some(candidate);
@@ -268,7 +257,8 @@ mod tests {
         let colored = ColoredRouting::new(&xgft, fifth);
         let flows: Vec<(usize, usize)> = fifth.network_flows().map(|f| (f.src, f.dst)).collect();
         let colored_table = RouteTable::build(&xgft, &colored, flows.iter().copied());
-        let colored_report = ContentionReport::compute(&xgft, &colored_table, flows.iter().copied());
+        let colored_report =
+            ContentionReport::compute(&xgft, &colored_table, flows.iter().copied());
         assert_eq!(colored_report.network_contention, 1);
 
         let dmodk_table = RouteTable::build(&xgft, &DModK::new(), flows.iter().copied());
@@ -290,7 +280,7 @@ mod tests {
             let colored = ColoredRouting::new(&xgft, &shift.phases()[0]);
             let table = RouteTable::build(&xgft, &colored, flows.iter().copied());
             let report = ContentionReport::compute(&xgft, &table, flows.iter().copied());
-            let bound = (16 + w2 - 1) / w2;
+            let bound = 16usize.div_ceil(w2);
             assert!(
                 report.network_contention >= bound,
                 "w2={w2}: contention {} below the capacity bound {bound}",

@@ -230,7 +230,10 @@ mod tests {
             let route = algo.route(&xgft, s, d);
             roots.insert(route.up_port(1));
         }
-        assert!(roots.len() <= 2, "D-mod-k must collapse onto <= 2 roots, got {roots:?}");
+        assert!(
+            roots.len() <= 2,
+            "D-mod-k must collapse onto <= 2 roots, got {roots:?}"
+        );
         assert!(roots.is_subset(&[0usize, 1].into_iter().collect()));
     }
 

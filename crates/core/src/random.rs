@@ -62,7 +62,9 @@ impl RoutingAlgorithm for RandomRouting {
         let level = xgft.nca_level(s, d);
         let mut rng = self.pair_rng(s, d);
         let spec = xgft.spec();
-        let ports = (0..level).map(|l| rng.gen_range(0..spec.w(l + 1))).collect();
+        let ports = (0..level)
+            .map(|l| rng.gen_range(0..spec.w(l + 1)))
+            .collect();
         Route::new(ports)
     }
 }
@@ -114,7 +116,9 @@ mod tests {
         for s in 0..256 {
             for d in 0..256 {
                 if xgft.nca_level(s, d) == 2 {
-                    *counts.entry(algo.route(&xgft, s, d).up_port(1)).or_default() += 1;
+                    *counts
+                        .entry(algo.route(&xgft, s, d).up_port(1))
+                        .or_default() += 1;
                     total += 1;
                 }
             }
@@ -123,7 +127,10 @@ mod tests {
         let expected = total as f64 / 16.0;
         for (&root, &c) in &counts {
             let dev = (c as f64 - expected).abs() / expected;
-            assert!(dev < 0.10, "root {root} count {c} deviates {dev:.2} from {expected}");
+            assert!(
+                dev < 0.10,
+                "root {root} count {c} deviates {dev:.2} from {expected}"
+            );
         }
     }
 

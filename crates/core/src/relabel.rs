@@ -92,7 +92,7 @@ impl RelabelMaps {
                         let mut targets = Vec::with_capacity(m_l);
                         for (rank, &port) in port_order.iter().enumerate() {
                             let count = base + usize::from(rank < extra);
-                            targets.extend(std::iter::repeat(port).take(count));
+                            targets.extend(std::iter::repeat_n(port, count));
                         }
                         targets.shuffle(&mut rng);
                         targets

@@ -30,7 +30,9 @@ impl RouteTable {
             if s == d {
                 continue;
             }
-            routes.entry((s, d)).or_insert_with(|| algo.route(xgft, s, d));
+            routes
+                .entry((s, d))
+                .or_insert_with(|| algo.route(xgft, s, d));
         }
         RouteTable {
             algorithm: algo.name(),

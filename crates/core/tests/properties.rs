@@ -12,9 +12,8 @@ use xgft_topo::{Xgft, XgftSpec};
 fn small_spec() -> impl Strategy<Value = XgftSpec> {
     prop_oneof![
         // Two-level slimmed family (the paper's sweep, scaled down).
-        (2usize..=6, 1usize..=6).prop_map(|(k, w2)| {
-            XgftSpec::new(vec![k, k], vec![1, w2.min(k)]).expect("valid")
-        }),
+        (2usize..=6, 1usize..=6)
+            .prop_map(|(k, w2)| { XgftSpec::new(vec![k, k], vec![1, w2.min(k)]).expect("valid") }),
         // Three-level mixed-arity trees.
         (2usize..=4, 2usize..=4, 2usize..=3, 1usize..=3, 1usize..=3).prop_map(
             |(m1, m2, m3, w2, w3)| {

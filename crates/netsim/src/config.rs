@@ -79,7 +79,7 @@ impl NetworkConfig {
     pub fn segment_size(&self, bytes: u64, index: u64) -> u64 {
         let n = self.num_segments(bytes);
         debug_assert!(index < n);
-        if index + 1 < n || bytes % self.segment_bytes == 0 {
+        if index + 1 < n || bytes.is_multiple_of(self.segment_bytes) {
             self.segment_bytes.min(bytes)
         } else {
             bytes % self.segment_bytes

@@ -141,7 +141,10 @@ mod tests {
         single.schedule_message(0, 0, 5, bytes);
         let t_single = single.run_to_completion().makespan_ps;
         let ratio = t_fan_in as f64 / t_single as f64;
-        assert!(ratio > 1.8, "expected ~2x from endpoint contention, got {ratio:.2}");
+        assert!(
+            ratio > 1.8,
+            "expected ~2x from endpoint contention, got {ratio:.2}"
+        );
     }
 
     #[test]

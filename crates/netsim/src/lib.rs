@@ -15,7 +15,7 @@
 //!   forwarded hop by hop (store-and-forward at segment granularity plus a
 //!   configurable per-switch latency); for the multi-hundred-segment
 //!   messages of the paper's workloads the extra pipeline fill latency is
-//!   below 1 % of the message duration. See DESIGN.md §6.
+//!   below 1 % of the message duration.
 //! * **Flow control.** Each directed channel has a finite number of
 //!   downstream input-buffer slots (credits, in segments). A segment only
 //!   starts transmission when a credit is available; the credit is returned

@@ -344,7 +344,8 @@ impl NetworkSim {
             // The slot the segment held on its previous channel frees when it
             // starts moving onto this one.
             if let Some(prev) = segment.holds_buffer_of {
-                self.queue.push(start, Event::CreditReturn { channel: prev });
+                self.queue
+                    .push(start, Event::CreditReturn { channel: prev });
             }
             // The source adapter can decide its next round-robin segment as
             // soon as this one starts occupying the injection link.
@@ -459,8 +460,7 @@ mod tests {
         assert_eq!(report.completed_messages, 1);
         let seg = cfg().segment_serialization_ps();
         let hops = 4u64;
-        let expected =
-            8 * seg + (hops - 1) * (seg + cfg().switch_latency_ps());
+        let expected = 8 * seg + (hops - 1) * (seg + cfg().switch_latency_ps());
         assert_eq!(report.makespan_ps, expected);
     }
 
@@ -531,8 +531,18 @@ mod tests {
         let a = sim.schedule_message(0, 0, 4, bytes, Route::new(vec![0, 0]));
         let b = sim.schedule_message(0, 0, 8, bytes, Route::new(vec![0, 1]));
         let report = sim.run_to_completion();
-        let ta = report.messages.iter().find(|m| m.id == a).unwrap().completed_at_ps;
-        let tb = report.messages.iter().find(|m| m.id == b).unwrap().completed_at_ps;
+        let ta = report
+            .messages
+            .iter()
+            .find(|m| m.id == a)
+            .unwrap()
+            .completed_at_ps;
+        let tb = report
+            .messages
+            .iter()
+            .find(|m| m.id == b)
+            .unwrap()
+            .completed_at_ps;
         let diff = ta.abs_diff(tb) as f64;
         let span = ta.max(tb) as f64;
         assert!(
@@ -640,7 +650,11 @@ mod tests {
         for s in 1..16usize {
             let route = Route::new(vec![0, s % 4]);
             let level = xgft.nca_level(s, 0);
-            let route = if level == 1 { Route::new(vec![0]) } else { route };
+            let route = if level == 1 {
+                Route::new(vec![0])
+            } else {
+                route
+            };
             sim.schedule_message(0, s, 0, 64 * 1024, route);
         }
         let report = sim.run_to_completion();

@@ -62,7 +62,10 @@ impl SimReport {
         if self.messages.is_empty() {
             0.0
         } else {
-            self.messages.iter().map(|m| m.latency_ps() as f64).sum::<f64>()
+            self.messages
+                .iter()
+                .map(|m| m.latency_ps() as f64)
+                .sum::<f64>()
                 / self.messages.len() as f64
         }
     }

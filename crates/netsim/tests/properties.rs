@@ -11,10 +11,7 @@ fn scenario() -> impl Strategy<Value = (XgftSpec, Vec<(usize, usize, u64, usize)
         .prop_map(|(k, w2)| XgftSpec::new(vec![k, k], vec![1, w2.min(k)]).expect("valid"))
         .prop_flat_map(|spec| {
             let n = spec.num_leaves();
-            let msgs = prop::collection::vec(
-                (0..n, 0..n, 512u64..32_768, 0usize..64),
-                1..24,
-            );
+            let msgs = prop::collection::vec((0..n, 0..n, 512u64..32_768, 0usize..64), 1..24);
             (Just(spec), msgs)
         })
 }

@@ -119,10 +119,7 @@ mod tests {
 
     #[test]
     fn decomposition_is_lossless() {
-        let m = pattern_with(
-            &[(0, 1, 5), (0, 2, 7), (1, 0, 3), (2, 1, 9), (3, 1, 2)],
-            4,
-        );
+        let m = pattern_with(&[(0, 1, 5), (0, 2, 7), (1, 0, 3), (2, 1, 9), (3, 1, 2)], 4);
         let rounds = decompose_into_permutations(&m);
         let rebuilt = recompose(4, &rounds);
         assert_eq!(rebuilt, m);

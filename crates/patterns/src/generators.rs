@@ -63,7 +63,7 @@ pub fn wrf_256(bytes: u64) -> Pattern {
 pub fn cg_transpose_partner(s: usize, n: usize) -> usize {
     assert!(n.is_power_of_two(), "CG requires a power-of-two rank count");
     let log = n.trailing_zeros() as usize;
-    if log % 2 == 0 {
+    if log.is_multiple_of(2) {
         let side = 1usize << (log / 2);
         let row = s / side;
         let col = s % side;
@@ -81,7 +81,10 @@ pub fn cg_transpose_partner(s: usize, n: usize) -> usize {
 /// followed by the non-local transpose exchange. Every phase moves `bytes`
 /// bytes per rank, matching the paper's "five exchanges of equal size".
 pub fn cg_d(n: usize, bytes: u64) -> Pattern {
-    assert!(n.is_power_of_two() && n >= 32, "CG.D needs a power-of-two n >= 32");
+    assert!(
+        n.is_power_of_two() && n >= 32,
+        "CG.D needs a power-of-two n >= 32"
+    );
     let mut phases = Vec::with_capacity(5);
     for j in 0..4 {
         let mut m = ConnectivityMatrix::new(n);
@@ -124,7 +127,10 @@ pub fn transpose(side: usize, bytes: u64) -> Pattern {
 
 /// Bit-reversal permutation on `n = 2^b` nodes.
 pub fn bit_reversal(n: usize, bytes: u64) -> Pattern {
-    assert!(n.is_power_of_two(), "bit reversal needs a power-of-two size");
+    assert!(
+        n.is_power_of_two(),
+        "bit reversal needs a power-of-two size"
+    );
     let bits = n.trailing_zeros();
     let mapping: Vec<usize> = (0..n)
         .map(|i| (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1))
@@ -135,7 +141,10 @@ pub fn bit_reversal(n: usize, bytes: u64) -> Pattern {
 
 /// Bit-complement permutation on `n = 2^b` nodes: node `i` sends to `!i`.
 pub fn bit_complement(n: usize, bytes: u64) -> Pattern {
-    assert!(n.is_power_of_two(), "bit complement needs a power-of-two size");
+    assert!(
+        n.is_power_of_two(),
+        "bit complement needs a power-of-two size"
+    );
     let mapping: Vec<usize> = (0..n).map(|i| (!i) & (n - 1)).collect();
     let p = Permutation::new(mapping).expect("bit complement is a permutation");
     Pattern::single_phase("bit-complement", p.to_matrix(bytes))
@@ -227,7 +236,11 @@ mod tests {
     fn cg_transpose_matches_paper_formula_inside_first_switch() {
         // For s < 16 the partner is (s/2)*16 + (s mod 2) -- Eq. (2).
         for s in 0..16 {
-            assert_eq!(cg_transpose_partner(s, 128), (s / 2) * 16 + (s % 2), "s={s}");
+            assert_eq!(
+                cg_transpose_partner(s, 128),
+                (s / 2) * 16 + (s % 2),
+                "s={s}"
+            );
         }
     }
 
@@ -265,7 +278,10 @@ mod tests {
             .network_flows()
             .filter(|f| f.src / 16 != f.dst / 16)
             .count();
-        assert!(nonlocal > 100, "fifth phase should be dominated by non-local flows");
+        assert!(
+            nonlocal > 100,
+            "fifth phase should be dominated by non-local flows"
+        );
         // All phases carry equal per-message sizes.
         assert!(p
             .phases()

@@ -91,11 +91,9 @@ impl ConnectivityMatrix {
 
     /// Iterate over all flows in deterministic (src, dst) order.
     pub fn flows(&self) -> impl Iterator<Item = Flow> + '_ {
-        self.entries.iter().map(|(&(src, dst), &bytes)| Flow {
-            src,
-            dst,
-            bytes,
-        })
+        self.entries
+            .iter()
+            .map(|(&(src, dst), &bytes)| Flow { src, dst, bytes })
     }
 
     /// Flows that actually traverse the network (src ≠ dst).

@@ -142,7 +142,7 @@ impl ChannelTable {
             }
         }
         dense -= self.level_offsets[level];
-        let dir = if dense % 2 == 0 {
+        let dir = if dense.is_multiple_of(2) {
             Direction::Up
         } else {
             Direction::Down

@@ -26,11 +26,7 @@ pub struct NodeLabel {
 impl NodeLabel {
     /// Build a label from a level and digits (least-significant first),
     /// validating every digit against the spec's radix structure.
-    pub fn new(
-        spec: &XgftSpec,
-        level: usize,
-        digits: Vec<usize>,
-    ) -> Result<Self, TopologyError> {
+    pub fn new(spec: &XgftSpec, level: usize, digits: Vec<usize>) -> Result<Self, TopologyError> {
         if level > spec.height() {
             return Err(TopologyError::InvalidLabel {
                 reason: format!("level {level} exceeds height {}", spec.height()),
@@ -71,11 +67,7 @@ impl NodeLabel {
 
     /// Build the label of the node with linear index `index` at `level`.
     /// The position-`h` digit is the most significant.
-    pub fn from_index(
-        spec: &XgftSpec,
-        level: usize,
-        index: usize,
-    ) -> Result<Self, TopologyError> {
+    pub fn from_index(spec: &XgftSpec, level: usize, index: usize) -> Result<Self, TopologyError> {
         let count = spec.nodes_at_level(level);
         if index >= count {
             return Err(TopologyError::NodeOutOfRange { level, index });
@@ -262,7 +254,7 @@ mod tests {
         assert_eq!(l1.level(), 1);
         assert_eq!(l1.digit(1), 0); // replaced by port
         assert_eq!(l1.digit(2), 2); // preserved
-        // Level-1 nodes have w2 = 10 up-ports.
+                                    // Level-1 nodes have w2 = 10 up-ports.
         let root = l1.parent(&spec, 7).unwrap();
         assert_eq!(root.level(), 2);
         assert_eq!(root.digit(2), 7);

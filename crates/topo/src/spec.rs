@@ -199,17 +199,17 @@ impl XgftSpec {
 
     /// True if this spec is a *full* k-ary n-tree (no slimming).
     pub fn is_full_k_ary_n_tree(&self) -> bool {
-        self.is_k_ary_like() && self.w[1..].iter().zip(&self.m[1..]).all(|(&wi, &mi)| wi == mi)
+        self.is_k_ary_like()
+            && self.w[1..]
+                .iter()
+                .zip(&self.m[1..])
+                .all(|(&wi, &mi)| wi == mi)
     }
 
     /// True if some level has fewer parents than the full tree would
     /// (`w_i < m_i` for some `i ≥ 2`), i.e. the network is blocking.
     pub fn is_slimmed(&self) -> bool {
-        self.w
-            .iter()
-            .zip(&self.m)
-            .skip(1)
-            .any(|(&wi, &mi)| wi < mi)
+        self.w.iter().zip(&self.m).skip(1).any(|(&wi, &mi)| wi < mi)
     }
 
     /// Bisection-style capacity ratio at the top level: the ratio between the
@@ -258,11 +258,7 @@ mod tests {
         for k in 2..=5 {
             for n in 1..=4 {
                 let s = XgftSpec::k_ary_n_tree(k, n);
-                assert_eq!(
-                    s.inner_switches(),
-                    n * k.pow(n as u32 - 1),
-                    "k={k}, n={n}"
-                );
+                assert_eq!(s.inner_switches(), n * k.pow(n as u32 - 1), "k={k}, n={n}");
             }
         }
     }
@@ -339,10 +335,7 @@ mod tests {
 
     #[test]
     fn invalid_specs_are_rejected() {
-        assert_eq!(
-            XgftSpec::new(vec![], vec![]),
-            Err(TopologyError::EmptySpec)
-        );
+        assert_eq!(XgftSpec::new(vec![], vec![]), Err(TopologyError::EmptySpec));
         assert!(XgftSpec::new(vec![2, 2], vec![1]).is_err());
         assert_eq!(
             XgftSpec::new(vec![2, 0], vec![1, 2]),
@@ -379,7 +372,7 @@ mod tests {
     #[test]
     fn total_cables_counts_every_level() {
         let s = XgftSpec::k_ary_n_tree(2, 2); // 4 leaves, 2+2 switches
-        // Level 0 up-links: 4*1 = 4; level 1 up-links: 2*2 = 4.
+                                              // Level 0 up-links: 4*1 = 4; level 1 up-links: 2*2 = 4.
         assert_eq!(s.total_cables(), 8);
     }
 }

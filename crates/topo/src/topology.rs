@@ -213,7 +213,7 @@ impl Xgft {
             });
         }
         let mut digits = self.leaf_digits[s].clone();
-        for l in 0..level {
+        for (l, digit) in digits.iter_mut().enumerate().take(level) {
             if route.up_port(l) >= self.spec.w(l + 1) {
                 return Err(TopologyError::PortOutOfRange {
                     level: l,
@@ -221,7 +221,7 @@ impl Xgft {
                     available: self.spec.w(l + 1),
                 });
             }
-            digits[l] = route.up_port(l);
+            *digit = route.up_port(l);
         }
         let label = NodeLabel::new(&self.spec, level, digits)?;
         Ok(self.node_ref(&label))
@@ -348,7 +348,13 @@ mod tests {
         assert_eq!(path[1].to, NodeRef { level: 2, index: 7 });
         // Descent: root 7 -> switch 1 -> leaf 20.
         assert_eq!(path[2].to, NodeRef { level: 1, index: 1 });
-        assert_eq!(path[3].to, NodeRef { level: 0, index: 20 });
+        assert_eq!(
+            path[3].to,
+            NodeRef {
+                level: 0,
+                index: 20
+            }
+        );
         // Channel directions alternate up,up,down,down.
         assert_eq!(path[0].channel.dir, Direction::Up);
         assert_eq!(path[1].channel.dir, Direction::Up);
@@ -376,7 +382,9 @@ mod tests {
                 }
                 let level = x.nca_level(s, d);
                 // Route through port 0 at every hop, plus the "last" port.
-                let ports: Vec<usize> = (0..level).map(|l| (s + d + l) % x.spec().w(l + 1)).collect();
+                let ports: Vec<usize> = (0..level)
+                    .map(|l| (s + d + l) % x.spec().w(l + 1))
+                    .collect();
                 let route = Route::new(ports);
                 let path = x.route_path(s, d, &route).unwrap();
                 assert_eq!(path.len(), 2 * level);

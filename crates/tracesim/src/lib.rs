@@ -9,7 +9,8 @@
 //! The paper replays post-mortem traces of real WRF-256 and CG.D-128 runs.
 //! Those traces are not available, so [`workloads`] generates synthetic
 //! traces that reproduce the communication structure the paper documents for
-//! each application (see DESIGN.md §6); any [`xgft_patterns::Pattern`] can
+//! each application (see [`workloads`] for details); any
+//! [`xgft_patterns::Pattern`] can
 //! be turned into a trace with [`workloads::trace_from_pattern`].
 //!
 //! ```

@@ -61,7 +61,7 @@ impl Mapping {
     /// (e.g. first-level switches): consecutive ranks land in different
     /// groups. Requires `groups` to divide `n`.
     pub fn round_robin(n: usize, groups: usize) -> Result<Self, String> {
-        if groups == 0 || n % groups != 0 {
+        if groups == 0 || !n.is_multiple_of(groups) {
             return Err(format!("{groups} groups must evenly divide {n} tasks"));
         }
         let per_group = n / groups;
@@ -187,8 +187,7 @@ mod tests {
     fn round_robin_spreads_consecutive_tasks() {
         let m = Mapping::round_robin(16, 4).unwrap();
         // Tasks 0..4 land in different groups of 4 nodes.
-        let groups: std::collections::HashSet<usize> =
-            (0..4).map(|t| m.node_of(t) / 4).collect();
+        let groups: std::collections::HashSet<usize> = (0..4).map(|t| m.node_of(t) / 4).collect();
         assert_eq!(groups.len(), 4);
         // Bijective.
         let mut nodes: Vec<usize> = (0..16).map(|t| m.node_of(t)).collect();
@@ -220,7 +219,10 @@ mod tests {
                 RoutedNetwork::new(NetworkSim::new(&xgft, config.clone()), table),
                 mapping,
             );
-            ReplayEngine::new(trace.clone()).run(net).unwrap().completion_ps
+            ReplayEngine::new(trace.clone())
+                .run(net)
+                .unwrap()
+                .completion_ps
         };
 
         let sequential = run_with(Mapping::sequential(64));

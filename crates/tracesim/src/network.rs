@@ -76,11 +76,7 @@ impl Network for RoutedNetwork {
     }
 
     fn label(&self) -> String {
-        format!(
-            "{} on {}",
-            self.table.algorithm(),
-            self.sim.xgft().spec()
-        )
+        format!("{} on {}", self.table.algorithm(), self.sim.xgft().spec())
     }
 }
 

@@ -89,9 +89,7 @@ impl ReplayEngine {
 
     /// Replay the trace on `network` and return the timing result.
     pub fn run<N: Network>(&self, mut network: N) -> Result<ReplayResult, ReplayError> {
-        self.trace
-            .validate()
-            .map_err(ReplayError::InvalidTrace)?;
+        self.trace.validate().map_err(ReplayError::InvalidTrace)?;
         let n = self.trace.num_ranks();
         let mut ranks: Vec<RankState> = (0..n)
             .map(|_| RankState {
@@ -126,8 +124,7 @@ impl ReplayEngine {
                 }
                 // Barrier resolution: if every unfinished rank sits at a
                 // barrier, release them all at the latest arrival time.
-                let unfinished: Vec<usize> =
-                    (0..n).filter(|&r| !ranks[r].finished).collect();
+                let unfinished: Vec<usize> = (0..n).filter(|&r| !ranks[r].finished).collect();
                 if !unfinished.is_empty() && unfinished.iter().all(|&r| ranks[r].at_barrier) {
                     let release = unfinished
                         .iter()
@@ -159,9 +156,8 @@ impl ReplayEngine {
                         .push_back(completion.completed_at_ps);
                 }
                 None => {
-                    let blocked_ranks: Vec<usize> = (0..n)
-                        .filter(|&r| !ranks[r].finished)
-                        .collect();
+                    let blocked_ranks: Vec<usize> =
+                        (0..n).filter(|&r| !ranks[r].finished).collect();
                     return Err(ReplayError::Deadlock { blocked_ranks });
                 }
             }
@@ -286,7 +282,7 @@ mod tests {
             sim.run_to_completion().makespan_ps
         };
         assert!(result.completion_ps >= 2 * one_way);
-        assert_eq!(result.rank_finish_ps.len(), 16_usize.min(2));
+        assert_eq!(result.rank_finish_ps.len(), 2);
         assert_eq!(result.network_report.completed_messages, 2);
     }
 

@@ -4,8 +4,8 @@
 //! The paper replays post-mortem MPI traces of the real applications; those
 //! are proprietary, so this module generates traces that reproduce the
 //! communication structure the paper documents (see
-//! [`xgft_patterns::generators`] for the pattern definitions and DESIGN.md
-//! §6 for the substitution rationale):
+//! [`xgft_patterns::generators`] for the pattern definitions and their
+//! module docs for the substitution rationale):
 //!
 //! * **WRF-256** — one phase of simultaneous pairwise ±16 exchanges on a
 //!   16 × 16 task mesh. All messages are outstanding at once, which is what
@@ -53,10 +53,7 @@ fn push_phase(programs: &mut [Vec<RankEvent>], phase: &ConnectivityMatrix, tag: 
         });
     }
     for flow in phase.network_flows() {
-        programs[flow.dst].push(RankEvent::Recv {
-            src: flow.src,
-            tag,
-        });
+        programs[flow.dst].push(RankEvent::Recv { src: flow.src, tag });
     }
 }
 

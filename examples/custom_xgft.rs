@@ -5,9 +5,9 @@
 //!
 //! Run with `cargo run --example custom_xgft`.
 
-use xgft_oblivious_routing::prelude::*;
-use xgft_oblivious_routing::routing::RandomNcaUp;
-use xgft_oblivious_routing::topo::NodeRef;
+use xgft::prelude::*;
+use xgft::routing::RandomNcaUp;
+use xgft::topo::NodeRef;
 
 fn main() {
     // A three-level XGFT with mixed arities and slimmed upper levels:

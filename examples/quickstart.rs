@@ -3,10 +3,10 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use xgft_oblivious_routing::analysis::slowdown::{run_on_crossbar, slowdown_of};
-use xgft_oblivious_routing::prelude::*;
-use xgft_oblivious_routing::routing::RandomNcaDown;
-use xgft_oblivious_routing::tracesim::workloads;
+use xgft::analysis::slowdown::{run_on_crossbar, slowdown_of};
+use xgft::prelude::*;
+use xgft::routing::RandomNcaDown;
+use xgft::tracesim::workloads;
 
 fn main() {
     // The paper's slimmed family: 256 nodes behind 16-port switches, with
@@ -38,10 +38,7 @@ fn main() {
         Box::new(SModK::new()),
         Box::new(DModK::new()),
         Box::new(RandomNcaDown::new(&xgft, 1)),
-        Box::new(ColoredRouting::new(
-            &xgft,
-            &workloads_pattern(&trace),
-        )),
+        Box::new(ColoredRouting::new(&xgft, &workloads_pattern(&trace))),
     ];
     println!("{:>10} {:>12} {:>10}", "routing", "time (ms)", "slowdown");
     for algo in &algorithms {
@@ -57,10 +54,8 @@ fn main() {
 }
 
 /// The connectivity matrix of the trace (what a pattern-aware scheme sees).
-fn workloads_pattern(
-    trace: &Trace,
-) -> xgft_oblivious_routing::patterns::ConnectivityMatrix {
-    let mut m = xgft_oblivious_routing::patterns::ConnectivityMatrix::new(trace.num_ranks());
+fn workloads_pattern(trace: &Trace) -> xgft::patterns::ConnectivityMatrix {
+    let mut m = xgft::patterns::ConnectivityMatrix::new(trace.num_ranks());
     for (s, d) in trace.communication_pairs() {
         m.add_flow(s, d, 1);
     }

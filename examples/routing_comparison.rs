@@ -5,9 +5,9 @@
 //!
 //! Run with `cargo run --release --example routing_comparison`.
 
-use xgft_oblivious_routing::patterns::generators;
-use xgft_oblivious_routing::prelude::*;
-use xgft_oblivious_routing::routing::{ContentionReport, RandomNcaDown, RandomNcaUp};
+use xgft::patterns::generators;
+use xgft::prelude::*;
+use xgft::routing::{ContentionReport, RandomNcaDown, RandomNcaUp};
 
 fn main() {
     let xgft = Xgft::new(XgftSpec::slimmed_two_level(16, 16).expect("spec")).expect("topology");
@@ -39,10 +39,7 @@ fn main() {
         let report = ContentionReport::compute(&xgft, &table, flows.iter().copied());
         println!(
             "{:>10} {:>12} {:>14} {:>14}",
-            report.algorithm,
-            report.max_raw_load,
-            report.network_contention,
-            report.used_channels
+            report.algorithm, report.max_raw_load, report.network_contention, report.used_channels
         );
     }
     println!();

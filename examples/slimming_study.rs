@@ -5,9 +5,9 @@
 //!
 //! Run with `cargo run --release --example slimming_study`.
 
-use xgft_oblivious_routing::analysis::sweep::{AlgorithmSpec, SweepConfig};
-use xgft_oblivious_routing::netsim::NetworkConfig;
-use xgft_oblivious_routing::patterns::generators;
+use xgft::analysis::sweep::{AlgorithmSpec, SweepConfig};
+use xgft::netsim::NetworkConfig;
+use xgft::patterns::generators;
 
 fn main() {
     // 64 KB messages instead of the paper's 512 KB keep this example quick;

@@ -1,0 +1,136 @@
+//! Offline stand-in for the crates.io `rayon` crate.
+//!
+//! The build container has no network access, so this shim provides the one
+//! parallel-iterator shape the workspace uses — `slice.par_iter().map(f)
+//! .collect()` — implemented with `std::thread::scope` over chunks of the
+//! input. Unlike rayon there is no work-stealing pool: each call spawns up
+//! to `available_parallelism` scoped threads, which is the right trade-off
+//! for the sweep's coarse (topology, algorithm, seed) jobs. Result order is
+//! the input order, and worker panics propagate to the caller, both matching
+//! rayon's semantics.
+
+#![warn(missing_docs)]
+
+/// The one-stop import surface, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// Types whose elements can be iterated in parallel by reference.
+pub trait IntoParallelRefIterator<'a> {
+    /// The element type.
+    type Item: Sync + 'a;
+
+    /// A parallel iterator over `&Self::Item`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A borrowing parallel iterator (the result of [`par_iter`]).
+///
+/// [`par_iter`]: IntoParallelRefIterator::par_iter
+#[derive(Debug)]
+pub struct ParIter<'a, T: Sync> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps every element through `f`, to be evaluated in parallel at
+    /// `collect` time.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel iterator awaiting collection.
+#[derive(Debug)]
+pub struct ParMap<'a, T: Sync, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> ParMap<'a, T, F> {
+    /// Evaluates the map over all elements — in parallel when the input is
+    /// large enough — and collects the results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let n = self.items.len();
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n.max(1));
+        if workers <= 1 {
+            return self.items.iter().map(&self.f).collect();
+        }
+        let chunk_len = n.div_ceil(workers);
+        let f = &self.f;
+        let chunk_results: Vec<Vec<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .items
+                .chunks(chunk_len)
+                .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+                })
+                .collect()
+        });
+        chunk_results.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = items.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn works_on_empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7usize];
+        let out: Vec<usize> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let items: Vec<usize> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            let _: Vec<usize> = items
+                .par_iter()
+                .map(|&x| if x == 63 { panic!("boom") } else { x })
+                .collect();
+        });
+        assert!(result.is_err());
+    }
+}

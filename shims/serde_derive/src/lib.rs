@@ -1,0 +1,409 @@
+//! Offline stand-in for crates.io `serde_derive`.
+//!
+//! Derives the shim `serde::Serialize` / `serde::Deserialize` traits (a
+//! JSON-value model, see `shims/serde`) for the data shapes this workspace
+//! uses: named-field structs, tuple structs, and enums whose variants are
+//! unit, named-field or tuple. Generics and `#[serde(...)]` attributes are
+//! not supported — the derive fails loudly on them rather than silently
+//! producing wrong code.
+//!
+//! There is no `syn`/`quote` in the offline container, so the input is
+//! parsed directly from the `proc_macro` token stream; enum payloads follow
+//! serde's external-tagging conventions (`"Variant"` for unit variants,
+//! `{"Variant": ...}` for data-carrying ones).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The field shape of a struct or of one enum variant.
+enum Fields {
+    /// `{ a: T, b: U }` — field names in declaration order.
+    Named(Vec<String>),
+    /// `( T, U )` — number of positional fields.
+    Tuple(usize),
+    /// No payload.
+    Unit,
+}
+
+/// A parsed `struct` or `enum` item.
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+/// Derives the shim `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let body = match &parsed.kind {
+        Kind::Struct(fields) => serialize_fields(fields, "self."),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(variant, fields)| {
+                    let path = format!("{}::{}", parsed.name, variant);
+                    match fields {
+                        Fields::Unit => format!(
+                            "{path} => ::serde::Value::Str(::std::string::String::from(\"{variant}\")),"
+                        ),
+                        Fields::Named(names) => {
+                            let binders = names.join(", ");
+                            let inner = named_object(names, "");
+                            format!(
+                                "{path} {{ {binders} }} => ::serde::Value::Object(::std::vec![\
+                                 (::std::string::String::from(\"{variant}\"), {inner})]),"
+                            )
+                        }
+                        Fields::Tuple(n) => {
+                            let binders: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let inner = if *n == 1 {
+                                "::serde::Serialize::to_value(x0)".to_string()
+                            } else {
+                                let items: Vec<String> = binders
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{path}({}) => ::serde::Value::Object(::std::vec![\
+                                 (::std::string::String::from(\"{variant}\"), {inner})]),",
+                                binders.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    let output = format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, clippy::pedantic)]\n\
+         impl ::serde::Serialize for {} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}",
+        parsed.name
+    );
+    output.parse().expect("derived Serialize impl must parse")
+}
+
+/// Derives the shim `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let name = &parsed.name;
+    let body = match &parsed.kind {
+        Kind::Struct(fields) => format!(
+            "::std::result::Result::Ok({})",
+            construct(name, fields, "value")
+        ),
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(variant, _)| {
+                    format!("\"{variant}\" => ::std::result::Result::Ok({name}::{variant}),")
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| !matches!(f, Fields::Unit))
+                .map(|(variant, fields)| {
+                    format!(
+                        "\"{variant}\" => ::std::result::Result::Ok({}),",
+                        construct(&format!("{name}::{variant}"), fields, "inner")
+                    )
+                })
+                .collect();
+            let mut code = String::new();
+            if !unit_arms.is_empty() {
+                code.push_str(&format!(
+                    "if let ::serde::Value::Str(s) = value {{\n\
+                         return match s.as_str() {{\n\
+                             {}\n\
+                             other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                         }};\n\
+                     }}\n",
+                    unit_arms.join("\n")
+                ));
+            }
+            if data_arms.is_empty() {
+                code.push_str(&format!(
+                    "::std::result::Result::Err(::serde::Error::custom(\
+                     \"expected a {name} variant name\"))"
+                ));
+            } else {
+                code.push_str(&format!(
+                    "let (tag, inner) = ::serde::enum_parts(value)?;\n\
+                     match tag {{\n\
+                         {}\n\
+                         other => ::std::result::Result::Err(::serde::Error::custom(\
+                             ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                     }}",
+                    data_arms.join("\n")
+                ));
+            }
+            code
+        }
+    };
+    let output = format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, clippy::pedantic)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    );
+    output.parse().expect("derived Deserialize impl must parse")
+}
+
+/// `Value::Object(vec![("f", to_value(&prefix f)), ...])` for named fields.
+/// With an empty prefix the field identifiers themselves are the bindings
+/// (enum-variant destructuring); with `self.` they are field accesses.
+fn named_object(names: &[String], prefix: &str) -> String {
+    let entries: Vec<String> = names
+        .iter()
+        .map(|f| {
+            let access = if prefix.is_empty() {
+                f.clone()
+            } else {
+                format!("&{prefix}{f}")
+            };
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({access}))"
+            )
+        })
+        .collect();
+    format!(
+        "::serde::Value::Object(::std::vec![{}])",
+        entries.join(", ")
+    )
+}
+
+/// Serialization expression for a struct's own fields.
+fn serialize_fields(fields: &Fields, prefix: &str) -> String {
+    match fields {
+        Fields::Named(names) => named_object(names, prefix),
+        Fields::Tuple(1) => format!("::serde::Serialize::to_value(&{prefix}0)"),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&{prefix}{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Fields::Unit => "::serde::Value::Null".to_string(),
+    }
+}
+
+/// Construction expression `Path { f: from_value(...)?, .. }` reading each
+/// field of `source` (a `&Value` expression).
+fn construct(path: &str, fields: &Fields, source: &str) -> String {
+    match fields {
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::obj_field({source}, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!("{path} {{ {} }}", inits.join(", "))
+        }
+        Fields::Tuple(1) => format!("{path}(::serde::Deserialize::from_value({source})?)"),
+        Fields::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(\
+                         {source}.as_array().and_then(|a| a.get({i})).ok_or_else(|| \
+                         ::serde::Error::custom(\"tuple payload too short\"))?)?"
+                    )
+                })
+                .collect();
+            format!("{path}({})", inits.join(", "))
+        }
+        Fields::Unit => path.to_string(),
+    }
+}
+
+/// Parses the derive input item down to names and field shapes.
+fn parse_input(input: TokenStream) -> Input {
+    let mut it = input.into_iter().peekable();
+    let keyword = loop {
+        match it
+            .next()
+            .expect("derive input ended before `struct`/`enum`")
+        {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                it.next(); // the [...] attribute group
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                // `pub`, `pub(crate)`, `pub(in ...)`: skip a following
+                // parenthesised group if present.
+                if s == "pub" {
+                    if let Some(TokenTree::Group(g)) = it.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            it.next();
+                        }
+                    }
+                }
+            }
+            other => panic!("unexpected token before item keyword: {other}"),
+        }
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic type `{name}` is not supported");
+        }
+    }
+    let kind = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if keyword == "struct" {
+                Kind::Struct(Fields::Named(parse_named_fields(g.stream())))
+            } else {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            assert_eq!(
+                keyword, "struct",
+                "parenthesised body implies a tuple struct"
+            );
+            Kind::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Struct(Fields::Unit),
+        other => panic!("unexpected item body for `{name}`: {other:?}"),
+    };
+    Input { name, kind }
+}
+
+/// Extracts field names from `{ a: T, b: U }`, skipping attributes,
+/// visibility and the type tokens (tracking `<...>` depth so commas inside
+/// generic arguments do not split fields).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut it = stream.into_iter().peekable();
+    loop {
+        // Skip attributes (doc comments included) and visibility.
+        loop {
+            match it.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    it.next();
+                    it.next(); // the [...] group
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    it.next();
+                    if let Some(TokenTree::Group(g)) = it.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            it.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => {
+                names.push(id.to_string());
+                // Skip `: Type` up to the next top-level comma.
+                let mut angle_depth = 0i32;
+                for tt in it.by_ref() {
+                    if let TokenTree::Punct(p) = tt {
+                        match p.as_char() {
+                            '<' => angle_depth += 1,
+                            '>' => angle_depth -= 1,
+                            ',' if angle_depth == 0 => break,
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            Some(other) => panic!("expected field name, found {other}"),
+        }
+    }
+    names
+}
+
+/// Counts the fields of a tuple body `( T, U, ... )`.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    saw_tokens = false;
+                }
+                _ => saw_tokens = true,
+            },
+            _ => saw_tokens = true,
+        }
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    count
+}
+
+/// Parses enum variants: `Name`, `Name { ... }` or `Name( ... )`.
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let mut variants = Vec::new();
+    let mut it = stream.into_iter().peekable();
+    loop {
+        // Skip attributes (doc comments) before the variant name.
+        while let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() == '#' {
+                it.next();
+                it.next();
+            } else {
+                break;
+            }
+        }
+        let name = match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("expected variant name, found {other}"),
+        };
+        let fields = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                it.next();
+                Fields::Named(parse_named_fields(inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                it.next();
+                Fields::Tuple(count_tuple_fields(inner))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push((name, fields));
+        // Consume the trailing comma, if any; discriminants are unsupported.
+        match it.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(other) => panic!("unexpected token after variant: {other}"),
+        }
+    }
+    variants
+}

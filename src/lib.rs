@@ -16,8 +16,8 @@
 //! * [`analysis`] — metrics, statistics and experiment drivers for every
 //!   table and figure in the paper.
 //!
-//! See `README.md` for a quickstart and `DESIGN.md` / `EXPERIMENTS.md` for
-//! the reproduction methodology.
+//! See `README.md` for a quickstart, the crate dependency diagram and the
+//! figure-reproduction workflow.
 
 pub use xgft_analysis as analysis;
 pub use xgft_core as routing;

@@ -2,11 +2,11 @@
 //! → analysis, exercised through the umbrella crate's public API exactly as
 //! a downstream user would.
 
-use xgft_oblivious_routing::analysis::slowdown::{run_on_crossbar, slowdown_of};
-use xgft_oblivious_routing::patterns::generators;
-use xgft_oblivious_routing::prelude::*;
-use xgft_oblivious_routing::routing::{ContentionReport, RandomNcaDown, RandomNcaUp};
-use xgft_oblivious_routing::tracesim::workloads;
+use xgft::analysis::slowdown::{run_on_crossbar, slowdown_of};
+use xgft::patterns::generators;
+use xgft::prelude::*;
+use xgft::routing::{ContentionReport, RandomNcaDown, RandomNcaUp};
+use xgft::tracesim::workloads;
 
 /// End-to-end: the WRF-like exchange on a slimmed tree, every algorithm, all
 /// slowdowns finite and ordered sensibly.
@@ -31,7 +31,12 @@ fn end_to_end_wrf_on_slimmed_tree() {
     for algo in &algorithms {
         let report = slowdown_of(&trace, &xgft, algo.as_ref(), &config, Some(crossbar)).unwrap();
         assert!(report.slowdown.is_finite());
-        assert!(report.slowdown >= 0.99, "{}: {}", report.algorithm, report.slowdown);
+        assert!(
+            report.slowdown >= 0.99,
+            "{}: {}",
+            report.algorithm,
+            report.slowdown
+        );
         slowdowns.insert(report.algorithm.clone(), report.slowdown);
     }
     // The paper's WRF observation: the mod-k schemes track the pattern-aware
@@ -47,10 +52,7 @@ fn end_to_end_wrf_on_slimmed_tree() {
 fn end_to_end_cg_pathology_and_recovery() {
     let xgft = Xgft::new(XgftSpec::slimmed_two_level(16, 16).unwrap()).unwrap();
     let cg = generators::cg_d(128, 32 * 1024);
-    let fifth = xgft_oblivious_routing::patterns::Pattern::single_phase(
-        "cg-fifth",
-        cg.phases()[4].clone(),
-    );
+    let fifth = xgft::patterns::Pattern::single_phase("cg-fifth", cg.phases()[4].clone());
     let trace = workloads::trace_from_pattern(&fifth, 0);
     let config = NetworkConfig::default();
     let crossbar = run_on_crossbar(&trace, &config).unwrap().completion_ps;
@@ -110,13 +112,9 @@ fn byte_conservation_through_the_full_stack() {
     let trace = workloads::cg_d_trace(64, 8 * 1024);
     let config = NetworkConfig::default();
     let result =
-        xgft_oblivious_routing::analysis::slowdown::run_on_xgft(&trace, &xgft, &DModK::new(), &config)
-            .unwrap();
+        xgft::analysis::slowdown::run_on_xgft(&trace, &xgft, &DModK::new(), &config).unwrap();
     assert_eq!(result.network_report.total_bytes, trace.total_bytes());
-    assert_eq!(
-        result.network_report.completed_messages,
-        trace.num_sends()
-    );
+    assert_eq!(result.network_report.completed_messages, trace.num_sends());
     assert_eq!(result.rank_finish_ps.len(), 64);
     assert!(result.completion_ps >= result.network_report.makespan_ps);
 }
@@ -130,17 +128,23 @@ fn full_stack_determinism() {
     let config = NetworkConfig::default();
     let run = |seed| {
         let algo = RandomNcaUp::new(&xgft, seed);
-        let result =
-            xgft_oblivious_routing::analysis::slowdown::run_on_xgft(&trace, &xgft, &algo, &config)
-                .unwrap();
+        let result = xgft::analysis::slowdown::run_on_xgft(&trace, &xgft, &algo, &config).unwrap();
         (result.completion_ps, result.network_report.messages)
     };
     // Same seed: bit-identical timing, down to every per-message record.
     assert_eq!(run(3), run(3));
     // Different seeds draw different relabelings (routes differ even if the
     // aggregate completion time happens to coincide).
-    let a = RouteTable::build(&xgft, &RandomNcaUp::new(&xgft, 3), trace.communication_pairs());
-    let b = RouteTable::build(&xgft, &RandomNcaUp::new(&xgft, 4), trace.communication_pairs());
+    let a = RouteTable::build(
+        &xgft,
+        &RandomNcaUp::new(&xgft, 3),
+        trace.communication_pairs(),
+    );
+    let b = RouteTable::build(
+        &xgft,
+        &RandomNcaUp::new(&xgft, 4),
+        trace.communication_pairs(),
+    );
     assert!(trace
         .communication_pairs()
         .iter()

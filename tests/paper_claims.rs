@@ -2,11 +2,11 @@
 //! reduced scale, so `cargo test` certifies the reproduction's shape without
 //! the cost of the full sweeps (those live in the `xgft-bench` binaries).
 
-use xgft_oblivious_routing::analysis::experiments::{equivalence, fig4};
-use xgft_oblivious_routing::analysis::sweep::{AlgorithmSpec, SweepConfig};
-use xgft_oblivious_routing::netsim::NetworkConfig;
-use xgft_oblivious_routing::patterns::generators;
-use xgft_oblivious_routing::topo::XgftSpec;
+use xgft::analysis::experiments::{equivalence, fig4};
+use xgft::analysis::sweep::{AlgorithmSpec, SweepConfig};
+use xgft::netsim::NetworkConfig;
+use xgft::patterns::generators;
+use xgft::topo::XgftSpec;
 
 /// Sec. VII-B: `C(S-mod-k, P) == C(D-mod-k, P⁻¹)` exactly, for every sampled
 /// permutation, on both a full and a slimmed tree.
@@ -27,13 +27,20 @@ fn fig4_route_distributions_match_the_paper() {
     let full = fig4::run(16, &[1, 2, 3]);
     for name in ["s-mod-k", "d-mod-k"] {
         let d = full.distribution(name).unwrap();
-        assert!(d.per_nca.iter().all(|&c| (c - 3840.0).abs() < 1e-9), "{name}");
+        assert!(
+            d.per_nca.iter().all(|&c| (c - 3840.0).abs() < 1e-9),
+            "{name}"
+        );
     }
 
     let slim = fig4::run(10, &[1, 2, 3]);
     let dmodk = slim.distribution("d-mod-k").unwrap();
-    assert!(dmodk.per_nca[..6].iter().all(|&c| (c - 7680.0).abs() < 1e-9));
-    assert!(dmodk.per_nca[6..].iter().all(|&c| (c - 3840.0).abs() < 1e-9));
+    assert!(dmodk.per_nca[..6]
+        .iter()
+        .all(|&c| (c - 7680.0).abs() < 1e-9));
+    assert!(dmodk.per_nca[6..]
+        .iter()
+        .all(|&c| (c - 3840.0).abs() < 1e-9));
     let rnca = slim.distribution("r-NCA-d").unwrap();
     // Paper's Fig. 4(b): the proposal's boxes sit between the two mod-k
     // extremes, i.e. every per-NCA mean stays inside (3840, 7680).
@@ -52,10 +59,7 @@ fn fig4_route_distributions_match_the_paper() {
 #[test]
 fn reduced_sweep_reproduces_figure_orderings() {
     let cg = generators::cg_d(128, 16 * 1024);
-    let fifth = xgft_oblivious_routing::patterns::Pattern::single_phase(
-        "cg-fifth",
-        cg.phases()[4].clone(),
-    );
+    let fifth = xgft::patterns::Pattern::single_phase("cg-fifth", cg.phases()[4].clone());
     let config = SweepConfig {
         k: 16,
         w2_values: vec![16, 4, 1],
@@ -74,8 +78,14 @@ fn reduced_sweep_reproduces_figure_orderings() {
 
     // Slimming to a single root makes every scheme equivalent-ish and slow.
     for name in ["colored", "d-mod-k", "r-NCA-d", "random"] {
-        assert!(at(1, name) > at(16, name), "{name} should degrade when slimmed");
-        assert!(at(1, name) > 3.0, "{name} at w2=1 should be far from the crossbar");
+        assert!(
+            at(1, name) > at(16, name),
+            "{name} should degrade when slimmed"
+        );
+        assert!(
+            at(1, name) > 3.0,
+            "{name} at w2=1 should be far from the crossbar"
+        );
     }
 }
 
