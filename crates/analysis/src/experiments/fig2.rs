@@ -87,6 +87,27 @@ impl Fig2Config {
         };
         config.run(&pattern)
     }
+
+    /// The `--analytic` mode: evaluate the same workload and topology sweep
+    /// through the `xgft-flow` closed-form channel-load model — expected
+    /// MCL and congestion ratio per scheme instead of replayed slowdowns,
+    /// with no simulation (and no seed axis: the Random scheme contributes
+    /// its exact expectation).
+    pub fn run_analytic(&self) -> xgft_flow::FlowSweepResult {
+        let pattern = self.workload.pattern(self.byte_scale);
+        xgft_flow::FlowSweepConfig::slimming_family(
+            16,
+            &self.w2_values,
+            vec![
+                xgft_flow::FlowScheme::Random,
+                xgft_flow::FlowScheme::SModK,
+                xgft_flow::FlowScheme::DModK,
+                xgft_flow::FlowScheme::Colored,
+            ],
+            xgft_flow::TrafficSpec::Pattern(pattern),
+        )
+        .run()
+    }
 }
 
 #[cfg(test)]
@@ -114,6 +135,35 @@ mod tests {
         assert_eq!(full_bytes, 750 * 1024);
         assert!(small_bytes < full_bytes);
         assert!(small_bytes >= 1024);
+    }
+
+    /// The analytic mode reproduces the headline Fig. 2(b) structure with
+    /// zero simulation: D-mod-k's CG.D-128 congruence pathology shows up as
+    /// a congestion ratio far above Random's.
+    #[test]
+    fn analytic_fig2b_exposes_the_cg_pathology() {
+        let config = Fig2Config {
+            workload: Workload::CgD128,
+            byte_scale: 1.0,
+            seeds: vec![],
+            w2_values: vec![16],
+            network: NetworkConfig::default(),
+        };
+        let result = config.run_analytic();
+        let dmodk = result.point_by_w(16, "d-mod-k").unwrap();
+        let random = result.point_by_w(16, "random").unwrap();
+        let colored = result.point_by_w(16, "colored").unwrap();
+        // The congruence piles several fifth-phase flows onto shared up
+        // channels; over the union of all five phases that still leaves
+        // d-mod-k ~1.4x above the cut bound while Random sits exactly on it.
+        assert!(
+            dmodk.ratio > 1.25 * random.ratio,
+            "d-mod-k ratio {} vs random {}",
+            dmodk.ratio,
+            random.ratio
+        );
+        assert!((random.ratio - 1.0).abs() < 0.05);
+        assert!(colored.mcl <= dmodk.mcl);
     }
 
     /// A reduced Fig. 2(a): three topologies, tiny messages. Checks the

@@ -47,6 +47,28 @@ impl Fig5Config {
         };
         config.run(&pattern)
     }
+
+    /// The `--analytic` mode: the Fig. 5 scheme set through the `xgft-flow`
+    /// closed-form model. The r-NCA schemes contribute their seed-marginal
+    /// expectation — the quantity the paper's 40-60-seed boxplots estimate —
+    /// in a single exact computation.
+    pub fn run_analytic(&self) -> xgft_flow::FlowSweepResult {
+        let pattern = self.workload.pattern(self.byte_scale);
+        xgft_flow::FlowSweepConfig::slimming_family(
+            16,
+            &self.w2_values,
+            vec![
+                xgft_flow::FlowScheme::SModK,
+                xgft_flow::FlowScheme::DModK,
+                xgft_flow::FlowScheme::Colored,
+                xgft_flow::FlowScheme::RNcaUp,
+                xgft_flow::FlowScheme::RNcaDown,
+                xgft_flow::FlowScheme::Random,
+            ],
+            xgft_flow::TrafficSpec::Pattern(pattern),
+        )
+        .run()
+    }
 }
 
 /// The qualitative claims the paper draws from Fig. 5, checked on a sweep
@@ -139,6 +161,31 @@ mod tests {
         );
         assert!(claims.worst_gap_to_colored >= 1.0);
         assert!(!claims.render().is_empty());
+    }
+
+    /// The analytic Fig. 5: the r-NCA closed forms avoid both the mod-k
+    /// wrap imbalance and the CG congruence, w2 by w2, without a single
+    /// seed.
+    #[test]
+    fn analytic_fig5_rnca_beats_mod_k_on_slimmed_trees() {
+        let config = Fig5Config {
+            workload: Workload::CgD128,
+            byte_scale: 1.0,
+            seeds: vec![],
+            w2_values: vec![16, 10],
+            network: NetworkConfig::default(),
+        };
+        let result = config.run_analytic();
+        for w2 in [16usize, 10] {
+            let dmodk = result.point_by_w(w2, "d-mod-k").unwrap();
+            let rnca = result.point_by_w(w2, "r-NCA-d").unwrap();
+            assert!(
+                rnca.mcl <= dmodk.mcl,
+                "w2={w2}: r-NCA-d {} vs d-mod-k {}",
+                rnca.mcl,
+                dmodk.mcl
+            );
+        }
     }
 
     #[test]

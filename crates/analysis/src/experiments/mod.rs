@@ -13,5 +13,6 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod flow_mcl;
 pub mod synthetic;
 pub mod table1;

@@ -14,6 +14,7 @@
 //! | [`experiments::fig4`]    | Fig. 4 (routes per NCA) |
 //! | [`experiments::fig5`]    | Fig. 5 (proposed r-NCA-u / r-NCA-d boxplots) |
 //! | [`experiments::equivalence`] | Sec. VII-B/C (S-mod-k / D-mod-k duality) |
+//! | [`experiments::flow_mcl`] | analytical MCL sweeps (`xgft-flow`) + netsim cross-validation |
 //!
 //! The `xgft-bench` crate wraps each driver in a binary so every figure can
 //! be regenerated from the command line; see the repository `README.md` for

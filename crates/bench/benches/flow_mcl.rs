@@ -1,0 +1,74 @@
+//! Criterion benches for the `xgft-flow` analytical channel-load model.
+//!
+//! The headline numbers back the acceptance criterion that an XGFT with at
+//! least 16 384 leaves is analysed in well under a second:
+//!
+//! * `closed_form/random_16384_leaves` — uniform all-pairs expected loads +
+//!   MCL on `XGFT(2;128,128;1,64)` (runs in ~1 ms on a laptop core).
+//! * `closed_form/rnca_32768_leaves` — the r-NCA seed marginal on a full
+//!   32-ary 3-tree (196 608 channels, ~3 ms).
+//! * `per_flow/dmodk_shift_16384` — the per-flow fallback on a 16 384-flow
+//!   pattern with a deterministic scheme.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use xgft_core::{DModK, RandomNcaDown, RandomRouting};
+use xgft_flow::{tree_cut_lower_bound, ExpectedLoads, TrafficMatrix, TrafficSpec};
+use xgft_topo::{Xgft, XgftSpec};
+
+fn closed_form(c: &mut Criterion) {
+    let mut group = c.benchmark_group("closed_form");
+    group.sample_size(10);
+
+    let big = Xgft::new(XgftSpec::new(vec![128, 128], vec![1, 64]).unwrap()).unwrap();
+    assert!(big.num_leaves() >= 16_384);
+    let traffic = TrafficMatrix::uniform(big.num_leaves());
+    let random = RandomRouting::new(0);
+    group.bench_function("random_16384_leaves", |b| {
+        b.iter(|| {
+            let loads = ExpectedLoads::compute(&big, &random, &traffic);
+            black_box(loads.mcl())
+        })
+    });
+
+    let tall = Xgft::new(XgftSpec::k_ary_n_tree(32, 3)).unwrap();
+    let tall_traffic = TrafficMatrix::uniform(tall.num_leaves());
+    let rnca = RandomNcaDown::new(&tall, 0);
+    group.bench_function("rnca_32768_leaves", |b| {
+        b.iter(|| {
+            let loads = ExpectedLoads::compute(&tall, &rnca, &tall_traffic);
+            black_box(loads.mcl())
+        })
+    });
+
+    group.bench_function("cut_bound_16384_leaves", |b| {
+        b.iter(|| black_box(tree_cut_lower_bound(&big, &traffic).bound))
+    });
+    group.finish();
+}
+
+fn per_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("per_flow");
+    group.sample_size(10);
+
+    let big = Xgft::new(XgftSpec::new(vec![128, 128], vec![1, 64]).unwrap()).unwrap();
+    let shift = TrafficSpec::Shift { offset: 128 }.matrix(big.num_leaves());
+    let dmodk = DModK::new();
+    group.bench_function("dmodk_shift_16384", |b| {
+        b.iter(|| {
+            let loads = ExpectedLoads::compute(&big, &dmodk, &shift);
+            black_box(loads.mcl())
+        })
+    });
+
+    let random = RandomRouting::new(0);
+    group.bench_function("random_shift_16384", |b| {
+        b.iter(|| {
+            let loads = ExpectedLoads::compute(&big, &random, &shift);
+            black_box(loads.mcl())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, closed_form, per_flow);
+criterion_main!(benches);

@@ -1,6 +1,10 @@
 //! Regenerates Fig. 5(a): WRF-256 under the proposed r-NCA-u / r-NCA-d
 //! schemes (boxplots over seeds) against S-mod-k, D-mod-k, Random and the
 //! pattern-aware Colored baseline.
+//!
+//! With `--analytic` the seed boxplots are replaced by the `xgft-flow`
+//! closed form: the r-NCA schemes contribute their exact seed-marginal
+//! expected MCL in a single computation.
 
 use xgft_analysis::experiments::fig2::Workload;
 use xgft_analysis::experiments::fig5::{Fig5Claims, Fig5Config};
@@ -10,6 +14,10 @@ fn main() {
     let args = ExperimentArgs::parse();
     let mut config = Fig5Config::new(Workload::Wrf256, args.byte_scale, args.seed_list());
     config.w2_values = args.w2_sweep();
+    if args.analytic {
+        xgft_bench::emit_analytic(&config.run_analytic(), args.json);
+        return;
+    }
     let result = config.run();
     println!("{}", result.render_table());
     println!("{}", Fig5Claims::evaluate(&result).render());

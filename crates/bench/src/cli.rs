@@ -9,6 +9,9 @@
 //! * `--scale <f>`        — per-message byte scale (1.0 = paper sizes).
 //! * `--w2 <a,b,c>`       — explicit list of w2 values to sweep.
 //! * `--json`             — additionally emit the result as JSON to stdout.
+//! * `--analytic`         — evaluate through the `xgft-flow` closed-form
+//!   channel-load model (expected MCL + congestion ratio) instead of
+//!   replaying the event-driven simulation; seeds are ignored.
 
 use std::env;
 
@@ -23,6 +26,11 @@ pub struct ExperimentArgs {
     pub w2_values: Option<Vec<usize>>,
     /// Emit JSON in addition to the text table.
     pub json: bool,
+    /// Use the analytical flow-level model instead of simulation replay.
+    pub analytic: bool,
+    /// The `--quick` preset was requested (CI smoke mode): binaries skip
+    /// their expensive optional sections.
+    pub quick: bool,
 }
 
 impl Default for ExperimentArgs {
@@ -35,6 +43,8 @@ impl Default for ExperimentArgs {
             byte_scale: 0.125,
             w2_values: None,
             json: false,
+            analytic: false,
+            quick: false,
         }
     }
 }
@@ -49,6 +59,7 @@ impl ExperimentArgs {
                 "--quick" => {
                     parsed.seeds = 3;
                     parsed.byte_scale = 1.0 / 64.0;
+                    parsed.quick = true;
                 }
                 "--full" => {
                     parsed.seeds = 40;
@@ -69,10 +80,11 @@ impl ExperimentArgs {
                     parsed.w2_values = Some(values.map_err(|_| format!("bad --w2 list: {v}"))?);
                 }
                 "--json" => parsed.json = true,
+                "--analytic" => parsed.analytic = true,
                 "--help" | "-h" => {
                     return Err(concat!(
                         "usage: <experiment> [--quick|--full] [--seeds N] ",
-                        "[--scale F] [--w2 a,b,c] [--json]"
+                        "[--scale F] [--w2 a,b,c] [--json] [--analytic]"
                     )
                     .to_string())
                 }
@@ -128,6 +140,8 @@ mod tests {
         let q = parse(&["--quick"]).unwrap();
         assert_eq!(q.seeds, 3);
         assert!(q.byte_scale < 0.05);
+        assert!(q.quick);
+        assert!(!d.quick);
         let f = parse(&["--full"]).unwrap();
         assert_eq!(f.seeds, 40);
         assert_eq!(f.byte_scale, 1.0);
@@ -136,13 +150,22 @@ mod tests {
     #[test]
     fn explicit_values() {
         let a = parse(&[
-            "--seeds", "12", "--scale", "0.5", "--w2", "16,8,1", "--json",
+            "--seeds",
+            "12",
+            "--scale",
+            "0.5",
+            "--w2",
+            "16,8,1",
+            "--json",
+            "--analytic",
         ])
         .unwrap();
         assert_eq!(a.seeds, 12);
         assert_eq!(a.byte_scale, 0.5);
         assert_eq!(a.w2_values, Some(vec![16, 8, 1]));
         assert!(a.json);
+        assert!(a.analytic);
+        assert!(!parse(&[]).unwrap().analytic);
         assert_eq!(a.seed_list(), (1..=12).collect::<Vec<u64>>());
         assert_eq!(a.w2_sweep(), vec![16, 8, 1]);
     }

@@ -11,3 +11,16 @@
 pub mod cli;
 
 pub use cli::ExperimentArgs;
+
+/// Print an analytical (`--analytic`) sweep result: the text table, plus
+/// pretty JSON when requested. Shared by the figure binaries so the
+/// analytic output format lives in one place.
+pub fn emit_analytic(result: &xgft_flow::FlowSweepResult, json: bool) {
+    println!("{}", result.render_table());
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(result).expect("serialisable")
+        );
+    }
+}

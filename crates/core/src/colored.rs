@@ -218,6 +218,10 @@ impl RoutingAlgorithm for ColoredRouting {
     }
 }
 
+/// Deterministic once constructed: the default point-mass route
+/// distribution is exact.
+impl crate::route_dist::RouteDistribution for ColoredRouting {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -24,8 +24,10 @@
 //!
 //! Supporting machinery: [`RouteTable`] (materialised routes for a pattern
 //! or for all pairs), [`contention`] (the network-contention metrics of
-//! Sec. IV and VII), and [`distribution`] (routes-per-NCA histograms of
-//! Fig. 4).
+//! Sec. IV and VII), [`distribution`] (routes-per-NCA histograms of
+//! Fig. 4), and [`route_dist`] (exact per-pair route *distributions* — the
+//! closed forms the `xgft-flow` analytical channel-load model consumes in
+//! place of seed sweeps).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -38,6 +40,7 @@ pub mod modk;
 pub mod random;
 pub mod relabel;
 pub mod rnca;
+pub mod route_dist;
 pub mod table;
 
 pub use algorithm::RoutingAlgorithm;
@@ -48,4 +51,5 @@ pub use modk::{DModK, SModK};
 pub use random::RandomRouting;
 pub use relabel::RelabelMaps;
 pub use rnca::{RandomNcaDown, RandomNcaUp};
+pub use route_dist::{RouteDist, RouteDistribution};
 pub use table::RouteTable;

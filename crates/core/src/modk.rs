@@ -22,6 +22,7 @@
 //! well-randomised general patterns.
 
 use crate::algorithm::RoutingAlgorithm;
+use crate::route_dist::RouteDistribution;
 use xgft_topo::{Route, Xgft};
 
 /// Compute the mod-k up-port sequence guided by `guide_leaf`, climbing to
@@ -67,6 +68,9 @@ impl RoutingAlgorithm for SModK {
     }
 }
 
+/// Deterministic: the default point-mass route distribution is exact.
+impl RouteDistribution for SModK {}
+
 /// Destination-mod-k routing: the ascent (and hence the NCA) is determined
 /// by the destination label alone, so the descent to each destination is
 /// unique.
@@ -89,6 +93,9 @@ impl RoutingAlgorithm for DModK {
         mod_route(xgft, d, xgft.nca_level(s, d))
     }
 }
+
+/// Deterministic: the default point-mass route distribution is exact.
+impl RouteDistribution for DModK {}
 
 #[cfg(test)]
 mod tests {

@@ -10,6 +10,7 @@
 //! collide with unrelated flows (the WRF-256 behaviour of Fig. 2(a)).
 
 use crate::algorithm::RoutingAlgorithm;
+use crate::route_dist::{RouteDist, RouteDistribution};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use xgft_topo::{Route, Xgft};
@@ -66,6 +67,27 @@ impl RoutingAlgorithm for RandomRouting {
             .map(|l| rng.gen_range(0..spec.w(l + 1)))
             .collect();
         Route::new(ports)
+    }
+}
+
+impl RouteDistribution for RandomRouting {
+    /// Closed form over the table-fill randomness: every port at every level
+    /// is uniform and independent, so the route is uniform over all
+    /// `Π w_{l+1}` minimal routes of the pair.
+    fn route_dist(&self, xgft: &Xgft, s: usize, d: usize) -> RouteDist {
+        RouteDist::uniform(xgft, xgft.nca_level(s, d))
+    }
+
+    fn pair_invariant_levels(&self, xgft: &Xgft) -> Option<Vec<Vec<f64>>> {
+        let spec = xgft.spec();
+        Some(
+            (0..xgft.height())
+                .map(|l| {
+                    let w = spec.w(l + 1);
+                    vec![1.0 / w as f64; w]
+                })
+                .collect(),
+        )
     }
 }
 

@@ -21,7 +21,57 @@
 
 use crate::algorithm::RoutingAlgorithm;
 use crate::relabel::RelabelMaps;
+use crate::route_dist::{RouteDist, RouteDistribution};
 use xgft_topo::{Route, Xgft};
+
+/// The seed-marginal route distribution shared by r-NCA-u and r-NCA-d: the
+/// leaf hop is deterministic (`digit_1(guide) mod w_1`, a single parent in
+/// every k-ary-like tree), and by symmetry of the balanced-map construction
+/// each switch-level port is uniform over `w_{l+1}` and independent across
+/// levels.
+fn rnca_marginal_dist(xgft: &Xgft, guide: usize, level: usize) -> RouteDist {
+    let spec = xgft.spec();
+    let levels = (0..level)
+        .map(|l| {
+            let w = spec.w(l + 1);
+            if l == 0 {
+                let mut dist = vec![0.0; w];
+                let port = if w == 1 {
+                    0
+                } else {
+                    xgft.leaf_digit(guide, 1) % w
+                };
+                dist[port] = 1.0;
+                dist
+            } else {
+                vec![1.0 / w as f64; w]
+            }
+        })
+        .collect();
+    RouteDist::from_levels(levels)
+}
+
+/// Pair-invariant levels for the r-NCA family: available whenever the leaf
+/// hop involves no choice (`w_1 = 1`); with multi-ported leaves the hop
+/// depends on the guiding endpoint's label, so no shared form exists.
+fn rnca_pair_invariant(xgft: &Xgft) -> Option<Vec<Vec<f64>>> {
+    let spec = xgft.spec();
+    if spec.w(1) != 1 {
+        return None;
+    }
+    Some(
+        (0..xgft.height())
+            .map(|l| {
+                if l == 0 {
+                    vec![1.0]
+                } else {
+                    let w = spec.w(l + 1);
+                    vec![1.0 / w as f64; w]
+                }
+            })
+            .collect(),
+    )
+}
 
 /// Random NCA Up: relabeled self-routing guided by the source.
 #[derive(Debug, Clone)]
@@ -60,6 +110,19 @@ impl RoutingAlgorithm for RandomNcaUp {
     }
 }
 
+impl RouteDistribution for RandomNcaUp {
+    /// Marginalised over the balanced-map draw (the seed), *not* over the
+    /// routes of this particular instance: seed-averaged experiments are the
+    /// Monte Carlo estimator of exactly this distribution.
+    fn route_dist(&self, xgft: &Xgft, s: usize, d: usize) -> RouteDist {
+        rnca_marginal_dist(xgft, s, xgft.nca_level(s, d))
+    }
+
+    fn pair_invariant_levels(&self, xgft: &Xgft) -> Option<Vec<Vec<f64>>> {
+        rnca_pair_invariant(xgft)
+    }
+}
+
 /// Random NCA Down: relabeled self-routing guided by the destination.
 #[derive(Debug, Clone)]
 pub struct RandomNcaDown {
@@ -93,6 +156,18 @@ impl RoutingAlgorithm for RandomNcaDown {
     fn route(&self, xgft: &Xgft, s: usize, d: usize) -> Route {
         let level = xgft.nca_level(s, d);
         Route::new(self.maps.ports_to_level(xgft, d, level))
+    }
+}
+
+impl RouteDistribution for RandomNcaDown {
+    /// Marginalised over the balanced-map draw, guided by the destination
+    /// (see [`RandomNcaUp`]'s impl for the semantics).
+    fn route_dist(&self, xgft: &Xgft, s: usize, d: usize) -> RouteDist {
+        rnca_marginal_dist(xgft, d, xgft.nca_level(s, d))
+    }
+
+    fn pair_invariant_levels(&self, xgft: &Xgft) -> Option<Vec<Vec<f64>>> {
+        rnca_pair_invariant(xgft)
     }
 }
 

@@ -238,6 +238,16 @@ impl NetworkSim {
         self.report()
     }
 
+    /// Accumulated busy (transmitting) time of every directed channel so
+    /// far, indexed by the dense channel index of
+    /// [`xgft_topo::ChannelTable`]. With equal-sized messages a channel's
+    /// busy time is exactly proportional to the number of flows serialized
+    /// through it, which is what the `xgft-flow` analytical model predicts —
+    /// the cross-validation hooks compare the two shapes directly.
+    pub fn channel_busy_ps(&self) -> Vec<u64> {
+        self.channels.iter().map(|c| c.busy_ps).collect()
+    }
+
     /// Produce a report of what has been delivered so far.
     pub fn report(&self) -> SimReport {
         let makespan = self
@@ -623,6 +633,26 @@ mod tests {
         assert!(report.events_processed > 0);
         assert!(report.max_queue_depth >= 1);
         assert!(report.mean_latency_ps() > 0.0);
+    }
+
+    #[test]
+    fn channel_busy_times_are_per_channel_and_flow_proportional() {
+        // Two equal messages from distinct sources to the same destination:
+        // the shared ejection channel accumulates exactly twice the busy
+        // time of each exclusively-used channel.
+        let xgft = k_ary(4, 2);
+        let mut sim = NetworkSim::new(&xgft, cfg());
+        sim.schedule_message(0, 0, 5, 8 * 1024, Route::new(vec![0, 1]));
+        sim.schedule_message(0, 1, 5, 8 * 1024, Route::new(vec![0, 2]));
+        sim.run_to_completion();
+        let busy = sim.channel_busy_ps();
+        assert_eq!(busy.len(), xgft.channels().len());
+        let shared = busy[xgft.channels().ejection_channel(5)];
+        let exclusive = busy[xgft.channels().injection_channel(0)];
+        assert!(exclusive > 0);
+        assert_eq!(shared, 2 * exclusive);
+        // Untouched channels stay at zero.
+        assert_eq!(busy[xgft.channels().injection_channel(15)], 0);
     }
 
     #[test]

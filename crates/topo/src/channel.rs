@@ -157,6 +157,22 @@ impl ChannelTable {
         }
     }
 
+    /// The range of dense indices covering every channel (both directions)
+    /// whose cable has its low end at `level`. Useful for per-level slices
+    /// of dense load vectors.
+    pub fn level_range(&self, level: usize) -> std::ops::Range<usize> {
+        assert!(level < self.spec.height(), "level {level} has no channels");
+        let start = self.level_offsets[level];
+        let end = start + 2 * self.cables_per_level[level];
+        start..end
+    }
+
+    /// Enumerate every channel as `(dense_index, ChannelId)` in dense-index
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, ChannelId)> + '_ {
+        (0..self.total).map(move |dense| (dense, self.channel(dense)))
+    }
+
     /// The dense index of the injection channel (level-0 `Up`) of a leaf.
     /// Valid when `w_1 = 1` (single adapter per node, the common case); for
     /// multi-ported leaves this returns the port-0 channel.
@@ -236,6 +252,34 @@ mod tests {
             assert_eq!(table.channel(inj).dir, Direction::Up);
             assert_eq!(table.channel(eje).dir, Direction::Down);
             assert_eq!(table.channel(inj).low_index, leaf);
+        }
+    }
+
+    #[test]
+    fn level_ranges_partition_the_dense_indices() {
+        let spec = XgftSpec::new(vec![3, 4, 2], vec![1, 2, 3]).unwrap();
+        let table = ChannelTable::new(&spec);
+        let mut covered = 0usize;
+        for level in 0..spec.height() {
+            let range = table.level_range(level);
+            assert_eq!(range.start, covered);
+            assert_eq!(range.len(), 2 * table.cables_at_level(level));
+            for dense in range.clone() {
+                assert_eq!(table.channel(dense).level, level);
+            }
+            covered = range.end;
+        }
+        assert_eq!(covered, table.len());
+    }
+
+    #[test]
+    fn iter_visits_every_channel_in_dense_order() {
+        let spec = XgftSpec::slimmed_two_level(4, 3).unwrap();
+        let table = ChannelTable::new(&spec);
+        let all: Vec<(usize, ChannelId)> = table.iter().collect();
+        assert_eq!(all.len(), table.len());
+        for (dense, ch) in all {
+            assert_eq!(table.index(&ch), dense);
         }
     }
 

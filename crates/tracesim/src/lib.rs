@@ -43,6 +43,6 @@ pub mod trace;
 pub mod workloads;
 
 pub use mapping::{MappedNetwork, Mapping};
-pub use network::{Network, RoutedNetwork};
+pub use network::{Network, NetworkError, RoutedNetwork};
 pub use replay::{ReplayEngine, ReplayError, ReplayResult};
 pub use trace::{RankEvent, Trace};

@@ -9,7 +9,7 @@
 //! switches), and a [`MappedNetwork`] adapter that applies a mapping
 //! transparently underneath the replay engine.
 
-use crate::network::Network;
+use crate::network::{Network, NetworkError};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -132,7 +132,13 @@ impl<N: Network> MappedNetwork<N> {
 }
 
 impl<N: Network> Network for MappedNetwork<N> {
-    fn schedule_message(&mut self, at_ps: u64, src: usize, dst: usize, bytes: u64) -> MessageId {
+    fn schedule_message(
+        &mut self,
+        at_ps: u64,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+    ) -> Result<MessageId, NetworkError> {
         let s = self.mapping.node_of(src);
         let d = self.mapping.node_of(dst);
         self.inner.schedule_message(at_ps, s, d, bytes)
@@ -240,7 +246,7 @@ mod tests {
         let inner = RoutedNetwork::new(NetworkSim::new(&xgft, NetworkConfig::default()), table);
         let mut mapped = MappedNetwork::new(inner, Mapping::sequential(16));
         assert!(!mapped.label().contains("remapped"));
-        Network::schedule_message(&mut mapped, 0, 0, 9, 2048);
+        Network::schedule_message(&mut mapped, 0, 0, 9, 2048).unwrap();
         assert!(mapped.run_until_next_completion().is_some());
         assert_eq!(mapped.report().completed_messages, 1);
         assert_eq!(mapped.mapping().len(), 16);

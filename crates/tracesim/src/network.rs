@@ -6,15 +6,51 @@
 //! [`Network`] trait, so a trace can be replayed on either with the same
 //! code path — exactly the Dimemas/Venus coupling of the paper.
 
+use std::fmt;
 use xgft_core::RouteTable;
 use xgft_netsim::sim::Completion;
 use xgft_netsim::{CrossbarSim, MessageId, NetworkSim, SimReport};
 use xgft_topo::Route;
 
+/// Errors a network model can hit when a message is scheduled.
+///
+/// Incomplete route tables are a real operational condition (a pattern-built
+/// table replayed against a trace that communicates outside the pattern), so
+/// the miss surfaces as a typed error through the replay API rather than a
+/// panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetworkError {
+    /// The route table holds no route for the pair.
+    MissingRoute {
+        /// Source leaf of the unroutable message.
+        src: usize,
+        /// Destination leaf of the unroutable message.
+        dst: usize,
+    },
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::MissingRoute { src, dst } => {
+                write!(f, "no route for pair ({src}, {dst}) in the route table")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
 /// What the replay engine needs from a network model.
 pub trait Network {
     /// Schedule a message for injection at `at_ps`.
-    fn schedule_message(&mut self, at_ps: u64, src: usize, dst: usize, bytes: u64) -> MessageId;
+    fn schedule_message(
+        &mut self,
+        at_ps: u64,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+    ) -> Result<MessageId, NetworkError>;
     /// Advance the network to the next message delivery.
     fn run_until_next_completion(&mut self) -> Option<Completion>;
     /// Current network time (ps).
@@ -51,16 +87,22 @@ impl RoutedNetwork {
 }
 
 impl Network for RoutedNetwork {
-    fn schedule_message(&mut self, at_ps: u64, src: usize, dst: usize, bytes: u64) -> MessageId {
+    fn schedule_message(
+        &mut self,
+        at_ps: u64,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+    ) -> Result<MessageId, NetworkError> {
         let route = if src == dst {
             Route::empty()
         } else {
             self.table
                 .route(src, dst)
                 .cloned()
-                .unwrap_or_else(|| panic!("no route for pair ({src}, {dst}) in the route table"))
+                .ok_or(NetworkError::MissingRoute { src, dst })?
         };
-        self.sim.schedule_message(at_ps, src, dst, bytes, route)
+        Ok(self.sim.schedule_message(at_ps, src, dst, bytes, route))
     }
 
     fn run_until_next_completion(&mut self) -> Option<Completion> {
@@ -81,8 +123,15 @@ impl Network for RoutedNetwork {
 }
 
 impl Network for CrossbarSim {
-    fn schedule_message(&mut self, at_ps: u64, src: usize, dst: usize, bytes: u64) -> MessageId {
-        CrossbarSim::schedule_message(self, at_ps, src, dst, bytes)
+    fn schedule_message(
+        &mut self,
+        at_ps: u64,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+    ) -> Result<MessageId, NetworkError> {
+        // The crossbar connects every pair directly; scheduling never fails.
+        Ok(CrossbarSim::schedule_message(self, at_ps, src, dst, bytes))
     }
 
     fn run_until_next_completion(&mut self) -> Option<Completion> {
@@ -114,8 +163,8 @@ mod tests {
         let xgft = Xgft::new(XgftSpec::k_ary_n_tree(4, 2)).unwrap();
         let table = RouteTable::build_all_pairs(&xgft, &DModK::new());
         let mut net = RoutedNetwork::new(NetworkSim::new(&xgft, NetworkConfig::default()), table);
-        net.schedule_message(0, 0, 9, 4096);
-        net.schedule_message(0, 3, 3, 4096); // self message needs no route
+        net.schedule_message(0, 0, 9, 4096).unwrap();
+        net.schedule_message(0, 3, 3, 4096).unwrap(); // self message needs no route
         let mut count = 0;
         while net.run_until_next_completion().is_some() {
             count += 1;
@@ -128,18 +177,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no route for pair")]
-    fn missing_route_panics() {
+    fn missing_route_is_a_typed_error() {
         let xgft = Xgft::new(XgftSpec::k_ary_n_tree(4, 2)).unwrap();
         let table = RouteTable::build(&xgft, &DModK::new(), vec![(0, 1)]);
         let mut net = RoutedNetwork::new(NetworkSim::new(&xgft, NetworkConfig::default()), table);
-        net.schedule_message(0, 2, 9, 4096);
+        let err = net.schedule_message(0, 2, 9, 4096).unwrap_err();
+        assert_eq!(err, NetworkError::MissingRoute { src: 2, dst: 9 });
+        assert!(err.to_string().contains("(2, 9)"));
+        // The network stays usable after a miss.
+        net.schedule_message(0, 0, 1, 4096).unwrap();
+        assert!(net.run_until_next_completion().is_some());
     }
 
     #[test]
     fn crossbar_implements_network() {
         let mut net = CrossbarSim::new(8, NetworkConfig::default());
-        Network::schedule_message(&mut net, 0, 0, 1, 2048);
+        Network::schedule_message(&mut net, 0, 0, 1, 2048).unwrap();
         assert_eq!(Network::label(&net), "full-crossbar");
         let c = Network::run_until_next_completion(&mut net).unwrap();
         assert_eq!(c.dst, 1);

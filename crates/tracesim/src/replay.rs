@@ -8,7 +8,7 @@
 //! every unblocked rank as far as it can go and (b) advancing the network to
 //! its next delivery — the co-simulation structure of Dimemas + Venus.
 
-use crate::network::Network;
+use crate::network::{Network, NetworkError};
 use crate::trace::{RankEvent, Trace};
 use std::collections::{HashMap, VecDeque};
 use xgft_netsim::SimReport;
@@ -23,6 +23,9 @@ pub enum ReplayError {
         /// Ranks that were still blocked.
         blocked_ranks: Vec<usize>,
     },
+    /// The network refused a message (e.g. the route table has no route for
+    /// a pair the trace communicates over).
+    Network(NetworkError),
 }
 
 impl std::fmt::Display for ReplayError {
@@ -32,7 +35,14 @@ impl std::fmt::Display for ReplayError {
             ReplayError::Deadlock { blocked_ranks } => {
                 write!(f, "replay deadlocked with ranks {blocked_ranks:?} blocked")
             }
+            ReplayError::Network(err) => write!(f, "network rejected a message: {err}"),
         }
+    }
+}
+
+impl From<NetworkError> for ReplayError {
+    fn from(err: NetworkError) -> Self {
+        ReplayError::Network(err)
     }
 }
 
@@ -120,7 +130,7 @@ impl ReplayEngine {
                         &mut delivered,
                         &mut in_flight,
                         &mut network,
-                    );
+                    )?;
                 }
                 // Barrier resolution: if every unfinished rank sits at a
                 // barrier, release them all at the latest arrival time.
@@ -175,7 +185,7 @@ impl ReplayEngine {
     }
 
     /// Run one rank until it blocks or finishes. Returns true if it made any
-    /// progress.
+    /// progress; a network refusal (e.g. a missing route) aborts the replay.
     fn progress_rank<N: Network>(
         trace: &Trace,
         rank: usize,
@@ -183,17 +193,17 @@ impl ReplayEngine {
         delivered: &mut HashMap<(usize, usize, u32), VecDeque<u64>>,
         in_flight: &mut HashMap<u64, (usize, usize, u32)>,
         network: &mut N,
-    ) -> bool {
+    ) -> Result<bool, ReplayError> {
         let program = trace.program(rank);
         let mut progressed = false;
         loop {
             let state = &mut ranks[rank];
             if state.finished || state.at_barrier {
-                return progressed;
+                return Ok(progressed);
             }
             if state.pc >= program.len() {
                 state.finished = true;
-                return progressed;
+                return Ok(progressed);
             }
             match program[state.pc] {
                 RankEvent::Compute { duration_ps } => {
@@ -205,7 +215,7 @@ impl ReplayEngine {
                     // Injection cannot happen before the network's current
                     // time (the rank may be "ahead" only in virtual terms).
                     let at = state.clock_ps.max(network.now_ps());
-                    let id = network.schedule_message(at, rank, dst, bytes);
+                    let id = network.schedule_message(at, rank, dst, bytes)?;
                     in_flight.insert(id.0, (rank, dst, tag));
                     state.pc += 1;
                     progressed = true;
@@ -222,13 +232,13 @@ impl ReplayEngine {
                         }
                         None => {
                             state.blocked_on = Some((src, tag));
-                            return progressed;
+                            return Ok(progressed);
                         }
                     }
                 }
                 RankEvent::Barrier => {
                     state.at_barrier = true;
-                    return true;
+                    return Ok(true);
                 }
             }
         }
@@ -365,6 +375,46 @@ mod tests {
             }
             other => panic!("expected deadlock, got {other}"),
         }
+    }
+
+    #[test]
+    fn missing_route_surfaces_as_a_typed_replay_error() {
+        // The table only covers (0, 1); the trace also sends 0 -> 9.
+        let trace = Trace::new(
+            "partial-table",
+            vec![
+                vec![
+                    RankEvent::Send {
+                        dst: 1,
+                        bytes: 1024,
+                        tag: 0,
+                    },
+                    RankEvent::Send {
+                        dst: 9,
+                        bytes: 1024,
+                        tag: 0,
+                    },
+                ],
+                vec![RankEvent::Recv { src: 0, tag: 0 }],
+                vec![],
+                vec![],
+                vec![],
+                vec![],
+                vec![],
+                vec![],
+                vec![],
+                vec![RankEvent::Recv { src: 0, tag: 0 }],
+            ],
+        );
+        let xgft = Xgft::new(XgftSpec::k_ary_n_tree(4, 2)).unwrap();
+        let table = RouteTable::build(&xgft, &DModK::new(), vec![(0, 1)]);
+        let net = RoutedNetwork::new(NetworkSim::new(&xgft, NetworkConfig::default()), table);
+        let err = ReplayEngine::new(trace).run(net).unwrap_err();
+        assert_eq!(
+            err,
+            ReplayError::Network(crate::network::NetworkError::MissingRoute { src: 0, dst: 9 })
+        );
+        assert!(err.to_string().contains("no route"));
     }
 
     #[test]

@@ -112,7 +112,7 @@ fn network_label_and_report_plumbing() {
     assert!(net.label().contains("XGFT(2;4,4;1,4)"));
     // Manual drive of the Network trait, over a pair the WRF ±cols exchange
     // actually communicates (rank 0 talks to rank 4, not rank 5).
-    Network::schedule_message(&mut net, 0, 0, 4, 4096);
+    Network::schedule_message(&mut net, 0, 0, 4, 4096).unwrap();
     assert!(Network::run_until_next_completion(&mut net).is_some());
     assert_eq!(Network::report(&net).completed_messages, 1);
     assert!(Network::now_ps(&net) > 0);

@@ -10,6 +10,9 @@
 //! * [`topo`] — the XGFT topology substrate (labels, NCAs, routes).
 //! * [`patterns`] — communication patterns and workload generators.
 //! * [`routing`] — the oblivious routing family (the paper's contribution).
+//! * [`flow`] — the analytical channel-load model: exact expected loads,
+//!   MCL, tree-cut bounds and congestion ratios from closed-form route
+//!   distributions (no simulation, no seeds).
 //! * [`netsim`] — the event-driven flit/segment-level network simulator.
 //! * [`tracesim`] — the Dimemas-like trace replay engine and synthetic
 //!   WRF-256 / CG.D-128 workloads.
@@ -21,6 +24,7 @@
 
 pub use xgft_analysis as analysis;
 pub use xgft_core as routing;
+pub use xgft_flow as flow;
 pub use xgft_netsim as netsim;
 pub use xgft_patterns as patterns;
 pub use xgft_topo as topo;
@@ -30,9 +34,10 @@ pub use xgft_tracesim as tracesim;
 pub mod prelude {
     pub use xgft_analysis::slowdown::SlowdownReport;
     pub use xgft_core::{
-        ColoredRouting, DModK, RandomNcaDown, RandomNcaUp, RandomRouting, RouteTable,
-        RoutingAlgorithm, SModK,
+        ColoredRouting, DModK, RandomNcaDown, RandomNcaUp, RandomRouting, RouteDistribution,
+        RouteTable, RoutingAlgorithm, SModK,
     };
+    pub use xgft_flow::{ExpectedLoads, FlowSweepConfig, TrafficMatrix, TrafficSpec};
     pub use xgft_netsim::{NetworkConfig, SwitchingMode};
     pub use xgft_patterns::{ConnectivityMatrix, Pattern};
     pub use xgft_topo::{KAryNTree, NodeLabel, Route, Xgft, XgftSpec};
