@@ -16,6 +16,11 @@
 //! | [`experiments::equivalence`] | Sec. VII-B/C (S-mod-k / D-mod-k duality) |
 //! | [`experiments::flow_mcl`] | analytical MCL sweeps (`xgft-flow`) + netsim cross-validation |
 //!
+//! Sweeps decompose into (topology, algorithm, seed) [`SweepShard`]s that
+//! replay in parallel on compiled route tables; the [`campaign`] module
+//! adds deterministic per-shard seed streams and serde-JSON campaign output
+//! on top (the paper's 40–60-seed figure runs as one schedulable unit).
+//!
 //! The `xgft-bench` crate wraps each driver in a binary so every figure can
 //! be regenerated from the command line; see the repository `README.md` for
 //! the reproduction workflow.
@@ -23,11 +28,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod campaign;
 pub mod experiments;
 pub mod slowdown;
 pub mod stats;
 pub mod sweep;
 
+pub use campaign::{shard_seed, CampaignConfig, CampaignResult, ShardOutcome};
 pub use slowdown::{slowdown_of, SlowdownReport};
 pub use stats::BoxplotStats;
-pub use sweep::{AlgorithmSpec, SweepConfig, SweepPoint, SweepResult};
+pub use sweep::{AlgorithmSpec, SweepConfig, SweepPoint, SweepResult, SweepShard};

@@ -6,7 +6,7 @@
 //! ratio isolates exactly what the routing scheme can influence.
 
 use serde::{Deserialize, Serialize};
-use xgft_core::{RouteTable, RoutingAlgorithm};
+use xgft_core::{CompiledRouteTable, RouteTable, RoutingAlgorithm};
 use xgft_netsim::{CrossbarSim, NetworkConfig, NetworkSim};
 use xgft_topo::Xgft;
 use xgft_tracesim::{Network, ReplayEngine, ReplayError, ReplayResult, RoutedNetwork, Trace};
@@ -29,27 +29,44 @@ pub struct SlowdownReport {
     pub slowdown: f64,
 }
 
-/// Replay `trace` on `xgft` with routes from `algo`.
+/// Replay `trace` on `xgft` with routes from `algo`. The routes for the
+/// trace's communication pairs are compiled straight into the flat indexed
+/// form, so the replay's injections never touch a hash map.
 pub fn run_on_xgft<A: RoutingAlgorithm + ?Sized>(
     trace: &Trace,
     xgft: &Xgft,
     algo: &A,
     config: &NetworkConfig,
 ) -> Result<ReplayResult, ReplayError> {
-    let table = RouteTable::build(xgft, algo, trace.communication_pairs());
-    let net = RoutedNetwork::new(NetworkSim::new(xgft, config.clone()), table);
-    ReplayEngine::new(trace.clone()).run(net)
+    let table = CompiledRouteTable::compile(xgft, algo, trace.communication_pairs());
+    run_on_xgft_with_compiled(trace, xgft, table, config)
 }
 
-/// Replay `trace` on a prebuilt route table (used when the same table is
-/// reused across experiments).
+/// Replay `trace` on a prebuilt hash-map route table (compiled on entry;
+/// used when the same table is reused across experiments).
 pub fn run_on_xgft_with_table(
     trace: &Trace,
     xgft: &Xgft,
     table: RouteTable,
     config: &NetworkConfig,
 ) -> Result<ReplayResult, ReplayError> {
-    let net = RoutedNetwork::new(NetworkSim::new(xgft, config.clone()), table);
+    run_on_xgft_with_compiled(
+        trace,
+        xgft,
+        CompiledRouteTable::from_table(xgft, &table),
+        config,
+    )
+}
+
+/// Replay `trace` on an already-compiled route table (the hot campaign
+/// path: table compilation and replay are separately accountable).
+pub fn run_on_xgft_with_compiled(
+    trace: &Trace,
+    xgft: &Xgft,
+    table: CompiledRouteTable,
+    config: &NetworkConfig,
+) -> Result<ReplayResult, ReplayError> {
+    let net = RoutedNetwork::with_compiled(NetworkSim::new(xgft, config.clone()), table);
     ReplayEngine::new(trace.clone()).run(net)
 }
 

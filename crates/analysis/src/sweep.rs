@@ -8,8 +8,13 @@
 //! parameter here).
 //!
 //! Independent (topology, algorithm, seed) runs are embarrassingly parallel;
-//! [`SweepConfig::run`] uses Rayon to spread them over cores, as the
+//! a sweep is decomposed into [`SweepShard`]s — one per (topology,
+//! algorithm, seed) triple — which Rayon spreads over cores, as the
 //! HPC-parallel guidance recommends parallelising at the outermost loop.
+//! Shard order (and therefore every aggregate) is a pure function of the
+//! configuration: results are identical whatever the worker count. The
+//! [`crate::campaign`] module layers deterministic per-shard seed streams
+//! and serde-JSON campaign output on top of the same machinery.
 
 use crate::slowdown::{run_on_crossbar, run_on_xgft};
 use crate::stats::BoxplotStats;
@@ -100,6 +105,116 @@ impl AlgorithmSpec {
             AlgorithmSpec::Colored => Box::new(ColoredRouting::new(xgft, &pattern.combined())),
         }
     }
+}
+
+/// One unit of parallel sweep work: a (topology, algorithm, seed) triple.
+/// Deterministic algorithms carry a placeholder seed of 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepShard {
+    /// Number of top-level switches of the slimmed topology.
+    pub w2: usize,
+    /// The algorithm to instantiate.
+    pub algorithm: AlgorithmSpec,
+    /// Seed for seeded algorithms (0 for deterministic ones).
+    pub seed: u64,
+}
+
+/// Enumerate the shards of a (w2 × algorithm) grid: seeded algorithms get
+/// one shard per seed from `seeds_for_point`, deterministic ones a single
+/// placeholder-seeded shard. Shared by [`SweepConfig::shards`] and
+/// [`crate::campaign::CampaignConfig::shards`] so the two can never
+/// silently diverge in enumeration order.
+pub(crate) fn enumerate_shards(
+    w2_values: &[usize],
+    algorithms: &[AlgorithmSpec],
+    seeds_for_point: impl Fn(usize, AlgorithmSpec) -> Vec<u64>,
+) -> Vec<SweepShard> {
+    let mut shards = Vec::new();
+    for &w2 in w2_values {
+        for &algo in algorithms {
+            if algo.is_seeded() {
+                for seed in seeds_for_point(w2, algo) {
+                    shards.push(SweepShard {
+                        w2,
+                        algorithm: algo,
+                        seed,
+                    });
+                }
+            } else {
+                shards.push(SweepShard {
+                    w2,
+                    algorithm: algo,
+                    seed: 0,
+                });
+            }
+        }
+    }
+    shards
+}
+
+/// Replay one shard: build the shard's topology, instantiate its algorithm,
+/// compile the routes and replay the trace, returning the slowdown relative
+/// to `crossbar_ps`. This is the closure the parallel campaign runner maps
+/// over its shard list.
+pub(crate) fn run_shard(
+    shard: &SweepShard,
+    k: usize,
+    network: &NetworkConfig,
+    pattern: &Pattern,
+    trace: &Trace,
+    crossbar_ps: u64,
+) -> f64 {
+    let spec = XgftSpec::slimmed_two_level(k, shard.w2).expect("valid slimmed spec");
+    let xgft = Xgft::new(spec).expect("valid topology");
+    let instance = shard.algorithm.instantiate(&xgft, pattern, shard.seed);
+    let result = run_on_xgft(trace, &xgft, instance.as_ref(), network)
+        .expect("replay cannot deadlock on a valid trace");
+    result.completion_ps as f64 / crossbar_ps as f64
+}
+
+/// Run every shard in parallel (rayon) and return one slowdown sample per
+/// shard, in shard order — deterministic for any worker count because the
+/// parallel map preserves input order.
+pub(crate) fn run_shards(
+    shards: &[SweepShard],
+    k: usize,
+    network: &NetworkConfig,
+    pattern: &Pattern,
+    trace: &Trace,
+    crossbar_ps: u64,
+) -> Vec<f64> {
+    shards
+        .par_iter()
+        .map(|shard| run_shard(shard, k, network, pattern, trace, crossbar_ps))
+        .collect()
+}
+
+/// Group per-shard samples into [`SweepPoint`]s, one per (w2, algorithm) in
+/// the given configuration order.
+pub(crate) fn assemble_points(shards: &[SweepShard], samples: &[f64]) -> Vec<SweepPoint> {
+    let mut order: Vec<(usize, AlgorithmSpec)> = Vec::new();
+    for shard in shards {
+        if !order.contains(&(shard.w2, shard.algorithm)) {
+            order.push((shard.w2, shard.algorithm));
+        }
+    }
+    order
+        .into_iter()
+        .map(|(w2, algo)| {
+            let values: Vec<f64> = shards
+                .iter()
+                .zip(samples)
+                .filter(|(s, _)| s.w2 == w2 && s.algorithm == algo)
+                .map(|(_, &v)| v)
+                .collect();
+            SweepPoint {
+                w2,
+                algorithm: algo.name().to_string(),
+                stats: BoxplotStats::from_samples(&values),
+                samples: values,
+            }
+        })
+        .collect()
 }
 
 /// One point of a sweep: a (w2, algorithm) pair with its slowdown samples.
@@ -198,6 +313,14 @@ impl SweepConfig {
         }
     }
 
+    /// Decompose the sweep into its (topology, algorithm, seed) shards:
+    /// seeded algorithms get one shard per configured seed (the same list
+    /// at every point), deterministic ones a single shard. Pure function of
+    /// the configuration.
+    pub fn shards(&self) -> Vec<SweepShard> {
+        enumerate_shards(&self.w2_values, &self.algorithms, |_, _| self.seeds.clone())
+    }
+
     /// Run the sweep for a workload pattern (the trace is derived from it).
     pub fn run(&self, pattern: &Pattern) -> SweepResult {
         let trace = workloads::trace_from_pattern(pattern, 0);
@@ -206,66 +329,19 @@ impl SweepConfig {
 
     /// Run the sweep for an explicit trace (must communicate over the
     /// pattern's pairs; the pattern is still needed by pattern-aware
-    /// schemes).
+    /// schemes): one parallel replay per shard, aggregated into per-point
+    /// boxplots.
     pub fn run_trace(&self, pattern: &Pattern, trace: &Trace) -> SweepResult {
         let crossbar_ps = run_on_crossbar(trace, &self.network)
             .expect("crossbar replay cannot deadlock")
             .completion_ps;
-
-        // Enumerate all (w2, algorithm, seed) jobs.
-        let mut jobs: Vec<(usize, AlgorithmSpec, u64)> = Vec::new();
-        for &w2 in &self.w2_values {
-            for &algo in &self.algorithms {
-                if algo.is_seeded() {
-                    for &seed in &self.seeds {
-                        jobs.push((w2, algo, seed));
-                    }
-                } else {
-                    jobs.push((w2, algo, 0));
-                }
-            }
-        }
-
-        let k = self.k;
-        let network = self.network.clone();
-        let samples: Vec<(usize, AlgorithmSpec, f64)> = jobs
-            .par_iter()
-            .map(|&(w2, algo, seed)| {
-                let spec = XgftSpec::slimmed_two_level(k, w2).expect("valid slimmed spec");
-                let xgft = Xgft::new(spec).expect("valid topology");
-                let instance = algo.instantiate(&xgft, pattern, seed);
-                let result = run_on_xgft(trace, &xgft, instance.as_ref(), &network)
-                    .expect("replay cannot deadlock on a valid trace");
-                (w2, algo, result.completion_ps as f64 / crossbar_ps as f64)
-            })
-            .collect();
-
-        // Group samples into points.
-        let mut points = Vec::new();
-        for &w2 in &self.w2_values {
-            for &algo in &self.algorithms {
-                let values: Vec<f64> = samples
-                    .iter()
-                    .filter(|(pw2, palgo, _)| *pw2 == w2 && *palgo == algo)
-                    .map(|(_, _, s)| *s)
-                    .collect();
-                if values.is_empty() {
-                    continue;
-                }
-                points.push(SweepPoint {
-                    w2,
-                    algorithm: algo.name().to_string(),
-                    stats: BoxplotStats::from_samples(&values),
-                    samples: values,
-                });
-            }
-        }
-
+        let shards = self.shards();
+        let samples = run_shards(&shards, self.k, &self.network, pattern, trace, crossbar_ps);
         SweepResult {
             trace: trace.name().to_string(),
-            k,
+            k: self.k,
             crossbar_ps,
-            points,
+            points: assemble_points(&shards, &samples),
         }
     }
 }

@@ -1,0 +1,92 @@
+//! The parallel campaign runner must be seed-deterministic: the same
+//! configuration produces an identical [`SweepResult`] / [`CampaignResult`]
+//! whatever the rayon worker count (`RAYON_NUM_THREADS=1` vs the default),
+//! because shard order — and every per-shard seed — is a pure function of
+//! the configuration and the parallel map preserves input order.
+
+use rayon::ThreadPoolBuilder;
+use xgft_analysis::{AlgorithmSpec, CampaignConfig, SweepConfig};
+use xgft_netsim::NetworkConfig;
+use xgft_patterns::generators;
+
+fn mini_campaign() -> CampaignConfig {
+    CampaignConfig {
+        name: "determinism".into(),
+        k: 4,
+        w2_values: vec![4, 2, 1],
+        algorithms: vec![
+            AlgorithmSpec::DModK,
+            AlgorithmSpec::Random,
+            AlgorithmSpec::RandomNcaDown,
+        ],
+        seeds_per_point: 3,
+        base_seed: 77,
+        network: NetworkConfig::default(),
+    }
+}
+
+#[test]
+fn campaign_result_is_identical_for_any_worker_count() {
+    let pattern = generators::wrf_mesh_exchange(4, 4, 16 * 1024);
+    let config = mini_campaign();
+
+    // One worker thread (what RAYON_NUM_THREADS=1 pins the global pool to).
+    let single = ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap()
+        .install(|| config.run(&pattern));
+    // The default (machine) parallelism.
+    let parallel = config.run(&pattern);
+    // An oversubscribed pool, for good measure.
+    let wide = ThreadPoolBuilder::new()
+        .num_threads(7)
+        .build()
+        .unwrap()
+        .install(|| config.run(&pattern));
+
+    let single_json = serde_json::to_string(&single).unwrap();
+    let parallel_json = serde_json::to_string(&parallel).unwrap();
+    let wide_json = serde_json::to_string(&wide).unwrap();
+    assert_eq!(
+        single_json, parallel_json,
+        "1 worker vs default must give byte-identical campaign results"
+    );
+    assert_eq!(parallel_json, wide_json);
+
+    // Shard provenance is ordered and fully populated either way.
+    assert_eq!(single.shards.len(), config.shards().len());
+    assert!(single.shards.iter().all(|s| s.slowdown >= 0.999));
+}
+
+#[test]
+fn sweep_result_is_identical_for_any_worker_count() {
+    let pattern = generators::wrf_mesh_exchange(4, 4, 16 * 1024);
+    let config = SweepConfig {
+        k: 4,
+        w2_values: vec![4, 1],
+        algorithms: vec![AlgorithmSpec::DModK, AlgorithmSpec::Random],
+        seeds: vec![1, 2, 3],
+        network: NetworkConfig::default(),
+    };
+    let single = ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap()
+        .install(|| config.run(&pattern));
+    let parallel = config.run(&pattern);
+    assert_eq!(
+        serde_json::to_string(&single).unwrap(),
+        serde_json::to_string(&parallel).unwrap(),
+        "SweepConfig::run must not depend on the rayon thread count"
+    );
+}
+
+#[test]
+fn reruns_of_the_same_campaign_are_byte_identical() {
+    let pattern = generators::shift(16, 4, 8 * 1024);
+    let config = mini_campaign();
+    let a = serde_json::to_string(&config.run(&pattern)).unwrap();
+    let b = serde_json::to_string(&config.run(&pattern)).unwrap();
+    assert_eq!(a, b);
+}

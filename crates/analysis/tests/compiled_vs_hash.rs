@@ -1,0 +1,143 @@
+//! Property tests of the compiled route-table representation: on randomized
+//! XGFT specs, [`CompiledRouteTable`] must agree with the HashMap
+//! [`RouteTable`] route-for-route for **every** algorithm spec evaluated by
+//! Figures 2 and 5 — including the miss path of partially-built tables and
+//! the lossless bridge in both directions.
+
+use proptest::prelude::*;
+use xgft_analysis::AlgorithmSpec;
+use xgft_core::{CompiledRouteTable, RouteTable};
+use xgft_patterns::{generators, Pattern};
+use xgft_topo::{Xgft, XgftSpec};
+
+/// Small two- and three-level specs with optional slimming (the same family
+/// the core property tests randomize over).
+fn small_spec() -> impl Strategy<Value = XgftSpec> {
+    prop_oneof![
+        (2usize..=6, 1usize..=6)
+            .prop_map(|(k, w2)| XgftSpec::new(vec![k, k], vec![1, w2.min(k)]).expect("valid")),
+        (2usize..=3, 2usize..=3, 2usize..=3, 1usize..=3, 1usize..=3).prop_map(
+            |(m1, m2, m3, w2, w3)| XgftSpec::new(vec![m1, m2, m3], vec![1, w2, w3]).expect("valid")
+        ),
+    ]
+}
+
+/// Every algorithm spec that appears in Fig. 2 or Fig. 5.
+fn figure_algorithms() -> Vec<AlgorithmSpec> {
+    let mut algos = AlgorithmSpec::figure2_set();
+    for a in AlgorithmSpec::figure5_set() {
+        if !algos.contains(&a) {
+            algos.push(a);
+        }
+    }
+    algos
+}
+
+/// A deterministic quasi-random pair list for the miss-path tests.
+fn sparse_pairs(n: usize, salt: u64) -> Vec<(usize, usize)> {
+    (0..n)
+        .map(|s| {
+            let d = (s as u64).wrapping_mul(salt | 1).wrapping_add(salt >> 3) as usize % n;
+            (s, d)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// All-pairs agreement: same routes, same expanded channel paths, for
+    /// every figure algorithm on every sampled topology.
+    #[test]
+    fn compiled_agrees_with_hash_for_every_figure_algorithm(
+        spec in small_spec(),
+        seed in 0u64..1000,
+    ) {
+        let xgft = Xgft::new(spec).unwrap();
+        let n = xgft.num_leaves();
+        // Pattern-aware specs (Colored) see a shift pattern; oblivious ones
+        // ignore it.
+        let pattern: Pattern = generators::shift(n, 1, 4 * 1024);
+        for algo_spec in figure_algorithms() {
+            let algo = algo_spec.instantiate(&xgft, &pattern, seed);
+            let table = RouteTable::build_all_pairs(&xgft, algo.as_ref());
+            let compiled = CompiledRouteTable::from_table(&xgft, &table);
+            prop_assert_eq!(compiled.len(), table.len());
+            prop_assert_eq!(compiled.algorithm(), table.algorithm());
+            prop_assert_eq!(compiled.is_pattern_aware(), table.is_pattern_aware());
+            for s in 0..n {
+                for d in 0..n {
+                    prop_assert_eq!(
+                        compiled.route(s, d),
+                        table.route(s, d).cloned(),
+                        "{} on {} pair ({s},{d})",
+                        algo_spec.name(),
+                        xgft.spec()
+                    );
+                    if let Some(route) = table.route(s, d) {
+                        let expanded = xgft.route_channels(s, d, route).unwrap();
+                        let path: Vec<usize> = compiled
+                            .path(s, d)
+                            .unwrap()
+                            .iter()
+                            .map(|&c| c as usize)
+                            .collect();
+                        prop_assert_eq!(path, expanded);
+                    }
+                }
+            }
+            // Compiling straight from the algorithm matches compiling the
+            // hash table (algorithms are deterministic once constructed).
+            let direct = CompiledRouteTable::compile_all_pairs(&xgft, algo.as_ref());
+            for s in 0..n {
+                for d in 0..n {
+                    prop_assert_eq!(direct.path(s, d), compiled.path(s, d));
+                }
+            }
+        }
+    }
+
+    /// Miss path and lossless bridge on partially-built tables: absent
+    /// pairs miss in both representations, and hash → compiled → hash is
+    /// the identity.
+    #[test]
+    fn partial_tables_agree_on_misses_and_round_trip(
+        spec in small_spec(),
+        seed in 0u64..1000,
+        salt in 1u64..10_000,
+    ) {
+        let xgft = Xgft::new(spec).unwrap();
+        let n = xgft.num_leaves();
+        let pattern: Pattern = generators::shift(n, 1, 4 * 1024);
+        let pairs = sparse_pairs(n, salt);
+        for algo_spec in figure_algorithms() {
+            let algo = algo_spec.instantiate(&xgft, &pattern, seed);
+            let table = RouteTable::build(&xgft, algo.as_ref(), pairs.iter().copied());
+            let compiled = CompiledRouteTable::compile(&xgft, algo.as_ref(), pairs.iter().copied());
+            prop_assert_eq!(compiled.len(), table.len());
+            for s in 0..n {
+                for d in 0..n {
+                    match table.route(s, d) {
+                        Some(route) => {
+                            prop_assert_eq!(compiled.route(s, d).as_ref(), Some(route));
+                        }
+                        None => {
+                            prop_assert!(
+                                compiled.path(s, d).is_none(),
+                                "pair ({s},{d}) must miss in the compiled table too"
+                            );
+                            prop_assert!(compiled.route(s, d).is_none());
+                        }
+                    }
+                }
+            }
+            // Lossless bridge back to hash form.
+            let back = compiled.to_table();
+            prop_assert_eq!(back.len(), table.len());
+            for (&(s, d), route) in table.iter() {
+                prop_assert_eq!(back.route(s, d), Some(route));
+            }
+            prop_assert!(compiled.validate(&xgft).is_ok());
+        }
+    }
+}

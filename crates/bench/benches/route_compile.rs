@@ -1,0 +1,79 @@
+//! Criterion benches of route-table representations: the flat
+//! [`CompiledRouteTable`] against the HashMap [`RouteTable`] on a
+//! 1024-leaf machine (`XGFT(2;32,32;1,24)`).
+//!
+//! `lookup_replay` measures what the simulator pays per message — fetch the
+//! pair's route and obtain its dense channel path. The hash form pays a
+//! hash lookup plus label-arithmetic expansion; the compiled form is two
+//! array reads returning a borrowed slice. The acceptance bar for this PR
+//! is a ≥5x advantage for the compiled form on the all-pairs sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xgft_core::{CompiledRouteTable, DModK, RandomRouting, RouteTable};
+use xgft_topo::{Xgft, XgftSpec};
+
+fn machine() -> Xgft {
+    // 1024 leaves, slimmed top level.
+    Xgft::new(XgftSpec::slimmed_two_level(32, 24).unwrap()).unwrap()
+}
+
+fn lookup_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route_lookup_replay_1024");
+    group.sample_size(10);
+    let xgft = machine();
+    let n = xgft.num_leaves();
+    let hash = RouteTable::build_all_pairs(&xgft, &DModK::new());
+    let compiled = CompiledRouteTable::from_table(&xgft, &hash);
+
+    group.bench_function("hashmap_expand", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for s in 0..n {
+                for d in 0..n {
+                    if s == d {
+                        continue;
+                    }
+                    let route = hash.route(s, d).expect("all pairs present");
+                    let path = xgft.route_channels(s, d, route).expect("valid");
+                    acc += path.len() + path[0];
+                }
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("compiled_flat", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for s in 0..n {
+                for d in 0..n {
+                    if s == d {
+                        continue;
+                    }
+                    let path = compiled.path(s, d).expect("all pairs present");
+                    acc += path.len() + path[0] as usize;
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn compile_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route_compile_1024");
+    group.sample_size(10);
+    let xgft = machine();
+    let hash = RouteTable::build_all_pairs(&xgft, &RandomRouting::new(1));
+    group.bench_function("from_hash_table", |b| {
+        b.iter(|| black_box(CompiledRouteTable::from_table(&xgft, black_box(&hash))).len())
+    });
+    group.bench_function("direct_all_pairs", |b| {
+        b.iter(|| black_box(CompiledRouteTable::compile_all_pairs(&xgft, &DModK::new())).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, lookup_replay, compile_cost);
+criterion_main!(benches);

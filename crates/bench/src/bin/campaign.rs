@@ -1,0 +1,102 @@
+//! The parallel seed-campaign runner: a fig5-style sweep over the slimming
+//! family `XGFT(2; k, k; 1, w2)` with the full Fig. 5 algorithm set, run as
+//! one deterministic campaign — every (topology, algorithm, seed) shard is
+//! replayed in parallel on the compiled route tables, with per-shard seeds
+//! derived from `--base-seed` (see `xgft_analysis::campaign`).
+//!
+//! Unlike the per-figure binaries this one scales past the paper: `--k 64`
+//! sweeps 4096-leaf machines. Examples:
+//!
+//! ```sh
+//! # The paper's Fig. 5 shape, laptop scale.
+//! cargo run --release --bin campaign -- --quick
+//! # A 4096-leaf campaign over three slimming points.
+//! cargo run --release --bin campaign -- --quick --k 64 --w2 64,48,32
+//! # Full paper-scale seed counts, JSON for plotting.
+//! cargo run --release --bin campaign -- --full --json > campaign.json
+//! ```
+
+use xgft_analysis::{AlgorithmSpec, CampaignConfig};
+use xgft_bench::ExperimentArgs;
+use xgft_patterns::generators;
+use xgft_patterns::Pattern;
+
+fn scale_bytes(bytes: u64, scale: f64) -> u64 {
+    ((bytes as f64 * scale).round() as u64).max(1024)
+}
+
+fn workload_pattern(name: &str, k: usize, byte_scale: f64) -> Result<Pattern, String> {
+    let n = k * k;
+    match name {
+        "wrf" => Ok(generators::wrf_mesh_exchange(
+            k,
+            k,
+            scale_bytes(generators::WRF_DEFAULT_BYTES, byte_scale),
+        )),
+        "cg" => {
+            if !n.is_power_of_two() || n < 32 {
+                return Err(format!("cg needs k*k a power of two >= 32, got {n}"));
+            }
+            Ok(generators::cg_d(
+                n,
+                scale_bytes(generators::CG_D_PHASE_BYTES, byte_scale),
+            ))
+        }
+        "shift" => Ok(generators::shift(
+            n,
+            k,
+            scale_bytes(generators::WRF_DEFAULT_BYTES, byte_scale),
+        )),
+        other => Err(format!("unknown workload: {other} (wrf|cg|shift)")),
+    }
+}
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let pattern = match workload_pattern(&args.workload, args.k, args.byte_scale) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let mut config = CampaignConfig::slimming_family(
+        format!("campaign-{}-k{}", args.workload, args.k),
+        args.k,
+        AlgorithmSpec::figure5_set(),
+        args.seeds,
+        args.base_seed,
+    );
+    config.w2_values = args.w2_sweep_for_k();
+
+    let shards = config.shards();
+    eprintln!(
+        "# campaign {}: {} leaves, {} shards ({} w2 points x {} algorithms, {} seeds/point, base seed {})",
+        config.name,
+        args.k * args.k,
+        shards.len(),
+        config.w2_values.len(),
+        config.algorithms.len(),
+        config.seeds_per_point,
+        config.base_seed,
+    );
+
+    let result = config.run(&pattern);
+    let table = format!(
+        "{}# {} shards replayed against a crossbar reference of {} ps",
+        result.sweep.render_table(),
+        result.shards.len(),
+        result.crossbar_ps
+    );
+    if args.json {
+        // Keep stdout pure JSON so `campaign --json > campaign.json` can be
+        // consumed directly; the human-readable table goes to stderr.
+        eprintln!("{table}");
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&result).expect("serialisable")
+        );
+    } else {
+        println!("{table}");
+    }
+}

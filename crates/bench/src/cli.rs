@@ -12,6 +12,12 @@
 //! * `--analytic`         — evaluate through the `xgft-flow` closed-form
 //!   channel-load model (expected MCL + congestion ratio) instead of
 //!   replaying the event-driven simulation; seeds are ignored.
+//! * `--k <n>`            — switch radix of the swept family (default 16,
+//!   the paper's; 64 gives 4096-leaf machines). Used by the `campaign`
+//!   binary.
+//! * `--base-seed <s>`    — root of the campaign's deterministic per-shard
+//!   seed streams (default 2009).
+//! * `--workload <name>`  — campaign workload: `wrf`, `cg` or `shift`.
 
 use std::env;
 
@@ -31,6 +37,12 @@ pub struct ExperimentArgs {
     /// The `--quick` preset was requested (CI smoke mode): binaries skip
     /// their expensive optional sections.
     pub quick: bool,
+    /// Switch radix of the swept topology family (16 = the paper's).
+    pub k: usize,
+    /// Root seed of the campaign's deterministic per-shard seed streams.
+    pub base_seed: u64,
+    /// Campaign workload name (`wrf`, `cg` or `shift`).
+    pub workload: String,
 }
 
 impl Default for ExperimentArgs {
@@ -45,6 +57,9 @@ impl Default for ExperimentArgs {
             json: false,
             analytic: false,
             quick: false,
+            k: 16,
+            base_seed: 2009,
+            workload: "wrf".to_string(),
         }
     }
 }
@@ -81,10 +96,24 @@ impl ExperimentArgs {
                 }
                 "--json" => parsed.json = true,
                 "--analytic" => parsed.analytic = true,
+                "--k" => {
+                    let v = iter.next().ok_or("--k needs a value")?;
+                    parsed.k = v.parse().map_err(|_| format!("bad --k value: {v}"))?;
+                }
+                "--base-seed" => {
+                    let v = iter.next().ok_or("--base-seed needs a value")?;
+                    parsed.base_seed = v
+                        .parse()
+                        .map_err(|_| format!("bad --base-seed value: {v}"))?;
+                }
+                "--workload" => {
+                    parsed.workload = iter.next().ok_or("--workload needs a name")?;
+                }
                 "--help" | "-h" => {
                     return Err(concat!(
                         "usage: <experiment> [--quick|--full] [--seeds N] ",
-                        "[--scale F] [--w2 a,b,c] [--json] [--analytic]"
+                        "[--scale F] [--w2 a,b,c] [--json] [--analytic] ",
+                        "[--k K] [--base-seed S] [--workload wrf|cg|shift]"
                     )
                     .to_string())
                 }
@@ -93,6 +122,9 @@ impl ExperimentArgs {
         }
         if parsed.seeds == 0 {
             return Err("--seeds must be at least 1".to_string());
+        }
+        if parsed.k < 2 {
+            return Err("--k must be at least 2".to_string());
         }
         if parsed.byte_scale <= 0.0 {
             return Err("--scale must be positive".to_string());
@@ -121,6 +153,14 @@ impl ExperimentArgs {
         self.w2_values
             .clone()
             .unwrap_or_else(|| (1..=16).rev().collect())
+    }
+
+    /// The w2 sweep (descending) for the configured radix, defaulting to
+    /// the full `k..=1` slimming range.
+    pub fn w2_sweep_for_k(&self) -> Vec<usize> {
+        self.w2_values
+            .clone()
+            .unwrap_or_else(|| (1..=self.k).rev().collect())
     }
 }
 
@@ -168,6 +208,25 @@ mod tests {
         assert!(!parse(&[]).unwrap().analytic);
         assert_eq!(a.seed_list(), (1..=12).collect::<Vec<u64>>());
         assert_eq!(a.w2_sweep(), vec![16, 8, 1]);
+    }
+
+    #[test]
+    fn campaign_flags() {
+        let d = parse(&[]).unwrap();
+        assert_eq!(d.k, 16);
+        assert_eq!(d.base_seed, 2009);
+        assert_eq!(d.workload, "wrf");
+        let a = parse(&["--k", "64", "--base-seed", "7", "--workload", "cg"]).unwrap();
+        assert_eq!(a.k, 64);
+        assert_eq!(a.base_seed, 7);
+        assert_eq!(a.workload, "cg");
+        assert_eq!(a.w2_sweep_for_k(), (1..=64).rev().collect::<Vec<_>>());
+        let explicit = parse(&["--k", "64", "--w2", "64,32"]).unwrap();
+        assert_eq!(explicit.w2_sweep_for_k(), vec![64, 32]);
+        assert!(parse(&["--k", "1"]).is_err());
+        assert!(parse(&["--k"]).is_err());
+        assert!(parse(&["--base-seed", "x"]).is_err());
+        assert!(parse(&["--workload"]).is_err());
     }
 
     #[test]

@@ -1,0 +1,343 @@
+//! Compiled route tables: flat indexed storage for the simulation hot path.
+//!
+//! [`crate::RouteTable`] keeps every route in a `HashMap<(usize, usize),
+//! Route>`; each simulated message then pays a hash lookup, a `Route` clone,
+//! a validation pass and a label-arithmetic expansion into channel indices.
+//! That is fine for a few hundred leaves but dominates the cost of the
+//! paper's 40–60-seed campaigns long before the event queue does.
+//!
+//! [`CompiledRouteTable`] is the dense form the hot consumers use instead: a
+//! one-off build step flattens all routes into per-source arrays of
+//! *channel-index sequences* (indices into [`xgft_topo::ChannelTable`]'s
+//! dense numbering). A lookup is two array reads and returns a borrowed
+//! slice — no hashing, no allocation, no validation, no expansion — which is
+//! exactly what compact-routing work argues for: the routing-state
+//! representation is itself a first-class cost.
+//!
+//! The bridge is lossless in both directions: [`CompiledRouteTable::from_table`]
+//! compiles a hash table, [`CompiledRouteTable::to_table`] decodes the
+//! channel sequences back into up-port [`Route`]s (the ascent half of a path
+//! *is* the route's up-port sequence), and misses stay typed — an absent
+//! pair yields `None`, which the network layer surfaces as
+//! `NetworkError::MissingRoute`.
+
+use crate::algorithm::RoutingAlgorithm;
+use crate::table::RouteTable;
+use xgft_topo::{ChannelTable, Route, Xgft};
+
+/// Routes for a set of ordered pairs, flattened into dense indexed storage.
+///
+/// For every stored pair `(s, d)` the full channel path (ascent then
+/// descent) is kept as a contiguous run of `u32` dense channel indices; a
+/// flat `(num_leaves² + 1)`-entry prefix-sum array maps the pair to its run.
+/// An empty run encodes a miss (a real path for `s != d` always has at
+/// least two hops, and self-pairs are never stored).
+#[derive(Debug, Clone)]
+pub struct CompiledRouteTable {
+    algorithm: String,
+    pattern_aware: bool,
+    num_leaves: usize,
+    /// `offsets[s * num_leaves + d] .. offsets[s * num_leaves + d + 1]`
+    /// bounds the pair's run in `hops`.
+    offsets: Vec<u32>,
+    /// Concatenated channel paths, pair-major in `(s, d)` order.
+    hops: Vec<u32>,
+    /// Channel numbering of the topology the table was compiled for (used to
+    /// decode paths back into up-port routes).
+    channels: ChannelTable,
+    /// Number of stored (present) routes.
+    routes: usize,
+}
+
+impl CompiledRouteTable {
+    /// Compile routes for an explicit set of pairs. Self-pairs are skipped
+    /// and duplicates keep the first route, matching [`RouteTable::build`].
+    pub fn compile<A: RoutingAlgorithm + ?Sized>(
+        xgft: &Xgft,
+        algo: &A,
+        pairs: impl IntoIterator<Item = (usize, usize)>,
+    ) -> Self {
+        let n = xgft.num_leaves();
+        let mut picked: Vec<(usize, Route)> = pairs
+            .into_iter()
+            .filter(|&(s, d)| s != d)
+            .map(|(s, d)| (s * n + d, algo.route(xgft, s, d)))
+            .collect();
+        // Deduplicate keeping the first route per pair (stable sort keeps
+        // duplicates in arrival order) — scratch stays O(pairs), not
+        // O(num_leaves²), so sparse pattern compiles on big machines don't
+        // pay dense bookkeeping.
+        picked.sort_by_key(|(idx, _)| *idx);
+        picked.dedup_by_key(|(idx, _)| *idx);
+        Self::from_sorted_routes(xgft, algo.name(), algo.is_pattern_aware(), picked)
+    }
+
+    /// Compile routes for every ordered pair of distinct leaves.
+    pub fn compile_all_pairs<A: RoutingAlgorithm + ?Sized>(xgft: &Xgft, algo: &A) -> Self {
+        let n = xgft.num_leaves();
+        let mut picked = Vec::with_capacity(n * (n - 1));
+        for s in 0..n {
+            for d in 0..n {
+                if s != d {
+                    picked.push((s * n + d, algo.route(xgft, s, d)));
+                }
+            }
+        }
+        Self::from_sorted_routes(xgft, algo.name(), algo.is_pattern_aware(), picked)
+    }
+
+    /// Compile an existing hash-map table (the forward half of the lossless
+    /// bridge). The table must have been built for `xgft`.
+    pub fn from_table(xgft: &Xgft, table: &RouteTable) -> Self {
+        let n = xgft.num_leaves();
+        let mut picked: Vec<(usize, Route)> = table
+            .iter()
+            .map(|(&(s, d), route)| (s * n + d, route.clone()))
+            .collect();
+        picked.sort_unstable_by_key(|(idx, _)| *idx);
+        Self::from_sorted_routes(xgft, table.algorithm(), table.is_pattern_aware(), picked)
+    }
+
+    /// Shared build step: expand each route into its dense channel path and
+    /// lay the paths out contiguously. `picked` must be sorted by pair index
+    /// and free of duplicates and self-pairs.
+    fn from_sorted_routes(
+        xgft: &Xgft,
+        algorithm: impl Into<String>,
+        pattern_aware: bool,
+        picked: Vec<(usize, Route)>,
+    ) -> Self {
+        let n = xgft.num_leaves();
+        assert!(
+            xgft.channels().len() <= u32::MAX as usize,
+            "channel indices must fit in u32"
+        );
+        let total_hops: usize = picked.iter().map(|(_, r)| 2 * r.nca_level()).sum();
+        assert!(
+            total_hops <= u32::MAX as usize,
+            "flattened hop storage must fit u32 offsets"
+        );
+        let mut offsets = vec![0u32; n * n + 1];
+        let mut hops = Vec::with_capacity(total_hops);
+        let mut cursor = 0usize;
+        for &(idx, ref route) in &picked {
+            let (s, d) = (idx / n, idx % n);
+            // Pairs between `cursor` and `idx` have no route: give them the
+            // same start offset so their run is empty.
+            offsets[cursor..=idx].fill(hops.len() as u32);
+            cursor = idx + 1;
+            let path = xgft
+                .route_channels(s, d, route)
+                .expect("algorithms must produce valid routes");
+            hops.extend(path.iter().map(|&c| c as u32));
+        }
+        offsets[cursor..=n * n].fill(hops.len() as u32);
+        CompiledRouteTable {
+            algorithm: algorithm.into(),
+            pattern_aware,
+            num_leaves: n,
+            offsets,
+            hops,
+            channels: xgft.channels().clone(),
+            routes: picked.len(),
+        }
+    }
+
+    /// Decode back into a hash-map [`RouteTable`] (the reverse half of the
+    /// lossless bridge): the ascent half of each stored path carries the
+    /// route's up-port sequence.
+    pub fn to_table(&self) -> RouteTable {
+        let n = self.num_leaves;
+        let routes = (0..n).flat_map(move |s| {
+            (0..n).filter_map(move |d| self.route(s, d).map(|route| ((s, d), route)))
+        });
+        RouteTable::from_parts(self.algorithm.clone(), self.pattern_aware, routes)
+    }
+
+    /// The name of the algorithm that produced the table.
+    pub fn algorithm(&self) -> &str {
+        &self.algorithm
+    }
+
+    /// True if the producing algorithm was pattern-aware.
+    pub fn is_pattern_aware(&self) -> bool {
+        self.pattern_aware
+    }
+
+    /// Number of leaves the table was compiled for.
+    pub fn num_leaves(&self) -> usize {
+        self.num_leaves
+    }
+
+    /// Number of stored routes.
+    pub fn len(&self) -> usize {
+        self.routes
+    }
+
+    /// True if no routes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.routes == 0
+    }
+
+    /// The dense channel path stored for `(s, d)` — the hot lookup. Returns
+    /// `None` on a miss (self-pairs, which are never stored, and
+    /// out-of-range leaves, matching the hash table's behaviour); the
+    /// network layer turns that into its typed `MissingRoute` error.
+    #[inline]
+    pub fn path(&self, s: usize, d: usize) -> Option<&[u32]> {
+        if s >= self.num_leaves || d >= self.num_leaves {
+            return None;
+        }
+        let idx = s * self.num_leaves + d;
+        let start = self.offsets[idx] as usize;
+        let end = self.offsets[idx + 1] as usize;
+        if start == end {
+            None
+        } else {
+            Some(&self.hops[start..end])
+        }
+    }
+
+    /// The up-port [`Route`] stored for `(s, d)`, decoded from the ascent
+    /// half of its channel path. Allocates; the simulators use
+    /// [`CompiledRouteTable::path`] instead.
+    pub fn route(&self, s: usize, d: usize) -> Option<Route> {
+        let path = self.path(s, d)?;
+        let ascent = path.len() / 2;
+        Some(Route::new(
+            path[..ascent]
+                .iter()
+                .map(|&dense| self.channels.channel(dense as usize).up_port)
+                .collect(),
+        ))
+    }
+
+    /// Iterate over `((source, destination), path)` entries in pair-major
+    /// order.
+    pub fn iter_paths(&self) -> impl Iterator<Item = ((usize, usize), &[u32])> {
+        let n = self.num_leaves;
+        (0..n).flat_map(move |s| {
+            (0..n).filter_map(move |d| self.path(s, d).map(|path| ((s, d), path)))
+        })
+    }
+
+    /// Bytes of flat storage held by the table (offsets plus hops) — the
+    /// quantity the compact-routing literature budgets.
+    pub fn storage_bytes(&self) -> usize {
+        std::mem::size_of_val(&self.offsets[..]) + std::mem::size_of_val(&self.hops[..])
+    }
+
+    /// Validate every stored path against the topology: each decoded route
+    /// must expand to exactly the stored channel sequence.
+    pub fn validate(&self, xgft: &Xgft) -> Result<(), xgft_topo::TopologyError> {
+        for ((s, d), path) in self.iter_paths() {
+            let route = self.route(s, d).expect("path implies a route");
+            let expanded = xgft.route_channels(s, d, &route)?;
+            if expanded.len() != path.len()
+                || expanded.iter().zip(path).any(|(&a, &b)| a != b as usize)
+            {
+                return Err(xgft_topo::TopologyError::InvalidRoute {
+                    reason: format!("stored path for ({s},{d}) does not match its route"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modk::{DModK, SModK};
+    use crate::random::RandomRouting;
+    use xgft_topo::XgftSpec;
+
+    #[test]
+    fn compile_matches_hash_table_route_for_route() {
+        let xgft = Xgft::k_ary_n_tree(4, 2);
+        let table = RouteTable::build_all_pairs(&xgft, &DModK::new());
+        let compiled = CompiledRouteTable::compile_all_pairs(&xgft, &DModK::new());
+        assert_eq!(compiled.len(), table.len());
+        assert_eq!(compiled.num_leaves(), 16);
+        for s in 0..16 {
+            for d in 0..16 {
+                assert_eq!(compiled.route(s, d), table.route(s, d).cloned());
+            }
+        }
+        assert!(compiled.validate(&xgft).is_ok());
+    }
+
+    #[test]
+    fn paths_match_topology_expansion() {
+        let xgft = Xgft::new(XgftSpec::slimmed_two_level(8, 3).unwrap()).unwrap();
+        let compiled = CompiledRouteTable::compile_all_pairs(&xgft, &RandomRouting::new(7));
+        let mut visited = 0;
+        for ((s, d), path) in compiled.iter_paths() {
+            let route = compiled.route(s, d).unwrap();
+            let expanded = xgft.route_channels(s, d, &route).unwrap();
+            assert_eq!(
+                path.iter().map(|&c| c as usize).collect::<Vec<_>>(),
+                expanded
+            );
+            visited += 1;
+        }
+        assert_eq!(visited, compiled.len());
+        assert!(compiled.storage_bytes() > 0);
+    }
+
+    #[test]
+    fn partial_tables_miss_typed_and_round_trip() {
+        let xgft = Xgft::k_ary_n_tree(4, 2);
+        let pairs = vec![(0usize, 1usize), (0, 1), (3, 3), (5, 9), (9, 5)];
+        let compiled = CompiledRouteTable::compile(&xgft, &SModK::new(), pairs.clone());
+        assert_eq!(compiled.len(), 3);
+        assert!(compiled.path(0, 1).is_some());
+        assert!(compiled.path(3, 3).is_none(), "self-pairs are never stored");
+        assert!(compiled.path(1, 0).is_none(), "unrequested pair is a miss");
+        // Out-of-range leaves miss instead of aliasing into another pair's
+        // flat run (the hash table returns None here too).
+        assert!(compiled.path(0, 16).is_none());
+        assert!(compiled.path(16, 0).is_none());
+        assert!(compiled.path(15, 16).is_none());
+        assert!(compiled.route(0, 16).is_none());
+        assert!(!compiled.is_empty());
+
+        // Round trip through the hash form and back.
+        let table = compiled.to_table();
+        assert_eq!(table.len(), compiled.len());
+        assert_eq!(table.algorithm(), "s-mod-k");
+        let recompiled = CompiledRouteTable::from_table(&xgft, &table);
+        for s in 0..16 {
+            for d in 0..16 {
+                assert_eq!(recompiled.path(s, d), compiled.path(s, d));
+            }
+        }
+    }
+
+    #[test]
+    fn from_table_preserves_metadata() {
+        let xgft = Xgft::k_ary_n_tree(2, 3);
+        let table = RouteTable::build_all_pairs(&xgft, &RandomRouting::new(3));
+        let compiled = CompiledRouteTable::from_table(&xgft, &table);
+        assert_eq!(compiled.algorithm(), table.algorithm());
+        assert_eq!(compiled.is_pattern_aware(), table.is_pattern_aware());
+        assert_eq!(compiled.len(), table.len());
+        for (&(s, d), route) in table.iter() {
+            assert_eq!(compiled.route(s, d).as_ref(), Some(route));
+        }
+    }
+
+    #[test]
+    fn empty_table_has_only_misses() {
+        let xgft = Xgft::k_ary_n_tree(2, 2);
+        let compiled = CompiledRouteTable::compile(&xgft, &DModK::new(), std::iter::empty());
+        assert!(compiled.is_empty());
+        assert_eq!(compiled.len(), 0);
+        for s in 0..4 {
+            for d in 0..4 {
+                assert!(compiled.path(s, d).is_none());
+                assert!(compiled.route(s, d).is_none());
+            }
+        }
+    }
+}

@@ -23,7 +23,9 @@
 //!   endpoint-contention-aware cost plays that role).
 //!
 //! Supporting machinery: [`RouteTable`] (materialised routes for a pattern
-//! or for all pairs), [`contention`] (the network-contention metrics of
+//! or for all pairs), [`CompiledRouteTable`] (the same routes flattened into
+//! dense per-source channel-index arrays — the zero-allocation form the
+//! simulators inject from), [`contention`] (the network-contention metrics of
 //! Sec. IV and VII), [`distribution`] (routes-per-NCA histograms of
 //! Fig. 4), and [`route_dist`] (exact per-pair route *distributions* — the
 //! closed forms the `xgft-flow` analytical channel-load model consumes in
@@ -34,6 +36,7 @@
 
 pub mod algorithm;
 pub mod colored;
+pub mod compiled;
 pub mod contention;
 pub mod distribution;
 pub mod modk;
@@ -45,6 +48,7 @@ pub mod table;
 
 pub use algorithm::RoutingAlgorithm;
 pub use colored::ColoredRouting;
+pub use compiled::CompiledRouteTable;
 pub use contention::{ChannelLoads, ContentionReport};
 pub use distribution::nca_route_distribution;
 pub use modk::{DModK, SModK};

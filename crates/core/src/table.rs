@@ -41,6 +41,29 @@ impl RouteTable {
         }
     }
 
+    /// Assemble a table from already-computed routes (used by the
+    /// [`crate::CompiledRouteTable`] bridge to decode back into hash form).
+    /// Self-pairs are skipped and duplicates keep the first route, matching
+    /// [`RouteTable::build`].
+    pub fn from_parts(
+        algorithm: impl Into<String>,
+        pattern_aware: bool,
+        routes: impl IntoIterator<Item = ((usize, usize), Route)>,
+    ) -> Self {
+        let mut map = HashMap::new();
+        for ((s, d), route) in routes {
+            if s == d {
+                continue;
+            }
+            map.entry((s, d)).or_insert(route);
+        }
+        RouteTable {
+            algorithm: algorithm.into(),
+            pattern_aware,
+            routes: map,
+        }
+    }
+
     /// Build a table for every ordered pair of distinct leaves.
     pub fn build_all_pairs<A: RoutingAlgorithm + ?Sized>(xgft: &Xgft, algo: &A) -> Self {
         let n = xgft.num_leaves();

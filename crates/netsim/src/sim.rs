@@ -8,7 +8,7 @@ use crate::config::{NetworkConfig, SwitchingMode};
 use crate::event::{Event, EventQueue};
 use crate::message::{MessageId, MessageState, MessageStatus, Segment};
 use crate::stats::{MessageRecord, SimReport};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use xgft_topo::{Route, Xgft};
 
 /// A delivered-message notification returned by
@@ -63,8 +63,13 @@ pub struct NetworkSim {
     queue: EventQueue,
     channels: Vec<ChannelState>,
     adapters: Vec<AdapterState>,
-    messages: HashMap<MessageId, MessageState>,
-    next_message_id: u64,
+    /// Message slab keyed by the dense [`MessageId`]: a message's id is its
+    /// slot index, so every hot-path access is a vector index instead of a
+    /// hash lookup. Slots of drained (delivered and consumed) messages are
+    /// recycled through `free_slots`, which bounds memory on long campaigns.
+    messages: Vec<Option<MessageState>>,
+    free_slots: Vec<usize>,
+    live_messages: usize,
     completions: VecDeque<Completion>,
     records: Vec<MessageRecord>,
     events_processed: u64,
@@ -92,8 +97,9 @@ impl NetworkSim {
             queue: EventQueue::new(),
             channels,
             adapters,
-            messages: HashMap::new(),
-            next_message_id: 0,
+            messages: Vec::new(),
+            free_slots: Vec::new(),
+            live_messages: 0,
             completions: VecDeque::new(),
             records: Vec::new(),
             events_processed: 0,
@@ -115,14 +121,72 @@ impl NetworkSim {
         &self.xgft
     }
 
-    /// Number of messages scheduled so far.
+    /// Number of live (not yet drained) messages the simulator tracks.
     pub fn num_messages(&self) -> usize {
-        self.messages.len()
+        self.live_messages
     }
 
-    /// Status of a message.
+    /// Status of a message. Returns `None` after the message has been
+    /// drained — until its slot is recycled by a later
+    /// [`NetworkSim::schedule_message`], at which point the id refers to
+    /// the *new* occupant (the usual slab contract: drop stale ids once
+    /// [`NetworkSim::drain_delivered`] has run).
     pub fn message_status(&self, id: MessageId) -> Option<MessageStatus> {
-        self.messages.get(&id).map(|m| m.status())
+        self.messages
+            .get(id.0 as usize)
+            .and_then(|slot| slot.as_ref())
+            .map(|m| m.status())
+    }
+
+    /// The live state behind an id — hot-path accessor.
+    #[inline]
+    fn msg(&self, id: MessageId) -> &MessageState {
+        self.messages[id.0 as usize].as_ref().expect("live message")
+    }
+
+    /// Mutable form of [`NetworkSim::msg`].
+    #[inline]
+    fn msg_mut(&mut self, id: MessageId) -> &mut MessageState {
+        self.messages[id.0 as usize].as_mut().expect("live message")
+    }
+
+    /// Claim a slot for a new message: recycled if one is free, fresh
+    /// otherwise. The returned id *is* the slot index.
+    fn alloc_slot(&mut self, state: impl FnOnce(MessageId) -> MessageState) -> MessageId {
+        let slot = match self.free_slots.pop() {
+            Some(slot) => slot,
+            None => {
+                self.messages.push(None);
+                self.messages.len() - 1
+            }
+        };
+        let id = MessageId(slot as u64);
+        self.messages[slot] = Some(state(id));
+        self.live_messages += 1;
+        id
+    }
+
+    /// Recycle the slots of delivered messages whose [`Completion`]s have
+    /// already been consumed, returning how many were drained. Their ids may
+    /// be handed out again by later [`NetworkSim::schedule_message`] calls;
+    /// per-message [`MessageRecord`]s already emitted are unaffected. Long
+    /// seed campaigns call this between phases to keep the slab bounded.
+    pub fn drain_delivered(&mut self) -> usize {
+        let mut pending: Vec<u64> = self.completions.iter().map(|c| c.id.0).collect();
+        pending.sort_unstable();
+        let mut drained = 0;
+        for slot in 0..self.messages.len() {
+            let delivered = self.messages[slot]
+                .as_ref()
+                .is_some_and(|m| m.completed_at_ps.is_some());
+            if delivered && pending.binary_search(&(slot as u64)).is_err() {
+                self.messages[slot] = None;
+                self.free_slots.push(slot);
+                self.live_messages -= 1;
+                drained += 1;
+            }
+        }
+        drained
     }
 
     /// True when no events are pending and no completions are waiting to be
@@ -149,6 +213,61 @@ impl NetworkSim {
         bytes: u64,
         route: Route,
     ) -> MessageId {
+        if src == dst {
+            return self.schedule_on_channels(at_ps, src, dst, bytes, vec![]);
+        }
+        self.xgft
+            .validate_route(src, dst, &route)
+            .expect("scheduled messages must carry a valid route");
+        let path = self
+            .xgft
+            .route_channels(src, dst, &route)
+            .expect("valid route expands to a path");
+        self.schedule_on_channels(at_ps, src, dst, bytes, path)
+    }
+
+    /// Schedule a message whose dense channel path has been precomputed by a
+    /// [`xgft_core::CompiledRouteTable`]-style build step — the hot injection
+    /// entry: no route validation, no label arithmetic, just one copy of the
+    /// path into the message slab. The path must come from
+    /// `Xgft::route_channels` for `(src, dst)` on this topology (debug builds
+    /// check the channel indices are in range).
+    ///
+    /// # Panics
+    /// Panics if `bytes == 0`, if `at_ps` lies in the past, or if a non-empty
+    /// path is supplied for `src == dst` (or an empty one for `src != dst`).
+    pub fn schedule_message_on_path(
+        &mut self,
+        at_ps: u64,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        path: &[u32],
+    ) -> MessageId {
+        assert!(
+            (src == dst) == path.is_empty(),
+            "path length must match the pair: {} hops for ({src}, {dst})",
+            path.len()
+        );
+        let num_channels = self.channels.len();
+        debug_assert!(
+            path.iter().all(|&c| (c as usize) < num_channels),
+            "path contains out-of-range channel indices"
+        );
+        let path: Vec<usize> = path.iter().map(|&c| c as usize).collect();
+        self.schedule_on_channels(at_ps, src, dst, bytes, path)
+    }
+
+    /// Common scheduling tail shared by the route and precompiled-path entry
+    /// points. An empty path means a local copy (`src == dst`).
+    fn schedule_on_channels(
+        &mut self,
+        at_ps: u64,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        path: Vec<usize>,
+    ) -> MessageId {
         assert!(bytes > 0, "messages must carry at least one byte");
         assert!(
             at_ps >= self.now_ps,
@@ -156,12 +275,10 @@ impl NetworkSim {
             at_ps,
             self.now_ps
         );
-        let id = MessageId(self.next_message_id);
-        self.next_message_id += 1;
 
-        if src == dst {
+        if path.is_empty() {
             // Local copy: completes immediately without entering the network.
-            let state = MessageState {
+            let id = self.alloc_slot(|id| MessageState {
                 id,
                 src,
                 dst,
@@ -172,8 +289,7 @@ impl NetworkSim {
                 segments_delivered: 0,
                 total_segments: 0,
                 completed_at_ps: Some(at_ps),
-            };
-            self.messages.insert(id, state);
+            });
             self.completions.push_back(Completion {
                 id,
                 src,
@@ -192,14 +308,8 @@ impl NetworkSim {
             return id;
         }
 
-        self.xgft
-            .validate_route(src, dst, &route)
-            .expect("scheduled messages must carry a valid route");
-        let path = self
-            .xgft
-            .route_channels(src, dst, &route)
-            .expect("valid route expands to a path");
-        let state = MessageState {
+        let total_segments = self.config.num_segments(bytes);
+        let id = self.alloc_slot(|id| MessageState {
             id,
             src,
             dst,
@@ -208,10 +318,9 @@ impl NetworkSim {
             injected_at_ps: at_ps,
             segments_injected: 0,
             segments_delivered: 0,
-            total_segments: self.config.num_segments(bytes),
+            total_segments,
             completed_at_ps: None,
-        };
-        self.messages.insert(id, state);
+        });
         self.adapters[src].active.push_back(id);
         self.queue.push(at_ps, Event::AdapterTryInject { src });
         id
@@ -303,7 +412,7 @@ impl NetworkSim {
             return;
         };
         let (segment, injection_channel, fully_injected) = {
-            let msg = self.messages.get_mut(&id).expect("known message");
+            let msg = self.messages[id.0 as usize].as_mut().expect("live message");
             let index = msg.segments_injected;
             let bytes = self.config.segment_size(msg.bytes, index);
             msg.segments_injected += 1;
@@ -360,12 +469,12 @@ impl NetworkSim {
             // The source adapter can decide its next round-robin segment as
             // soon as this one starts occupying the injection link.
             if segment.hop == 0 {
-                let src = self.messages[&segment.message].src;
+                let src = self.msg(segment.message).src;
                 self.adapters[src].segment_enqueued = false;
                 self.queue.push(start, Event::AdapterTryInject { src });
             }
 
-            let msg = &self.messages[&segment.message];
+            let msg = self.msg(segment.message);
             let is_last_hop = segment.hop + 1 == msg.path.len();
             let mut moved = segment;
             moved.holds_buffer_of = Some(channel);
@@ -398,7 +507,7 @@ impl NetworkSim {
     /// its path.
     fn segment_ready(&mut self, segment: Segment) {
         let next_channel = {
-            let msg = &self.messages[&segment.message];
+            let msg = self.msg(segment.message);
             msg.path[segment.hop]
         };
         self.enqueue_segment(segment, next_channel);
@@ -409,19 +518,20 @@ impl NetworkSim {
         // The destination adapter drains its ejection buffer immediately.
         self.queue
             .push(self.now_ps, Event::CreditReturn { channel });
+        let now_ps = self.now_ps;
         let (completed, record) = {
-            let msg = self.messages.get_mut(&segment.message).expect("known");
+            let msg = self.msg_mut(segment.message);
             msg.segments_delivered += 1;
             debug_assert!(msg.segments_delivered <= msg.total_segments);
             if msg.segments_delivered == msg.total_segments {
-                msg.completed_at_ps = Some(self.now_ps);
+                msg.completed_at_ps = Some(now_ps);
                 (
                     Some(Completion {
                         id: msg.id,
                         src: msg.src,
                         dst: msg.dst,
                         bytes: msg.bytes,
-                        completed_at_ps: self.now_ps,
+                        completed_at_ps: now_ps,
                     }),
                     Some(MessageRecord {
                         id: msg.id,
@@ -429,7 +539,7 @@ impl NetworkSim {
                         dst: msg.dst,
                         bytes: msg.bytes,
                         injected_at_ps: msg.injected_at_ps,
-                        completed_at_ps: self.now_ps,
+                        completed_at_ps: now_ps,
                     }),
                 )
             } else {
@@ -653,6 +763,97 @@ mod tests {
         assert_eq!(shared, 2 * exclusive);
         // Untouched channels stay at zero.
         assert_eq!(busy[xgft.channels().injection_channel(15)], 0);
+    }
+
+    #[test]
+    fn precompiled_path_injection_matches_route_injection() {
+        let xgft = k_ary(4, 2);
+        let route = Route::new(vec![0, 2]);
+        let path: Vec<u32> = xgft
+            .route_channels(0, 9, &route)
+            .unwrap()
+            .into_iter()
+            .map(|c| c as u32)
+            .collect();
+
+        let mut by_route = NetworkSim::new(&xgft, cfg());
+        by_route.schedule_message(0, 0, 9, 32 * 1024, route);
+        let a = by_route.run_to_completion();
+
+        let mut by_path = NetworkSim::new(&xgft, cfg());
+        by_path.schedule_message_on_path(0, 0, 9, 32 * 1024, &path);
+        let b = by_path.run_to_completion();
+        assert_eq!(a, b);
+
+        // Local copies go through the same entry with an empty path.
+        let mut local = NetworkSim::new(&xgft, cfg());
+        let id = local.schedule_message_on_path(100, 3, 3, 1024, &[]);
+        let c = local.run_until_next_completion().unwrap();
+        assert_eq!(c.id, id);
+        assert_eq!(c.completed_at_ps, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "path length must match the pair")]
+    fn empty_path_for_distinct_pair_is_rejected() {
+        let xgft = k_ary(4, 2);
+        let mut sim = NetworkSim::new(&xgft, cfg());
+        sim.schedule_message_on_path(0, 0, 5, 1024, &[]);
+    }
+
+    #[test]
+    fn message_slab_recycles_ids_across_drained_messages() {
+        let xgft = k_ary(4, 2);
+        let mut sim = NetworkSim::new(&xgft, cfg());
+        let a = sim.schedule_message(0, 0, 5, 8 * 1024, Route::new(vec![0, 1]));
+        let b = sim.schedule_message(0, 1, 6, 8 * 1024, Route::new(vec![0, 2]));
+        assert_eq!((a, b), (MessageId(0), MessageId(1)));
+        assert_eq!(sim.num_messages(), 2);
+
+        // Nothing can be drained while the completions are unconsumed.
+        sim.run_to_completion();
+        assert_eq!(sim.message_status(a), Some(MessageStatus::Delivered));
+
+        // Both delivered and consumed (run_to_completion clears the queue):
+        // draining frees both slots.
+        assert_eq!(sim.drain_delivered(), 2);
+        assert_eq!(sim.num_messages(), 0);
+        assert_eq!(sim.message_status(a), None);
+        assert_eq!(sim.message_status(b), None);
+
+        // New messages recycle the freed slots (LIFO) and run normally.
+        let c = sim.schedule_message(sim.now_ps(), 2, 7, 8 * 1024, Route::new(vec![0, 3]));
+        assert_eq!(c, MessageId(1), "drained slot must be recycled");
+        let d = sim.schedule_message(sim.now_ps(), 3, 8, 8 * 1024, Route::new(vec![0, 0]));
+        assert_eq!(d, MessageId(0));
+        let e = sim.schedule_message(sim.now_ps(), 4, 9, 8 * 1024, Route::new(vec![0, 1]));
+        assert_eq!(e, MessageId(2), "fresh slot once the free list is empty");
+        let report = sim.run_to_completion();
+        assert_eq!(report.completed_messages, 5);
+        assert_eq!(sim.message_status(c), Some(MessageStatus::Delivered));
+    }
+
+    #[test]
+    fn drain_skips_messages_with_unconsumed_completions() {
+        let xgft = k_ary(4, 2);
+        let mut sim = NetworkSim::new(&xgft, cfg());
+        // A local copy completes instantly but its completion is never
+        // consumed, so it must survive a drain; the consumed one drains.
+        let kept = sim.schedule_message(0, 2, 2, 1024, Route::empty());
+        let a = sim.schedule_message(0, 0, 5, 8 * 1024, Route::new(vec![0, 1]));
+        let first = sim.run_until_next_completion().unwrap();
+        assert_eq!(first.id, kept, "local copies complete first");
+        let second = sim.run_until_next_completion().unwrap();
+        assert_eq!(second.id, a);
+        // Re-schedule another unconsumed local copy, then drain.
+        let pending = sim.schedule_message(sim.now_ps(), 3, 3, 1024, Route::empty());
+        let drained = sim.drain_delivered();
+        assert_eq!(drained, 2, "kept + a were consumed; pending was not");
+        assert_eq!(sim.message_status(a), None);
+        assert!(
+            sim.message_status(pending).is_some(),
+            "a message with an unconsumed completion must not be drained"
+        );
     }
 
     #[test]

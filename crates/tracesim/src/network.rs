@@ -7,10 +7,9 @@
 //! code path — exactly the Dimemas/Venus coupling of the paper.
 
 use std::fmt;
-use xgft_core::RouteTable;
+use xgft_core::{CompiledRouteTable, RouteTable};
 use xgft_netsim::sim::Completion;
 use xgft_netsim::{CrossbarSim, MessageId, NetworkSim, SimReport};
-use xgft_topo::Route;
 
 /// Errors a network model can hit when a message is scheduled.
 ///
@@ -61,17 +60,35 @@ pub trait Network {
     fn label(&self) -> String;
 }
 
-/// An XGFT network simulator paired with a route table: messages look up
-/// their route at injection time.
+/// An XGFT network simulator paired with a *compiled* route table: each
+/// injection is a flat-array lookup handing the precomputed dense channel
+/// path straight to the simulator — no hashing, cloning, validation or
+/// route expansion on the hot path.
 #[derive(Debug)]
 pub struct RoutedNetwork {
     sim: NetworkSim,
-    table: RouteTable,
+    table: CompiledRouteTable,
 }
 
 impl RoutedNetwork {
-    /// Pair a simulator with the route table to use for its messages.
+    /// Pair a simulator with a hash-map route table; the table is compiled
+    /// to the flat indexed form on construction (the one-off cost the
+    /// replay then amortises over every message).
     pub fn new(sim: NetworkSim, table: RouteTable) -> Self {
+        let compiled = CompiledRouteTable::from_table(sim.xgft(), &table);
+        Self::with_compiled(sim, compiled)
+    }
+
+    /// Pair a simulator with an already-compiled route table.
+    ///
+    /// # Panics
+    /// Panics if the table was compiled for a different machine size.
+    pub fn with_compiled(sim: NetworkSim, table: CompiledRouteTable) -> Self {
+        assert_eq!(
+            table.num_leaves(),
+            sim.xgft().num_leaves(),
+            "route table compiled for a different machine size"
+        );
         RoutedNetwork { sim, table }
     }
 
@@ -80,8 +97,8 @@ impl RoutedNetwork {
         &self.sim
     }
 
-    /// The route table in use.
-    pub fn table(&self) -> &RouteTable {
+    /// The compiled route table in use.
+    pub fn table(&self) -> &CompiledRouteTable {
         &self.table
     }
 }
@@ -94,15 +111,16 @@ impl Network for RoutedNetwork {
         dst: usize,
         bytes: u64,
     ) -> Result<MessageId, NetworkError> {
-        let route = if src == dst {
-            Route::empty()
+        let path: &[u32] = if src == dst {
+            &[]
         } else {
             self.table
-                .route(src, dst)
-                .cloned()
+                .path(src, dst)
                 .ok_or(NetworkError::MissingRoute { src, dst })?
         };
-        Ok(self.sim.schedule_message(at_ps, src, dst, bytes, route))
+        Ok(self
+            .sim
+            .schedule_message_on_path(at_ps, src, dst, bytes, path))
     }
 
     fn run_until_next_completion(&mut self) -> Option<Completion> {
@@ -184,6 +202,12 @@ mod tests {
         let err = net.schedule_message(0, 2, 9, 4096).unwrap_err();
         assert_eq!(err, NetworkError::MissingRoute { src: 2, dst: 9 });
         assert!(err.to_string().contains("(2, 9)"));
+        // A trace with more ranks than the machine has leaves must also
+        // surface as a typed miss, not alias into another pair's path.
+        let err = net.schedule_message(0, 0, 16, 4096).unwrap_err();
+        assert_eq!(err, NetworkError::MissingRoute { src: 0, dst: 16 });
+        let err = net.schedule_message(0, 17, 3, 4096).unwrap_err();
+        assert_eq!(err, NetworkError::MissingRoute { src: 17, dst: 3 });
         // The network stays usable after a miss.
         net.schedule_message(0, 0, 1, 4096).unwrap();
         assert!(net.run_until_next_completion().is_some());

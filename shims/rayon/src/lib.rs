@@ -11,10 +11,108 @@
 
 #![warn(missing_docs)]
 
+use std::cell::Cell;
+
 /// The one-stop import surface, mirroring `rayon::prelude`.
 pub mod prelude {
     pub use crate::IntoParallelRefIterator;
 }
+
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`] on the
+    /// calling thread (the shim decides parallelism at the call site, so a
+    /// thread-local is the right scope).
+    static POOL_WORKERS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Resolve the worker count for a parallel collect: an installed
+/// [`ThreadPool`] wins, then the `RAYON_NUM_THREADS` environment variable
+/// (as in upstream rayon's global pool), then the machine's parallelism.
+fn configured_workers() -> usize {
+    if let Some(n) = POOL_WORKERS.with(|w| w.get()) {
+        return n.max(1);
+    }
+    if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Builder for a [`ThreadPool`], mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building a pool with the default (automatic) thread count.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Set the number of worker threads (`0` keeps the automatic default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool. The shim has no dedicated worker threads, so this
+    /// only records the requested width; it cannot fail, but keeps
+    /// upstream's fallible signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A configured worker-thread width, mirroring `rayon::ThreadPool`. The
+/// shim applies the width to every `par_iter().collect()` executed inside
+/// [`ThreadPool::install`] on the calling thread.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's thread count governing all parallel
+    /// iterators it executes (on this thread). Nested installs restore the
+    /// previous width on exit, panic or not.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_WORKERS.with(|w| w.set(self.0));
+            }
+        }
+        let width = if self.num_threads == 0 {
+            None
+        } else {
+            Some(self.num_threads)
+        };
+        let _restore = Restore(POOL_WORKERS.with(|w| w.replace(width)));
+        op()
+    }
+}
+
+/// Error building a [`ThreadPool`] (never produced by the shim; kept for
+/// upstream signature compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "could not build the thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
 
 /// Types whose elements can be iterated in parallel by reference.
 pub trait IntoParallelRefIterator<'a> {
@@ -74,10 +172,7 @@ impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> ParMap<'a, T, F> {
     /// large enough — and collects the results in input order.
     pub fn collect<C: FromIterator<R>>(self) -> C {
         let n = self.items.len();
-        let workers = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(n.max(1));
+        let workers = configured_workers().min(n.max(1));
         if workers <= 1 {
             return self.items.iter().map(&self.f).collect();
         }
@@ -120,6 +215,28 @@ mod tests {
         let one = [7usize];
         let out: Vec<usize> = one.par_iter().map(|&x| x + 1).collect();
         assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn install_overrides_and_restores_worker_count() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let items: Vec<usize> = (0..64).collect();
+        let single: Vec<usize> = pool.install(|| items.par_iter().map(|&x| x * 3).collect());
+        assert_eq!(single, (0..64).map(|x| x * 3).collect::<Vec<_>>());
+        // Nested installs stack and results stay order-preserving.
+        let wide = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let nested: Vec<usize> =
+            pool.install(|| wide.install(|| items.par_iter().map(|&x| x + 1).collect()));
+        assert_eq!(nested, (1..=64).collect::<Vec<_>>());
+        // After install returns the default applies again.
+        let after: Vec<usize> = items.par_iter().map(|&x| x).collect();
+        assert_eq!(after, items);
     }
 
     #[test]

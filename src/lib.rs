@@ -33,9 +33,10 @@ pub use xgft_tracesim as tracesim;
 /// Commonly used items for quick experimentation.
 pub mod prelude {
     pub use xgft_analysis::slowdown::SlowdownReport;
+    pub use xgft_analysis::{AlgorithmSpec, CampaignConfig, CampaignResult, SweepConfig};
     pub use xgft_core::{
-        ColoredRouting, DModK, RandomNcaDown, RandomNcaUp, RandomRouting, RouteDistribution,
-        RouteTable, RoutingAlgorithm, SModK,
+        ColoredRouting, CompiledRouteTable, DModK, RandomNcaDown, RandomNcaUp, RandomRouting,
+        RouteDistribution, RouteTable, RoutingAlgorithm, SModK,
     };
     pub use xgft_flow::{ExpectedLoads, FlowSweepConfig, TrafficMatrix, TrafficSpec};
     pub use xgft_netsim::{NetworkConfig, SwitchingMode};

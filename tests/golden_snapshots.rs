@@ -1,0 +1,111 @@
+//! Golden-snapshot regression tests: small, fully deterministic fig2 /
+//! fig5 / fig4 sweeps and one seed campaign, serialised to JSON and pinned
+//! byte-for-byte against fixtures under `tests/golden/`.
+//!
+//! These lock the *numbers* of the reproduction, not just its shape: a
+//! seed-stream change, a routing refactor, a simulator timing tweak or a
+//! serialisation change that silently shifts paper figures fails here
+//! first. When a shift is intentional, regenerate the fixtures with
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test golden_snapshots
+//! ```
+//!
+//! and review the fixture diff like any other code change.
+
+use xgft::analysis::campaign::CampaignConfig;
+use xgft::analysis::experiments::fig4;
+use xgft::analysis::sweep::{AlgorithmSpec, SweepConfig};
+use xgft::netsim::NetworkConfig;
+use xgft::patterns::generators;
+use xgft::topo::XgftSpec;
+
+/// Compare `rendered` against the committed fixture, or rewrite the fixture
+/// when `UPDATE_GOLDEN` is set.
+fn assert_golden(name: &str, rendered: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, rendered).unwrap();
+        eprintln!("golden fixture {} rewritten", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); run UPDATE_GOLDEN=1 cargo test --test golden_snapshots",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, rendered,
+        "golden snapshot {name} drifted — if intentional, regenerate with \
+         UPDATE_GOLDEN=1 and review the fixture diff"
+    );
+}
+
+fn to_json<T: serde::Serialize>(value: &T) -> String {
+    let mut s = serde_json::to_string_pretty(value).expect("serialisable");
+    s.push('\n');
+    s
+}
+
+/// A scaled-down Fig. 2: the classic oblivious routings plus Colored on the
+/// WRF-like mesh exchange over three slimming points.
+#[test]
+fn fig2_small_sweep_is_byte_stable() {
+    let pattern = generators::wrf_mesh_exchange(4, 4, 32 * 1024);
+    let config = SweepConfig {
+        k: 4,
+        w2_values: vec![4, 2, 1],
+        algorithms: AlgorithmSpec::figure2_set(),
+        seeds: vec![1, 2, 3],
+        network: NetworkConfig::default(),
+    };
+    assert_golden("fig2_small.json", &to_json(&config.run(&pattern)));
+}
+
+/// A scaled-down Fig. 5: the full proposal set (r-NCA-u / r-NCA-d against
+/// the references) on a shift permutation.
+#[test]
+fn fig5_small_sweep_is_byte_stable() {
+    let pattern = generators::shift(16, 4, 16 * 1024);
+    let config = SweepConfig {
+        k: 4,
+        w2_values: vec![4, 2],
+        algorithms: AlgorithmSpec::figure5_set(),
+        seeds: vec![1, 2],
+        network: NetworkConfig::default(),
+    };
+    assert_golden("fig5_small.json", &to_json(&config.run(&pattern)));
+}
+
+/// A scaled-down Fig. 4: routes-per-NCA distributions on a slimmed tree.
+#[test]
+fn fig4_small_distribution_is_byte_stable() {
+    let result = fig4::run_for(&XgftSpec::slimmed_two_level(4, 3).unwrap(), &[1, 2]);
+    assert_golden("fig4_small.json", &to_json(&result));
+}
+
+/// A mini seed campaign: pins the deterministic per-shard seed streams as
+/// well as every replayed slowdown, so the campaign runner cannot silently
+/// change which seeds the paper numbers average over.
+#[test]
+fn campaign_small_is_byte_stable() {
+    let pattern = generators::wrf_mesh_exchange(4, 4, 16 * 1024);
+    let config = CampaignConfig {
+        name: "golden".into(),
+        k: 4,
+        w2_values: vec![4, 2, 1],
+        algorithms: vec![
+            AlgorithmSpec::DModK,
+            AlgorithmSpec::Random,
+            AlgorithmSpec::RandomNcaUp,
+        ],
+        seeds_per_point: 2,
+        base_seed: 2009,
+        network: NetworkConfig::default(),
+    };
+    assert_golden("campaign_small.json", &to_json(&config.run(&pattern)));
+}
