@@ -26,19 +26,16 @@ use xgft_netsim::NetworkConfig;
 use xgft_patterns::Pattern;
 use xgft_tracesim::{workloads, Trace};
 
-/// SplitMix64: the finaliser used to derive per-shard seeds. Statistically
-/// strong enough that structured inputs (small w2 × small index grids) give
-/// uncorrelated streams.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    x ^ (x >> 31)
-}
+/// SplitMix64: the finaliser used to derive per-shard seeds (the
+/// workspace's canonical implementation, shared with the fault samplers
+/// and the resilience campaign's streams). Statistically strong enough
+/// that structured inputs (small w2 × small index grids) give uncorrelated
+/// streams.
+pub(crate) use xgft_topo::fault::splitmix64;
 
 /// FNV-1a over a string — a stable tag for an algorithm name, so the seed
 /// stream of a point survives enum reordering.
-fn name_tag(name: &str) -> u64 {
+pub(crate) fn name_tag(name: &str) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for b in name.bytes() {
         h ^= b as u64;

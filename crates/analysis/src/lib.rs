@@ -30,11 +30,16 @@
 
 pub mod campaign;
 pub mod experiments;
+pub mod resilience;
 pub mod slowdown;
 pub mod stats;
 pub mod sweep;
 
 pub use campaign::{shard_seed, CampaignConfig, CampaignResult, ShardOutcome};
+pub use resilience::{
+    resilience_seed, ResilienceConfig, ResilienceOutcome, ResiliencePoint, ResilienceResult,
+    ResilienceShard, ALGO_STREAM, FAULT_STREAM,
+};
 pub use slowdown::{slowdown_of, SlowdownReport};
 pub use stats::BoxplotStats;
 pub use sweep::{AlgorithmSpec, SweepConfig, SweepPoint, SweepResult, SweepShard};

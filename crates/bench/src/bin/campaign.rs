@@ -17,39 +17,7 @@
 //! ```
 
 use xgft_analysis::{AlgorithmSpec, CampaignConfig};
-use xgft_bench::ExperimentArgs;
-use xgft_patterns::generators;
-use xgft_patterns::Pattern;
-
-fn scale_bytes(bytes: u64, scale: f64) -> u64 {
-    ((bytes as f64 * scale).round() as u64).max(1024)
-}
-
-fn workload_pattern(name: &str, k: usize, byte_scale: f64) -> Result<Pattern, String> {
-    let n = k * k;
-    match name {
-        "wrf" => Ok(generators::wrf_mesh_exchange(
-            k,
-            k,
-            scale_bytes(generators::WRF_DEFAULT_BYTES, byte_scale),
-        )),
-        "cg" => {
-            if !n.is_power_of_two() || n < 32 {
-                return Err(format!("cg needs k*k a power of two >= 32, got {n}"));
-            }
-            Ok(generators::cg_d(
-                n,
-                scale_bytes(generators::CG_D_PHASE_BYTES, byte_scale),
-            ))
-        }
-        "shift" => Ok(generators::shift(
-            n,
-            k,
-            scale_bytes(generators::WRF_DEFAULT_BYTES, byte_scale),
-        )),
-        other => Err(format!("unknown workload: {other} (wrf|cg|shift)")),
-    }
-}
+use xgft_bench::{workload_pattern, ExperimentArgs};
 
 fn main() {
     let args = ExperimentArgs::parse();

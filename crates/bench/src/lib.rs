@@ -12,6 +12,46 @@ pub mod cli;
 
 pub use cli::ExperimentArgs;
 
+/// Scale a per-message byte count by the CLI's `--scale` factor, flooring
+/// at 1 KB so heavily scaled-down runs still move whole segments.
+pub fn scale_bytes(bytes: u64, scale: f64) -> u64 {
+    ((bytes as f64 * scale).round() as u64).max(1024)
+}
+
+/// Instantiate the campaign workload named by `--workload` for a radix-`k`
+/// two-level machine (`k²` ranks). Shared by the `campaign` and `faults`
+/// binaries so the flag always means the same pattern.
+pub fn workload_pattern(
+    name: &str,
+    k: usize,
+    byte_scale: f64,
+) -> Result<xgft_patterns::Pattern, String> {
+    use xgft_patterns::generators;
+    let n = k * k;
+    match name {
+        "wrf" => Ok(generators::wrf_mesh_exchange(
+            k,
+            k,
+            scale_bytes(generators::WRF_DEFAULT_BYTES, byte_scale),
+        )),
+        "cg" => {
+            if !n.is_power_of_two() || n < 32 {
+                return Err(format!("cg needs k*k a power of two >= 32, got {n}"));
+            }
+            Ok(generators::cg_d(
+                n,
+                scale_bytes(generators::CG_D_PHASE_BYTES, byte_scale),
+            ))
+        }
+        "shift" => Ok(generators::shift(
+            n,
+            k,
+            scale_bytes(generators::WRF_DEFAULT_BYTES, byte_scale),
+        )),
+        other => Err(format!("unknown workload: {other} (wrf|cg|shift)")),
+    }
+}
+
 /// Print an analytical (`--analytic`) sweep result: the text table, plus
 /// pretty JSON when requested. Shared by the figure binaries so the
 /// analytic output format lives in one place.

@@ -22,8 +22,22 @@
 //! `NetworkError::MissingRoute`.
 
 use crate::algorithm::RoutingAlgorithm;
+use crate::degraded::{degraded_route, reroute};
 use crate::table::RouteTable;
-use xgft_topo::{ChannelTable, Route, Xgft};
+use xgft_topo::{ChannelTable, DegradedXgft, FaultSet, Route, Xgft};
+
+/// What an incremental [`CompiledRouteTable::patch`] did to the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PatchStats {
+    /// Stored routes whose path never touched a failed channel (kept as-is,
+    /// at memcpy cost only).
+    pub untouched: usize,
+    /// Routes whose path crossed a fault and were rerouted inside their NCA
+    /// group.
+    pub rerouted: usize,
+    /// Routes that lost every minimal alternative and became typed misses.
+    pub unroutable: usize,
+}
 
 /// Routes for a set of ordered pairs, flattened into dense indexed storage.
 ///
@@ -47,6 +61,20 @@ pub struct CompiledRouteTable {
     channels: ChannelTable,
     /// Number of stored (present) routes.
     routes: usize,
+}
+
+/// Two tables are equal when they store the same routes for the same
+/// machine under the same algorithm label — i.e. their flat storage is
+/// byte-identical. The channel numbering is a pure function of the spec the
+/// equal offsets/hops were built against, so it is not compared.
+impl PartialEq for CompiledRouteTable {
+    fn eq(&self, other: &Self) -> bool {
+        self.algorithm == other.algorithm
+            && self.pattern_aware == other.pattern_aware
+            && self.num_leaves == other.num_leaves
+            && self.offsets == other.offsets
+            && self.hops == other.hops
+    }
 }
 
 impl CompiledRouteTable {
@@ -84,6 +112,139 @@ impl CompiledRouteTable {
             }
         }
         Self::from_sorted_routes(xgft, algo.name(), algo.is_pattern_aware(), picked)
+    }
+
+    /// Compile routes for an explicit set of pairs against a degraded
+    /// topology: each pair gets its scheme's pristine route when it
+    /// survives the fault set, the deterministic fault-aware fallback of
+    /// [`crate::degraded::reroute`] otherwise, and a typed miss (empty run)
+    /// when no minimal route survives. Self-pairs are skipped and
+    /// duplicates keep the first route, matching
+    /// [`CompiledRouteTable::compile`].
+    pub fn compile_degraded<A: RoutingAlgorithm + ?Sized>(
+        xgft: &Xgft,
+        faults: &FaultSet,
+        algo: &A,
+        pairs: impl IntoIterator<Item = (usize, usize)>,
+    ) -> Self {
+        let degraded = DegradedXgft::new(xgft, faults).expect("fault set matches the topology");
+        let n = xgft.num_leaves();
+        let mut picked: Vec<(usize, Route)> = pairs
+            .into_iter()
+            .filter(|&(s, d)| s != d)
+            .filter_map(|(s, d)| {
+                degraded_route(&degraded, algo, s, d)
+                    .ok()
+                    .map(|route| (s * n + d, route))
+            })
+            .collect();
+        picked.sort_by_key(|(idx, _)| *idx);
+        picked.dedup_by_key(|(idx, _)| *idx);
+        Self::from_sorted_routes(xgft, algo.name(), algo.is_pattern_aware(), picked)
+    }
+
+    /// Incrementally patch the table against a fault set, in place: only
+    /// pairs whose stored channel path crosses a failed channel are
+    /// recomputed (through the fault-aware fallback, preferring the stored
+    /// route's own ports); everything else is kept verbatim. Sources whose
+    /// whole per-source slice is untouched are moved with one copy and an
+    /// offset shift — no per-pair work at all.
+    ///
+    /// When applied to a pristine-compiled table, the result is
+    /// byte-identical to compiling the same pairs from scratch against the
+    /// degraded topology ([`CompiledRouteTable::compile_degraded`]),
+    /// including pairs that become typed misses, but costs a scan plus the
+    /// affected routes instead of a full recompile.
+    ///
+    /// Patching is **one-way**: faults only accumulate. Re-patching an
+    /// already-patched table is byte-identical to a degraded recompile only
+    /// when the new fault set is a superset of the earlier one — misses
+    /// never heal (an empty run stays an empty run even if its channels
+    /// come back), and kept routes keep the detours chosen under the
+    /// earlier faults. To model repair or fault *churn*, recompile from the
+    /// pristine table (clone it first) rather than patching forward.
+    ///
+    /// # Panics
+    /// Panics if the table, topology and fault set disagree on machine size
+    /// or channel numbering.
+    pub fn patch(&mut self, xgft: &Xgft, faults: &FaultSet) -> PatchStats {
+        let degraded = DegradedXgft::new(xgft, faults).expect("fault set matches the topology");
+        assert_eq!(
+            self.num_leaves,
+            xgft.num_leaves(),
+            "table compiled for a different machine size"
+        );
+        assert_eq!(
+            self.channels.len(),
+            xgft.channels().len(),
+            "table compiled for a different channel numbering"
+        );
+        let mut stats = PatchStats::default();
+        if faults.is_empty() {
+            stats.untouched = self.routes;
+            return stats;
+        }
+        let n = self.num_leaves;
+        let mut new_offsets = vec![0u32; n * n + 1];
+        let mut new_hops: Vec<u32> = Vec::with_capacity(self.hops.len());
+        for s in 0..n {
+            let region_start = self.offsets[s * n] as usize;
+            let region_end = self.offsets[(s + 1) * n] as usize;
+            let region = &self.hops[region_start..region_end];
+            if region.iter().all(|&c| !faults.is_failed(c as usize)) {
+                // Clean source slice: shift its offsets and copy its hops.
+                let delta = new_hops.len() as i64 - region_start as i64;
+                for (new, old) in new_offsets[s * n..(s + 1) * n]
+                    .iter_mut()
+                    .zip(&self.offsets[s * n..(s + 1) * n])
+                {
+                    *new = (*old as i64 + delta) as u32;
+                }
+                new_hops.extend_from_slice(region);
+                stats.untouched += (s * n..(s + 1) * n)
+                    .filter(|&idx| self.offsets[idx] != self.offsets[idx + 1])
+                    .count();
+                continue;
+            }
+            for d in 0..n {
+                let idx = s * n + d;
+                new_offsets[idx] = new_hops.len() as u32;
+                let start = self.offsets[idx] as usize;
+                let end = self.offsets[idx + 1] as usize;
+                if start == end {
+                    continue; // a miss stays a miss
+                }
+                let path = &self.hops[start..end];
+                if path.iter().all(|&c| !faults.is_failed(c as usize)) {
+                    new_hops.extend_from_slice(path);
+                    stats.untouched += 1;
+                    continue;
+                }
+                // Decode the stored route's up-ports as the preference.
+                let ascent = path.len() / 2;
+                let preferred = Route::new(
+                    path[..ascent]
+                        .iter()
+                        .map(|&dense| self.channels.channel(dense as usize).up_port)
+                        .collect(),
+                );
+                match reroute(&degraded, s, d, &preferred) {
+                    Ok(route) => {
+                        let new_path = xgft
+                            .route_channels(s, d, &route)
+                            .expect("fault-aware fallback produces valid routes");
+                        new_hops.extend(new_path.iter().map(|&c| c as u32));
+                        stats.rerouted += 1;
+                    }
+                    Err(_) => stats.unroutable += 1,
+                }
+            }
+        }
+        new_offsets[n * n] = new_hops.len() as u32;
+        self.offsets = new_offsets;
+        self.hops = new_hops;
+        self.routes -= stats.unroutable;
+        stats
     }
 
     /// Compile an existing hash-map table (the forward half of the lossless
@@ -325,6 +486,105 @@ mod tests {
         for (&(s, d), route) in table.iter() {
             assert_eq!(compiled.route(s, d).as_ref(), Some(route));
         }
+    }
+
+    #[test]
+    fn patch_with_no_faults_is_a_no_op() {
+        let xgft = Xgft::k_ary_n_tree(4, 2);
+        let pristine = CompiledRouteTable::compile_all_pairs(&xgft, &DModK::new());
+        let mut patched = pristine.clone();
+        let faults = xgft_topo::FaultSet::none(&xgft);
+        let stats = patched.patch(&xgft, &faults);
+        assert_eq!(stats.untouched, pristine.len());
+        assert_eq!(stats.rerouted, 0);
+        assert_eq!(stats.unroutable, 0);
+        assert_eq!(patched, pristine);
+    }
+
+    #[test]
+    fn patch_matches_degraded_compile_and_misses_stay_typed() {
+        let xgft = Xgft::new(XgftSpec::slimmed_two_level(4, 2).unwrap()).unwrap();
+        // Cut one up cable of switch 0: routes through root 1 from its
+        // leaves reroute; nothing becomes unroutable yet.
+        let mut faults = xgft_topo::FaultSet::none(&xgft);
+        faults.fail_cable(xgft.channels(), 1, 0, 1);
+        let algo = SModK::new();
+        let mut patched = CompiledRouteTable::compile_all_pairs(&xgft, &algo);
+        let stats = patched.patch(&xgft, &faults);
+        let scratch = CompiledRouteTable::compile_degraded(
+            &xgft,
+            &faults,
+            &algo,
+            (0..16).flat_map(|s| (0..16).map(move |d| (s, d))),
+        );
+        assert_eq!(patched, scratch);
+        assert!(stats.rerouted > 0);
+        assert_eq!(stats.unroutable, 0);
+        assert_eq!(stats.untouched + stats.rerouted, patched.len());
+        assert!(patched.validate(&xgft).is_ok());
+        // Every surviving path avoids the dead channels.
+        for (_, path) in patched.iter_paths() {
+            assert!(path.iter().all(|&c| !faults.is_failed(c as usize)));
+        }
+
+        // Now cut the second up cable too: cross-switch pairs of switch 0
+        // become typed misses, identically in both construction orders.
+        faults.fail_cable(xgft.channels(), 1, 0, 0);
+        let stats = patched.patch(&xgft, &faults);
+        let scratch = CompiledRouteTable::compile_degraded(
+            &xgft,
+            &faults,
+            &algo,
+            (0..16).flat_map(|s| (0..16).map(move |d| (s, d))),
+        );
+        assert_eq!(patched, scratch);
+        assert!(stats.unroutable > 0);
+        assert!(patched.path(0, 5).is_none(), "cut-off pair must miss");
+        assert!(patched.route(0, 5).is_none());
+        assert!(patched.path(0, 1).is_some(), "intra-switch pair survives");
+        assert_eq!(patched.len(), scratch.len());
+    }
+
+    #[test]
+    fn patch_is_one_way_misses_do_not_heal() {
+        // The documented contract: patch accumulates faults and never
+        // heals. Cutting off switch 0 turns its cross-switch pairs into
+        // misses; a later patch with an empty fault set must NOT bring
+        // them back — repair is modelled by re-patching the pristine table.
+        let xgft = Xgft::new(XgftSpec::slimmed_two_level(4, 2).unwrap()).unwrap();
+        let pristine = CompiledRouteTable::compile_all_pairs(&xgft, &DModK::new());
+        let mut faults = xgft_topo::FaultSet::none(&xgft);
+        faults.fail_cable(xgft.channels(), 1, 0, 0);
+        faults.fail_cable(xgft.channels(), 1, 0, 1);
+
+        let mut patched = pristine.clone();
+        patched.patch(&xgft, &faults);
+        assert!(patched.path(0, 5).is_none());
+
+        let repaired = xgft_topo::FaultSet::none(&xgft);
+        patched.patch(&xgft, &repaired);
+        assert!(
+            patched.path(0, 5).is_none(),
+            "misses must not heal on re-patch"
+        );
+        // Repair done right: patch the pristine clone with the new set.
+        let mut fresh = pristine.clone();
+        fresh.patch(&xgft, &repaired);
+        assert_eq!(fresh, pristine);
+        assert!(fresh.path(0, 5).is_some());
+    }
+
+    #[test]
+    fn patch_is_idempotent() {
+        let xgft = Xgft::new(XgftSpec::slimmed_two_level(4, 3).unwrap()).unwrap();
+        let faults = xgft_topo::FaultSet::uniform_links(&xgft, 0.3, 17);
+        let mut once = CompiledRouteTable::compile_all_pairs(&xgft, &RandomRouting::new(2));
+        once.patch(&xgft, &faults);
+        let mut twice = once.clone();
+        let stats = twice.patch(&xgft, &faults);
+        assert_eq!(stats.rerouted, 0, "already-patched paths are all live");
+        assert_eq!(stats.unroutable, 0);
+        assert_eq!(once, twice);
     }
 
     #[test]

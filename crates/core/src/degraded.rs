@@ -1,0 +1,331 @@
+//! Fault-aware routing: rerouting around dead channels inside a pair's NCA
+//! group, with a typed miss when no minimal route survives.
+//!
+//! Oblivious schemes fix one route per pair; when a channel on that route
+//! dies the scheme must fall back *deterministically* to another minimal
+//! route of the same pair — an ascent to a different NCA of the group —
+//! without reshuffling the routes of unaffected pairs. The fallback here
+//! keeps each scheme's own label arithmetic as the preference order: at
+//! every ascent level the ports are tried as `(preferred + δ) mod w` for
+//! `δ = 0, 1, …, w−1`, depth-first, and a candidate apex is accepted only
+//! when its unique descent to the destination is also fully alive. The
+//! scheme's pristine choice is therefore always the first candidate (a
+//! fault-free topology reproduces the original route exactly), the search
+//! is a pure function of `(scheme, pair, fault set)`, and when *no* minimal
+//! route survives the miss is reported as [`RoutingError::Unroutable`]
+//! rather than a panic — the compiled-table layer stores it as a typed miss
+//! and the network layer surfaces it as `MissingRoute`.
+
+use crate::algorithm::RoutingAlgorithm;
+use std::fmt;
+use xgft_topo::{ChannelId, DegradedXgft, Direction, NodeLabel, Route, XgftSpec};
+
+/// Errors of fault-aware route construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingError {
+    /// No minimal route of the pair survives the fault set: every ascent to
+    /// every NCA of the group crosses a dead channel, or every surviving
+    /// apex has a dead descent.
+    Unroutable {
+        /// Source leaf of the unroutable pair.
+        s: usize,
+        /// Destination leaf of the unroutable pair.
+        d: usize,
+    },
+}
+
+impl fmt::Display for RoutingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoutingError::Unroutable { s, d } => {
+                write!(f, "no minimal route of ({s}, {d}) survives the fault set")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RoutingError {}
+
+/// The linear index of the node at `level` with the given digit vector
+/// (least-significant first) — label arithmetic without the allocation, for
+/// the search loop.
+fn node_index(spec: &XgftSpec, level: usize, digits: &[usize]) -> usize {
+    let h = spec.height();
+    let mut index = 0usize;
+    for pos in (1..=h).rev() {
+        index = index * NodeLabel::radix_at(spec, level, pos) + digits[pos - 1];
+    }
+    index
+}
+
+/// True when the unique descent from the apex described by `digits` (the
+/// source digits with positions `1..=level` replaced by the chosen ascent
+/// ports) down to `d` crosses only live channels.
+fn descent_live(
+    degraded: &DegradedXgft<'_>,
+    digits: &[usize],
+    d_digits: &[usize],
+    level: usize,
+) -> bool {
+    let xgft = degraded.xgft();
+    let spec = xgft.spec();
+    let channels = xgft.channels();
+    let mut cur = digits.to_vec();
+    for j in (1..=level).rev() {
+        let upper_w = cur[j - 1];
+        cur[j - 1] = d_digits[j - 1];
+        let low_index = node_index(spec, j - 1, &cur);
+        let ch = channels.index(&ChannelId {
+            level: j - 1,
+            low_index,
+            up_port: upper_w,
+            dir: Direction::Down,
+        });
+        if !degraded.channel_live(ch) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Depth-first search over the ascent levels: at level `l` ports are tried
+/// in the scheme's preference order `(preferred[l] + δ) mod w`. Returns true
+/// (with `digits[..level]` holding the winning ports) when a fully live
+/// route is found.
+fn search(
+    degraded: &DegradedXgft<'_>,
+    l: usize,
+    level: usize,
+    preferred: &Route,
+    digits: &mut Vec<usize>,
+    d_digits: &[usize],
+) -> bool {
+    if l == level {
+        return descent_live(degraded, digits, d_digits, level);
+    }
+    let xgft = degraded.xgft();
+    let spec = xgft.spec();
+    let channels = xgft.channels();
+    let w = spec.w(l + 1);
+    let low_index = node_index(spec, l, digits);
+    let base = preferred.up_port(l);
+    for delta in 0..w {
+        let port = (base + delta) % w;
+        let up = channels.index(&ChannelId {
+            level: l,
+            low_index,
+            up_port: port,
+            dir: Direction::Up,
+        });
+        if !degraded.channel_live(up) {
+            continue;
+        }
+        let saved = digits[l];
+        digits[l] = port;
+        if search(degraded, l + 1, level, preferred, digits, d_digits) {
+            return true;
+        }
+        digits[l] = saved;
+    }
+    false
+}
+
+/// Reroute the pair `(s, d)` around the view's faults, preferring the ports
+/// of `preferred` (the scheme's pristine route) level by level. On a
+/// fault-free view this returns `preferred` unchanged; otherwise the first
+/// fully live minimal route in the deterministic `(preferred + δ) mod w`
+/// preference order; [`RoutingError::Unroutable`] when none survives.
+///
+/// # Panics
+/// Panics if `preferred` is not a valid route for the pair (wrong length or
+/// out-of-range ports) — schemes guarantee validity.
+pub fn reroute(
+    degraded: &DegradedXgft<'_>,
+    s: usize,
+    d: usize,
+    preferred: &Route,
+) -> Result<Route, RoutingError> {
+    let xgft = degraded.xgft();
+    let level = xgft.nca_level(s, d);
+    assert_eq!(
+        preferred.nca_level(),
+        level,
+        "preferred route must climb exactly to the pair's NCA level"
+    );
+    if level == 0 {
+        return Ok(Route::empty());
+    }
+    let mut digits = xgft.leaf_digits(s).to_vec();
+    let d_digits = xgft.leaf_digits(d).to_vec();
+    if search(degraded, 0, level, preferred, &mut digits, &d_digits) {
+        Ok(Route::new(digits[..level].to_vec()))
+    } else {
+        Err(RoutingError::Unroutable { s, d })
+    }
+}
+
+/// The fault-aware route of `(s, d)` under `algo`: the scheme's pristine
+/// route when it survives, otherwise the deterministic fallback of
+/// [`reroute`], otherwise a typed [`RoutingError::Unroutable`] miss.
+pub fn degraded_route<A: RoutingAlgorithm + ?Sized>(
+    degraded: &DegradedXgft<'_>,
+    algo: &A,
+    s: usize,
+    d: usize,
+) -> Result<Route, RoutingError> {
+    let preferred = algo.route(degraded.xgft(), s, d);
+    reroute(degraded, s, d, &preferred)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modk::{DModK, SModK};
+    use crate::random::RandomRouting;
+    use crate::rnca::RandomNcaDown;
+    use xgft_topo::{FaultSet, NodeRef, Xgft, XgftSpec};
+
+    fn two_level(k: usize, w2: usize) -> Xgft {
+        Xgft::new(XgftSpec::slimmed_two_level(k, w2).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn pristine_view_returns_the_scheme_route_unchanged() {
+        let xgft = two_level(4, 3);
+        let faults = FaultSet::none(&xgft);
+        let view = DegradedXgft::new(&xgft, &faults).unwrap();
+        for algo in [
+            &DModK::new() as &dyn RoutingAlgorithm,
+            &SModK::new(),
+            &RandomRouting::new(3),
+            &RandomNcaDown::new(&xgft, 5),
+        ] {
+            for s in 0..xgft.num_leaves() {
+                for d in 0..xgft.num_leaves() {
+                    assert_eq!(
+                        degraded_route(&view, algo, s, d).unwrap(),
+                        if s == d {
+                            Route::empty()
+                        } else {
+                            algo.route(&xgft, s, d)
+                        }
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dead_up_channel_falls_back_to_the_next_port() {
+        // D-mod-k routes (s, d) over root d1 = leaf_digit(d, 1); kill that
+        // up cable for the source's switch and the fallback must take
+        // (d1 + 1) mod w2 while staying valid and live.
+        let xgft = two_level(4, 4);
+        let (s, d) = (0usize, 5usize);
+        let pristine = DModK::new().route(&xgft, s, d);
+        assert_eq!(pristine.up_ports(), &[0, 1]);
+        let mut faults = FaultSet::none(&xgft);
+        faults.fail_cable(xgft.channels(), 1, 0, 1);
+        let view = DegradedXgft::new(&xgft, &faults).unwrap();
+        let route = degraded_route(&view, &DModK::new(), s, d).unwrap();
+        assert_eq!(route.up_ports(), &[0, 2]);
+        assert!(xgft.validate_route(s, d, &route).is_ok());
+        assert!(view.route_is_live(s, d, &route).unwrap());
+        // A pair not crossing the dead cable keeps its pristine route.
+        let other = degraded_route(&view, &DModK::new(), 4, 9).unwrap();
+        assert_eq!(other, DModK::new().route(&xgft, 4, 9));
+    }
+
+    #[test]
+    fn dead_descent_forces_a_different_apex() {
+        // Kill the *down* cable from root 1 to the destination's switch: the
+        // ascent through root 1 is fine but its descent is dead, so the
+        // search must back off to another root.
+        let xgft = two_level(4, 4);
+        let (s, d) = (0usize, 5usize); // d sits under switch 1
+        let mut faults = FaultSet::none(&xgft);
+        let down = ChannelId {
+            level: 1,
+            low_index: 1,
+            up_port: 1,
+            dir: Direction::Down,
+        };
+        faults.fail_channel(xgft.channels(), &down);
+        let view = DegradedXgft::new(&xgft, &faults).unwrap();
+        let route = degraded_route(&view, &DModK::new(), s, d).unwrap();
+        assert_eq!(route.up_ports(), &[0, 2]);
+        assert!(view.route_is_live(s, d, &route).unwrap());
+    }
+
+    #[test]
+    fn killed_switch_reroutes_everything_around_it() {
+        let xgft = two_level(4, 4);
+        let mut faults = FaultSet::none(&xgft);
+        faults.fail_switch(&xgft, NodeRef { level: 2, index: 0 });
+        let view = DegradedXgft::new(&xgft, &faults).unwrap();
+        for algo in [
+            &SModK::new() as &dyn RoutingAlgorithm,
+            &DModK::new(),
+            &RandomRouting::new(9),
+        ] {
+            for s in 0..xgft.num_leaves() {
+                for d in 0..xgft.num_leaves() {
+                    if s == d {
+                        continue;
+                    }
+                    let route = degraded_route(&view, algo, s, d).unwrap();
+                    assert!(view.route_is_live(s, d, &route).unwrap());
+                    if xgft.nca_level(s, d) == 2 {
+                        assert_ne!(route.up_port(1), 0, "root 0 is dead");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_pairs_report_a_typed_unroutable_miss() {
+        // w2 = 2: kill both up cables of switch 0 and every cross-switch
+        // pair from its leaves is unroutable; intra-switch pairs survive.
+        let xgft = two_level(4, 2);
+        let mut faults = FaultSet::none(&xgft);
+        faults.fail_cable(xgft.channels(), 1, 0, 0);
+        faults.fail_cable(xgft.channels(), 1, 0, 1);
+        let view = DegradedXgft::new(&xgft, &faults).unwrap();
+        let err = degraded_route(&view, &DModK::new(), 0, 5).unwrap_err();
+        assert_eq!(err, RoutingError::Unroutable { s: 0, d: 5 });
+        assert!(err.to_string().contains("(0, 5)"));
+        // Reverse direction dies on the descent instead — also unroutable.
+        assert!(degraded_route(&view, &DModK::new(), 5, 0).is_err());
+        // Intra-switch pairs below the cut keep routing.
+        let intra = degraded_route(&view, &DModK::new(), 0, 1).unwrap();
+        assert!(view.route_is_live(0, 1, &intra).unwrap());
+    }
+
+    #[test]
+    fn three_level_search_backtracks_across_levels() {
+        let xgft = Xgft::new(XgftSpec::new(vec![3, 3, 3], vec![1, 2, 2]).unwrap()).unwrap();
+        // Heavy but survivable damage: cut half the level-1 cables.
+        let faults = FaultSet::targeted_level_cut(&xgft, 1, 9, 3);
+        let view = DegradedXgft::new(&xgft, &faults).unwrap();
+        let mut rerouted = 0usize;
+        for s in 0..xgft.num_leaves() {
+            for d in 0..xgft.num_leaves() {
+                if s == d {
+                    continue;
+                }
+                match degraded_route(&view, &SModK::new(), s, d) {
+                    Ok(route) => {
+                        assert!(xgft.validate_route(s, d, &route).is_ok());
+                        assert!(view.route_is_live(s, d, &route).unwrap());
+                        if route != SModK::new().route(&xgft, s, d) {
+                            rerouted += 1;
+                        }
+                    }
+                    Err(RoutingError::Unroutable { .. }) => {}
+                }
+            }
+        }
+        assert!(rerouted > 0, "half the level-1 cables must affect someone");
+    }
+}

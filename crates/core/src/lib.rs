@@ -27,9 +27,12 @@
 //! dense per-source channel-index arrays — the zero-allocation form the
 //! simulators inject from), [`contention`] (the network-contention metrics of
 //! Sec. IV and VII), [`distribution`] (routes-per-NCA histograms of
-//! Fig. 4), and [`route_dist`] (exact per-pair route *distributions* — the
+//! Fig. 4), [`route_dist`] (exact per-pair route *distributions* — the
 //! closed forms the `xgft-flow` analytical channel-load model consumes in
-//! place of seed sweeps).
+//! place of seed sweeps), and [`degraded`] (fault-aware routing: each
+//! scheme's deterministic fallback around dead channels, the typed
+//! `Unroutable` miss, and the incremental
+//! [`CompiledRouteTable::patch`](compiled::CompiledRouteTable::patch)).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -38,6 +41,7 @@ pub mod algorithm;
 pub mod colored;
 pub mod compiled;
 pub mod contention;
+pub mod degraded;
 pub mod distribution;
 pub mod modk;
 pub mod random;
@@ -48,8 +52,9 @@ pub mod table;
 
 pub use algorithm::RoutingAlgorithm;
 pub use colored::ColoredRouting;
-pub use compiled::CompiledRouteTable;
+pub use compiled::{CompiledRouteTable, PatchStats};
 pub use contention::{ChannelLoads, ContentionReport};
+pub use degraded::{degraded_route, reroute, RoutingError};
 pub use distribution::nca_route_distribution;
 pub use modk::{DModK, SModK};
 pub use random::RandomRouting;

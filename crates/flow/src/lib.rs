@@ -53,11 +53,13 @@
 #![forbid(unsafe_code)]
 
 pub mod bound;
+pub mod degraded;
 pub mod loads;
 pub mod sweep;
 pub mod traffic;
 
 pub use bound::{oblivious_congestion_ratio, tree_cut_lower_bound, CongestionRatio, CutBound};
+pub use degraded::DegradedLoads;
 pub use loads::{expected_nca_distribution, ExpectedLoads};
 pub use sweep::{FlowPoint, FlowScheme, FlowSweepConfig, FlowSweepResult};
 pub use traffic::{TrafficMatrix, TrafficSpec};

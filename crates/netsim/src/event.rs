@@ -5,6 +5,7 @@
 //! internals.
 
 use crate::message::Segment;
+use crate::sim::FailurePolicy;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -23,6 +24,12 @@ pub(crate) enum Event {
     /// A downstream buffer slot of `channel` has been vacated; the channel
     /// should re-examine its waiting queue.
     CreditReturn { channel: usize },
+    /// The directed channel `channel` fails at this instant; pending and
+    /// future traffic on it is handled per `policy`.
+    ChannelFail {
+        channel: usize,
+        policy: FailurePolicy,
+    },
 }
 
 #[derive(Debug)]

@@ -61,5 +61,5 @@ pub mod stats;
 pub use config::{NetworkConfig, SwitchingMode};
 pub use crossbar::{crossbar_config, crossbar_xgft, CrossbarSim};
 pub use message::{MessageId, MessageStatus};
-pub use sim::{Completion, NetworkSim};
+pub use sim::{Completion, FailurePolicy, NetworkSim};
 pub use stats::SimReport;

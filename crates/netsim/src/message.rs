@@ -3,8 +3,31 @@
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a message inside one simulation run.
+///
+/// The raw value packs the message's slab slot in the low 32 bits and a
+/// *generation* tag in the high 32 bits. Slots are recycled by
+/// [`crate::NetworkSim::drain_delivered`], but every recycling bumps the
+/// slot's generation, so an id handed out before a drain can never alias
+/// the slot's next occupant: stale ids simply resolve to `None`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct MessageId(pub u64);
+
+impl MessageId {
+    /// Pack a slab slot and its generation into an id.
+    pub fn new(slot: u32, generation: u32) -> Self {
+        MessageId(((generation as u64) << 32) | slot as u64)
+    }
+
+    /// The slab slot this id refers to.
+    pub fn slot(&self) -> usize {
+        (self.0 & 0xFFFF_FFFF) as usize
+    }
+
+    /// The generation of the slot this id was minted for.
+    pub fn generation(&self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
 
 /// Lifecycle of a message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -15,6 +38,9 @@ pub enum MessageStatus {
     InFlight,
     /// Every segment has been delivered to the destination adapter.
     Delivered,
+    /// At least one segment hit a failed channel under
+    /// [`crate::FailurePolicy::Drop`]; the message will never complete.
+    Dropped,
 }
 
 /// Internal per-message bookkeeping.
@@ -36,12 +62,17 @@ pub(crate) struct MessageState {
     pub total_segments: u64,
     /// Completion time, once delivered (ps).
     pub completed_at_ps: Option<u64>,
+    /// Time the first segment of this message was dropped at a failed
+    /// channel (ps); set only under [`crate::FailurePolicy::Drop`].
+    pub dropped_at_ps: Option<u64>,
 }
 
 impl MessageState {
     /// Current lifecycle status.
     pub fn status(&self) -> MessageStatus {
-        if self.completed_at_ps.is_some() {
+        if self.dropped_at_ps.is_some() {
+            MessageStatus::Dropped
+        } else if self.completed_at_ps.is_some() {
             MessageStatus::Delivered
         } else if self.segments_injected > 0 {
             MessageStatus::InFlight
@@ -88,6 +119,7 @@ mod tests {
             segments_delivered: 0,
             total_segments: 4,
             completed_at_ps: None,
+            dropped_at_ps: None,
         };
         assert_eq!(m.status(), MessageStatus::Pending);
         m.segments_injected = 1;
@@ -98,5 +130,18 @@ mod tests {
         m.segments_delivered = 4;
         m.completed_at_ps = Some(123);
         assert_eq!(m.status(), MessageStatus::Delivered);
+        m.dropped_at_ps = Some(200);
+        assert_eq!(m.status(), MessageStatus::Dropped);
+    }
+
+    #[test]
+    fn message_id_packs_slot_and_generation() {
+        let id = MessageId::new(7, 3);
+        assert_eq!(id.slot(), 7);
+        assert_eq!(id.generation(), 3);
+        assert_ne!(id, MessageId::new(7, 4));
+        // Generation-0 ids are numerically the bare slot (the pre-tag
+        // convention tests rely on).
+        assert_eq!(MessageId::new(5, 0), MessageId(5));
     }
 }

@@ -1,8 +1,21 @@
 //! The event-driven network simulator.
 //!
 //! See the crate-level docs for the model. The simulator is deterministic:
-//! identical inputs (topology, config, schedule of messages and routes)
-//! produce identical timings.
+//! identical inputs (topology, config, schedule of messages, routes and
+//! failure events) produce identical timings.
+//!
+//! ## Channel failures
+//!
+//! [`NetworkSim::fail_channel`] schedules a directed channel to die mid-run.
+//! From the failure instant on, the channel's traffic is handled per
+//! [`FailurePolicy`]: messages injected *before* the failure either drain
+//! over the dead channel (`CompleteInFlight` — the lossless
+//! "drain-then-cut" model) or are dropped at it (`Drop` — the lossy model);
+//! messages injected at or after the failure whose fixed path still crosses
+//! the dead channel are always dropped there, because a correctly patched
+//! route table would never have sent them that way. Dropped messages
+//! release every buffer credit they hold (so unrelated flows keep moving),
+//! never complete, and are counted in [`SimReport::dropped_messages`].
 
 use crate::config::{NetworkConfig, SwitchingMode};
 use crate::event::{Event, EventQueue};
@@ -27,6 +40,17 @@ pub struct Completion {
     pub completed_at_ps: u64,
 }
 
+/// What happens to traffic that meets a failed channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailurePolicy {
+    /// Messages injected before the failure still traverse the channel (it
+    /// drains in-flight traffic); only later injections drop at it.
+    CompleteInFlight,
+    /// Every segment that reaches the channel from the failure instant on
+    /// is lost, and queued segments are flushed immediately.
+    Drop,
+}
+
 /// Per-directed-channel simulation state.
 #[derive(Debug, Clone)]
 struct ChannelState {
@@ -40,6 +64,8 @@ struct ChannelState {
     busy_ps: u64,
     /// Largest waiting-queue depth observed.
     max_queue: usize,
+    /// Failure instant and policy, once the channel has died.
+    failed: Option<(u64, FailurePolicy)>,
 }
 
 /// Per-source-adapter state: the active messages interleaved round-robin at
@@ -63,13 +89,17 @@ pub struct NetworkSim {
     queue: EventQueue,
     channels: Vec<ChannelState>,
     adapters: Vec<AdapterState>,
-    /// Message slab keyed by the dense [`MessageId`]: a message's id is its
-    /// slot index, so every hot-path access is a vector index instead of a
-    /// hash lookup. Slots of drained (delivered and consumed) messages are
-    /// recycled through `free_slots`, which bounds memory on long campaigns.
+    /// Message slab keyed by [`MessageId::slot`]: every hot-path access is a
+    /// vector index instead of a hash lookup. Slots of drained (finished and
+    /// consumed) messages are recycled through `free_slots`, which bounds
+    /// memory on long campaigns; each recycling bumps the slot's entry in
+    /// `generations`, so a stale id can never alias the new occupant.
     messages: Vec<Option<MessageState>>,
+    /// Current generation of every slot (see [`MessageId`]).
+    generations: Vec<u32>,
     free_slots: Vec<usize>,
     live_messages: usize,
+    dropped_messages: usize,
     completions: VecDeque<Completion>,
     records: Vec<MessageRecord>,
     events_processed: u64,
@@ -86,6 +116,7 @@ impl NetworkSim {
                 waiting: VecDeque::new(),
                 busy_ps: 0,
                 max_queue: 0,
+                failed: None,
             };
             num_channels
         ];
@@ -98,8 +129,10 @@ impl NetworkSim {
             channels,
             adapters,
             messages: Vec::new(),
+            generations: Vec::new(),
             free_slots: Vec::new(),
             live_messages: 0,
+            dropped_messages: 0,
             completions: VecDeque::new(),
             records: Vec::new(),
             events_processed: 0,
@@ -126,64 +159,74 @@ impl NetworkSim {
         self.live_messages
     }
 
-    /// Status of a message. Returns `None` after the message has been
-    /// drained — until its slot is recycled by a later
-    /// [`NetworkSim::schedule_message`], at which point the id refers to
-    /// the *new* occupant (the usual slab contract: drop stale ids once
-    /// [`NetworkSim::drain_delivered`] has run).
+    /// Status of a message. Returns `None` once the message has been
+    /// drained — *permanently*: the id carries its slot's generation tag,
+    /// so even after the slot is recycled by a later
+    /// [`NetworkSim::schedule_message`] the stale id keeps resolving to
+    /// `None` instead of aliasing the new occupant.
     pub fn message_status(&self, id: MessageId) -> Option<MessageStatus> {
-        self.messages
-            .get(id.0 as usize)
-            .and_then(|slot| slot.as_ref())
-            .map(|m| m.status())
+        let slot = id.slot();
+        if self.generations.get(slot).copied() != Some(id.generation()) {
+            return None;
+        }
+        self.messages[slot].as_ref().map(|m| m.status())
     }
 
     /// The live state behind an id — hot-path accessor.
     #[inline]
     fn msg(&self, id: MessageId) -> &MessageState {
-        self.messages[id.0 as usize].as_ref().expect("live message")
+        debug_assert_eq!(self.generations[id.slot()], id.generation());
+        self.messages[id.slot()].as_ref().expect("live message")
     }
 
     /// Mutable form of [`NetworkSim::msg`].
     #[inline]
     fn msg_mut(&mut self, id: MessageId) -> &mut MessageState {
-        self.messages[id.0 as usize].as_mut().expect("live message")
+        debug_assert_eq!(self.generations[id.slot()], id.generation());
+        self.messages[id.slot()].as_mut().expect("live message")
     }
 
     /// Claim a slot for a new message: recycled if one is free, fresh
-    /// otherwise. The returned id *is* the slot index.
+    /// otherwise. The returned id packs the slot with its current
+    /// generation.
     fn alloc_slot(&mut self, state: impl FnOnce(MessageId) -> MessageState) -> MessageId {
         let slot = match self.free_slots.pop() {
             Some(slot) => slot,
             None => {
                 self.messages.push(None);
+                self.generations.push(0);
                 self.messages.len() - 1
             }
         };
-        let id = MessageId(slot as u64);
+        let id = MessageId::new(slot as u32, self.generations[slot]);
         self.messages[slot] = Some(state(id));
         self.live_messages += 1;
         id
     }
 
-    /// Recycle the slots of delivered messages whose [`Completion`]s have
-    /// already been consumed, returning how many were drained. Their ids may
-    /// be handed out again by later [`NetworkSim::schedule_message`] calls;
-    /// per-message [`MessageRecord`]s already emitted are unaffected. Long
-    /// seed campaigns call this between phases to keep the slab bounded.
+    /// Recycle the slots of finished (delivered or dropped) messages whose
+    /// [`Completion`]s have already been consumed, returning how many were
+    /// drained. Each freed slot's generation is bumped, so the drained ids
+    /// stay dead forever even after the slot is reused; per-message
+    /// [`MessageRecord`]s already emitted are unaffected. Long seed
+    /// campaigns call this between phases to keep the slab bounded.
     pub fn drain_delivered(&mut self) -> usize {
         let mut pending: Vec<u64> = self.completions.iter().map(|c| c.id.0).collect();
         pending.sort_unstable();
         let mut drained = 0;
         for slot in 0..self.messages.len() {
-            let delivered = self.messages[slot]
+            let finished = self.messages[slot]
                 .as_ref()
-                .is_some_and(|m| m.completed_at_ps.is_some());
-            if delivered && pending.binary_search(&(slot as u64)).is_err() {
-                self.messages[slot] = None;
-                self.free_slots.push(slot);
-                self.live_messages -= 1;
-                drained += 1;
+                .filter(|m| m.completed_at_ps.is_some() || m.dropped_at_ps.is_some())
+                .map(|m| m.id);
+            if let Some(id) = finished {
+                if pending.binary_search(&id.0).is_err() {
+                    self.messages[slot] = None;
+                    self.generations[slot] = self.generations[slot].wrapping_add(1);
+                    self.free_slots.push(slot);
+                    self.live_messages -= 1;
+                    drained += 1;
+                }
             }
         }
         drained
@@ -193,6 +236,34 @@ impl NetworkSim {
     /// consumed.
     pub fn is_idle(&self) -> bool {
         self.queue.is_empty() && self.completions.is_empty()
+    }
+
+    /// Schedule the directed channel with dense index `channel` to fail at
+    /// absolute time `at_ps`; traffic meeting the dead channel is handled
+    /// per `policy` (see the module docs for the exact semantics).
+    ///
+    /// # Panics
+    /// Panics if `channel` is out of range or `at_ps` lies in the past.
+    pub fn fail_channel(&mut self, at_ps: u64, channel: usize, policy: FailurePolicy) {
+        assert!(channel < self.channels.len(), "channel index out of range");
+        assert!(
+            at_ps >= self.now_ps,
+            "cannot fail a channel in the past ({} < {})",
+            at_ps,
+            self.now_ps
+        );
+        self.queue
+            .push(at_ps, Event::ChannelFail { channel, policy });
+    }
+
+    /// True once `channel` has failed (at or before the current time).
+    pub fn channel_is_failed(&self, channel: usize) -> bool {
+        self.channels[channel].failed.is_some()
+    }
+
+    /// Number of messages dropped at failed channels so far.
+    pub fn dropped_messages(&self) -> usize {
+        self.dropped_messages
     }
 
     /// Schedule a message for injection at absolute time `at_ps`
@@ -289,6 +360,7 @@ impl NetworkSim {
                 segments_delivered: 0,
                 total_segments: 0,
                 completed_at_ps: Some(at_ps),
+                dropped_at_ps: None,
             });
             self.completions.push_back(Completion {
                 id,
@@ -320,6 +392,7 @@ impl NetworkSim {
             segments_delivered: 0,
             total_segments,
             completed_at_ps: None,
+            dropped_at_ps: None,
         });
         self.adapters[src].active.push_back(id);
         self.queue.push(at_ps, Event::AdapterTryInject { src });
@@ -369,6 +442,7 @@ impl NetworkSim {
         let max_busy = self.channels.iter().map(|c| c.busy_ps).max().unwrap_or(0);
         SimReport {
             completed_messages: self.records.len(),
+            dropped_messages: self.dropped_messages,
             total_bytes: self.records.iter().map(|r| r.bytes).sum(),
             makespan_ps: makespan,
             messages: self.records.clone(),
@@ -398,8 +472,57 @@ impl NetworkSim {
                 self.channels[channel].credits += 1;
                 self.try_start(channel);
             }
+            Event::ChannelFail { channel, policy } => self.channel_fail(channel, policy),
         }
         true
+    }
+
+    /// The channel dies now. Under [`FailurePolicy::Drop`] its waiting
+    /// queue is flushed immediately; under
+    /// [`FailurePolicy::CompleteInFlight`] queued segments (necessarily from
+    /// pre-failure messages) keep draining.
+    fn channel_fail(&mut self, channel: usize, policy: FailurePolicy) {
+        let state = &mut self.channels[channel];
+        if state.failed.is_some() {
+            return; // idempotent: the first failure wins
+        }
+        state.failed = Some((self.now_ps, policy));
+        if policy == FailurePolicy::Drop {
+            let flushed: Vec<Segment> = self.channels[channel].waiting.drain(..).collect();
+            for segment in flushed {
+                self.drop_segment(segment);
+            }
+        }
+    }
+
+    /// Lose `segment` at a dead channel: return the buffer credit it holds,
+    /// let its source adapter move on, mark its message dropped and stop
+    /// injecting the message's remaining segments.
+    fn drop_segment(&mut self, segment: Segment) {
+        if let Some(prev) = segment.holds_buffer_of {
+            self.queue
+                .push(self.now_ps, Event::CreditReturn { channel: prev });
+        }
+        let id = segment.message;
+        let now_ps = self.now_ps;
+        let (src, first_drop) = {
+            let msg = self.msg_mut(id);
+            let first = msg.dropped_at_ps.is_none();
+            if first {
+                msg.dropped_at_ps = Some(now_ps);
+            }
+            (msg.src, first)
+        };
+        if segment.hop == 0 {
+            // The segment sat in the injection queue; free the adapter's
+            // round-robin slot so its other messages keep flowing.
+            self.adapters[src].segment_enqueued = false;
+            self.queue.push(now_ps, Event::AdapterTryInject { src });
+        }
+        if first_drop {
+            self.dropped_messages += 1;
+            self.adapters[src].active.retain(|&m| m != id);
+        }
     }
 
     /// Hand the next segment (round-robin over active messages) of adapter
@@ -412,7 +535,7 @@ impl NetworkSim {
             return;
         };
         let (segment, injection_channel, fully_injected) = {
-            let msg = self.messages[id.0 as usize].as_mut().expect("live message");
+            let msg = self.messages[id.slot()].as_mut().expect("live message");
             let index = msg.segments_injected;
             let bytes = self.config.segment_size(msg.bytes, index);
             msg.segments_injected += 1;
@@ -434,8 +557,17 @@ impl NetworkSim {
     }
 
     /// Queue a segment at the upstream side of `channel` and poke the
-    /// channel.
+    /// channel. Segments meeting a failed channel are dropped unless the
+    /// policy lets pre-failure messages drain.
     fn enqueue_segment(&mut self, segment: Segment, channel: usize) {
+        if let Some((failed_at, policy)) = self.channels[channel].failed {
+            let drains = policy == FailurePolicy::CompleteInFlight
+                && self.msg(segment.message).injected_at_ps < failed_at;
+            if !drains {
+                self.drop_segment(segment);
+                return;
+            }
+        }
         let ch = &mut self.channels[channel];
         ch.waiting.push_back(segment);
         ch.max_queue = ch.max_queue.max(ch.waiting.len());
@@ -523,7 +655,7 @@ impl NetworkSim {
             let msg = self.msg_mut(segment.message);
             msg.segments_delivered += 1;
             debug_assert!(msg.segments_delivered <= msg.total_segments);
-            if msg.segments_delivered == msg.total_segments {
+            if msg.segments_delivered == msg.total_segments && msg.dropped_at_ps.is_none() {
                 msg.completed_at_ps = Some(now_ps);
                 (
                     Some(Completion {
@@ -821,16 +953,131 @@ mod tests {
         assert_eq!(sim.message_status(a), None);
         assert_eq!(sim.message_status(b), None);
 
-        // New messages recycle the freed slots (LIFO) and run normally.
+        // New messages recycle the freed slots (LIFO) under a bumped
+        // generation, so the recycled ids are *distinct* from the drained
+        // ones even though they share a slot.
         let c = sim.schedule_message(sim.now_ps(), 2, 7, 8 * 1024, Route::new(vec![0, 3]));
-        assert_eq!(c, MessageId(1), "drained slot must be recycled");
+        assert_eq!((c.slot(), c.generation()), (1, 1), "slot 1 recycled");
+        assert_ne!(c, b, "recycled id must not equal the drained id");
         let d = sim.schedule_message(sim.now_ps(), 3, 8, 8 * 1024, Route::new(vec![0, 0]));
-        assert_eq!(d, MessageId(0));
+        assert_eq!((d.slot(), d.generation()), (0, 1));
         let e = sim.schedule_message(sim.now_ps(), 4, 9, 8 * 1024, Route::new(vec![0, 1]));
         assert_eq!(e, MessageId(2), "fresh slot once the free list is empty");
         let report = sim.run_to_completion();
         assert_eq!(report.completed_messages, 5);
+        assert_eq!(report.dropped_messages, 0);
         assert_eq!(sim.message_status(c), Some(MessageStatus::Delivered));
+    }
+
+    /// The satellite regression: a drained id must never alias the slot's
+    /// next occupant, no matter what state that occupant is in.
+    #[test]
+    fn stale_ids_stay_dead_after_their_slot_is_recycled() {
+        let xgft = k_ary(4, 2);
+        let mut sim = NetworkSim::new(&xgft, cfg());
+        let stale = sim.schedule_message(0, 0, 5, 8 * 1024, Route::new(vec![0, 1]));
+        sim.run_to_completion();
+        assert_eq!(sim.drain_delivered(), 1);
+        assert_eq!(sim.message_status(stale), None);
+
+        // Recycle the slot with a live in-flight message: before the
+        // generation tag, `stale` would now report the new occupant's
+        // status (Pending), silently lying about a drained message.
+        let fresh = sim.schedule_message(sim.now_ps(), 1, 6, 8 * 1024, Route::new(vec![0, 2]));
+        assert_eq!(fresh.slot(), stale.slot(), "slot must be recycled");
+        assert_eq!(sim.message_status(fresh), Some(MessageStatus::Pending));
+        assert_eq!(
+            sim.message_status(stale),
+            None,
+            "a drained id must not alias the live recycled message"
+        );
+        sim.run_to_completion();
+        assert_eq!(sim.message_status(fresh), Some(MessageStatus::Delivered));
+        assert_eq!(sim.message_status(stale), None);
+    }
+
+    #[test]
+    fn channel_failure_drop_loses_messages_but_not_the_network() {
+        // Two flows share nothing; kill a channel of the first mid-run.
+        let xgft = k_ary(4, 2);
+        let bytes = 64 * 1024u64;
+        let mut sim = NetworkSim::new(&xgft, cfg());
+        let doomed = sim.schedule_message(0, 0, 5, bytes, Route::new(vec![0, 1]));
+        let survivor = sim.schedule_message(0, 8, 13, bytes, Route::new(vec![0, 2]));
+        let dead = xgft.route_channels(0, 5, &Route::new(vec![0, 1])).unwrap()[1];
+        sim.fail_channel(1_000_000, dead, FailurePolicy::Drop);
+        let report = sim.run_to_completion();
+        assert!(sim.channel_is_failed(dead));
+        assert_eq!(report.completed_messages, 1);
+        assert_eq!(report.dropped_messages, 1);
+        assert_eq!(sim.dropped_messages(), 1);
+        assert_eq!(sim.message_status(doomed), Some(MessageStatus::Dropped));
+        assert_eq!(sim.message_status(survivor), Some(MessageStatus::Delivered));
+        // Dropped messages are drainable and their ids stay dead.
+        assert_eq!(sim.drain_delivered(), 2);
+        assert_eq!(sim.message_status(doomed), None);
+    }
+
+    #[test]
+    fn complete_in_flight_drains_pre_failure_messages() {
+        let xgft = k_ary(4, 2);
+        let bytes = 64 * 1024u64;
+        let route = Route::new(vec![0, 1]);
+        let dead = xgft.route_channels(0, 5, &route).unwrap()[1];
+
+        // Message injected before the failure: drains to completion.
+        let mut sim = NetworkSim::new(&xgft, cfg());
+        let early = sim.schedule_message(0, 0, 5, bytes, route.clone());
+        sim.fail_channel(1_000_000, dead, FailurePolicy::CompleteInFlight);
+        let report = sim.run_to_completion();
+        assert_eq!(report.completed_messages, 1);
+        assert_eq!(report.dropped_messages, 0);
+        assert_eq!(sim.message_status(early), Some(MessageStatus::Delivered));
+
+        // Message injected after the failure over the same stale path:
+        // dropped at the dead hop even under CompleteInFlight.
+        let mut sim = NetworkSim::new(&xgft, cfg());
+        sim.fail_channel(0, dead, FailurePolicy::CompleteInFlight);
+        let late = sim.schedule_message(1_000, 0, 5, bytes, route);
+        let report = sim.run_to_completion();
+        assert_eq!(report.completed_messages, 0);
+        assert_eq!(report.dropped_messages, 1);
+        assert_eq!(sim.message_status(late), Some(MessageStatus::Dropped));
+    }
+
+    #[test]
+    fn drop_at_a_shared_channel_releases_credits_for_other_flows() {
+        // Many flows fan into one destination; the ejection link dies with
+        // Drop policy. Everything queued or arriving later is lost, but the
+        // simulation terminates and every credit comes back (no wedged
+        // channels, no live messages left unaccounted).
+        let xgft = k_ary(4, 2);
+        let mut sim = NetworkSim::new(&xgft, cfg());
+        for s in 1..8usize {
+            let route = if xgft.nca_level(s, 0) == 1 {
+                Route::new(vec![0])
+            } else {
+                Route::new(vec![0, s % 4])
+            };
+            sim.schedule_message(0, s, 0, 64 * 1024, route);
+        }
+        let ejection = xgft.channels().ejection_channel(0);
+        sim.fail_channel(500_000, ejection, FailurePolicy::Drop);
+        let report = sim.run_to_completion();
+        assert_eq!(report.completed_messages + report.dropped_messages, 7);
+        assert!(
+            report.dropped_messages >= 1,
+            "the dead ejection link must bite"
+        );
+        assert!(sim.is_idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "channel index out of range")]
+    fn failing_an_unknown_channel_is_rejected() {
+        let xgft = k_ary(2, 2);
+        let mut sim = NetworkSim::new(&xgft, cfg());
+        sim.fail_channel(0, 10_000, FailurePolicy::Drop);
     }
 
     #[test]

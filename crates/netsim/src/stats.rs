@@ -32,6 +32,8 @@ impl MessageRecord {
 pub struct SimReport {
     /// Number of messages delivered.
     pub completed_messages: usize,
+    /// Number of messages lost at failed channels (never delivered).
+    pub dropped_messages: usize,
     /// Total payload bytes delivered.
     pub total_bytes: u64,
     /// Time of the last delivery (ps); 0 if nothing was delivered.
@@ -88,6 +90,7 @@ mod tests {
         assert_eq!(rec.latency_ps(), 4_000);
         let report = SimReport {
             completed_messages: 1,
+            dropped_messages: 0,
             total_bytes: 1024,
             makespan_ps: 2_000_000_000,
             messages: vec![rec],
@@ -103,6 +106,7 @@ mod tests {
     fn empty_report_latency_is_zero() {
         let report = SimReport {
             completed_messages: 0,
+            dropped_messages: 0,
             total_bytes: 0,
             makespan_ps: 0,
             messages: vec![],

@@ -50,6 +50,7 @@
 pub mod channel;
 pub mod dot;
 pub mod error;
+pub mod fault;
 pub mod kary;
 pub mod label;
 pub mod nca;
@@ -59,6 +60,7 @@ pub mod topology;
 
 pub use channel::{ChannelId, ChannelTable, Direction};
 pub use error::TopologyError;
+pub use fault::{DegradedXgft, FaultSet};
 pub use kary::KAryNTree;
 pub use label::NodeLabel;
 pub use nca::NcaSet;

@@ -60,6 +60,39 @@ pub trait Network {
     fn label(&self) -> String;
 }
 
+/// A replay engine consumes its network by value; implementing the trait
+/// for mutable references lets callers keep the network — and inspect its
+/// post-replay state, e.g. `NetworkSim::channel_busy_ps` — by passing
+/// `&mut net` instead. The engine-agreement differential harness relies on
+/// this.
+impl<N: Network + ?Sized> Network for &mut N {
+    fn schedule_message(
+        &mut self,
+        at_ps: u64,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+    ) -> Result<MessageId, NetworkError> {
+        (**self).schedule_message(at_ps, src, dst, bytes)
+    }
+
+    fn run_until_next_completion(&mut self) -> Option<Completion> {
+        (**self).run_until_next_completion()
+    }
+
+    fn now_ps(&self) -> u64 {
+        (**self).now_ps()
+    }
+
+    fn report(&self) -> SimReport {
+        (**self).report()
+    }
+
+    fn label(&self) -> String {
+        (**self).label()
+    }
+}
+
 /// An XGFT network simulator paired with a *compiled* route table: each
 /// injection is a flat-array lookup handing the precomputed dense channel
 /// path straight to the simulator — no hashing, cloning, validation or

@@ -15,6 +15,7 @@
 
 use xgft::analysis::campaign::CampaignConfig;
 use xgft::analysis::experiments::fig4;
+use xgft::analysis::resilience::ResilienceConfig;
 use xgft::analysis::sweep::{AlgorithmSpec, SweepConfig};
 use xgft::netsim::NetworkConfig;
 use xgft::patterns::generators;
@@ -108,4 +109,28 @@ fn campaign_small_is_byte_stable() {
         network: NetworkConfig::default(),
     };
     assert_golden("campaign_small.json", &to_json(&config.run(&pattern)));
+}
+
+/// A mini resilience campaign: pins the fault-sampler seed streams, every
+/// drawn fault count, the per-shard reroute/unroutable accounting and the
+/// degraded slowdowns, so neither the sampler, the fault-aware fallback nor
+/// the patch can silently shift the reliability numbers.
+#[test]
+fn faults_small_campaign_is_byte_stable() {
+    let pattern = generators::wrf_mesh_exchange(4, 4, 16 * 1024);
+    let config = ResilienceConfig {
+        name: "golden".into(),
+        k: 4,
+        w2: 4,
+        algorithms: vec![
+            AlgorithmSpec::DModK,
+            AlgorithmSpec::Random,
+            AlgorithmSpec::RandomNcaDown,
+        ],
+        failure_permille: vec![0, 100, 400],
+        faults_per_point: 2,
+        base_seed: 2009,
+        network: NetworkConfig::default(),
+    };
+    assert_golden("faults_small.json", &to_json(&config.run(&pattern)));
 }
