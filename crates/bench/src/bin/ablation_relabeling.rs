@@ -1,21 +1,12 @@
-//! Ablation study of the proposed relabeling's design choices:
-//! balanced vs. unbalanced random maps vs. the mod-k and Random extremes,
-//! measured by the spread of routes per NCA on full and slimmed trees.
-
-use xgft_analysis::experiments::ablation;
-use xgft_bench::ExperimentArgs;
+//! Relabeling ablation study.
+//!
+//! Legacy shim: forwards argv to the `ablation` entry of the scenario
+//! registry. The canonical invocation is `xgft ablation [flags]`; all
+//! experiment logic lives in `xgft-scenario` (see `xgft list`).
 
 fn main() {
-    let args = ExperimentArgs::parse();
-    let seeds = args.seed_list();
-    for w2 in [16usize, 10, 6] {
-        let result = ablation::run(16, w2, &seeds);
-        println!("{}", result.render());
-        if args.json {
-            println!(
-                "{}",
-                serde_json::to_string_pretty(&result).expect("serialisable")
-            );
-        }
-    }
+    std::process::exit(xgft_scenario::cli::run_named(
+        "ablation",
+        std::env::args().skip(1),
+    ));
 }

@@ -1,70 +1,12 @@
-//! The parallel seed-campaign runner: a fig5-style sweep over the slimming
-//! family `XGFT(2; k, k; 1, w2)` with the full Fig. 5 algorithm set, run as
-//! one deterministic campaign — every (topology, algorithm, seed) shard is
-//! replayed in parallel on the compiled route tables, with per-shard seeds
-//! derived from `--base-seed` (see `xgft_analysis::campaign`).
+//! Parallel seed campaign over the slimming family.
 //!
-//! Unlike the per-figure binaries this one scales past the paper: `--k 64`
-//! sweeps 4096-leaf machines. Examples:
-//!
-//! ```sh
-//! # The paper's Fig. 5 shape, laptop scale.
-//! cargo run --release --bin campaign -- --quick
-//! # A 4096-leaf campaign over three slimming points.
-//! cargo run --release --bin campaign -- --quick --k 64 --w2 64,48,32
-//! # Full paper-scale seed counts, JSON for plotting.
-//! cargo run --release --bin campaign -- --full --json > campaign.json
-//! ```
-
-use xgft_analysis::{AlgorithmSpec, CampaignConfig};
-use xgft_bench::{workload_pattern, ExperimentArgs};
+//! Legacy shim: forwards argv to the `campaign` entry of the scenario
+//! registry. The canonical invocation is `xgft campaign [flags]`; all
+//! experiment logic lives in `xgft-scenario` (see `xgft list`).
 
 fn main() {
-    let args = ExperimentArgs::parse();
-    let pattern = match workload_pattern(&args.workload, args.k, args.byte_scale) {
-        Ok(p) => p,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
-    let mut config = CampaignConfig::slimming_family(
-        format!("campaign-{}-k{}", args.workload, args.k),
-        args.k,
-        AlgorithmSpec::figure5_set(),
-        args.seeds,
-        args.base_seed,
-    );
-    config.w2_values = args.w2_sweep_for_k();
-
-    let shards = config.shards();
-    eprintln!(
-        "# campaign {}: {} leaves, {} shards ({} w2 points x {} algorithms, {} seeds/point, base seed {})",
-        config.name,
-        args.k * args.k,
-        shards.len(),
-        config.w2_values.len(),
-        config.algorithms.len(),
-        config.seeds_per_point,
-        config.base_seed,
-    );
-
-    let result = config.run(&pattern);
-    let table = format!(
-        "{}# {} shards replayed against a crossbar reference of {} ps",
-        result.sweep.render_table(),
-        result.shards.len(),
-        result.crossbar_ps
-    );
-    if args.json {
-        // Keep stdout pure JSON so `campaign --json > campaign.json` can be
-        // consumed directly; the human-readable table goes to stderr.
-        eprintln!("{table}");
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&result).expect("serialisable")
-        );
-    } else {
-        println!("{table}");
-    }
+    std::process::exit(xgft_scenario::cli::run_named(
+        "campaign",
+        std::env::args().skip(1),
+    ));
 }

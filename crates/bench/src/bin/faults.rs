@@ -1,98 +1,12 @@
-//! The resilience campaign runner: scheme × link-failure-rate × seed
-//! sweeps on degraded `XGFT(2; k, k; 1, k)` machines.
+//! Resilience campaign on degraded machines.
 //!
-//! Every shard compiles the scheme's pristine route table, draws a uniform
-//! link-failure fault set, applies the incremental
-//! `CompiledRouteTable::patch` (rerouting only the affected pairs under the
-//! scheme's own label arithmetic) and replays the workload on the patched
-//! table; shards with unroutable pairs are reported as undelivered instead
-//! of replayed into a deadlock. See `xgft_analysis::resilience`.
-//!
-//! ```sh
-//! # CI smoke: 1024-leaf machine, 0% / 1% / 5% link failure.
-//! cargo run --release --bin faults -- --quick --k 32
-//! # A slimmed machine (the paper's central variable) under faults.
-//! cargo run --release --bin faults -- --k 16 --w2 10
-//! # The paper-family machine with more fault draws, JSON for plotting.
-//! cargo run --release --bin faults -- --seeds 8 --json > faults.json
-//! ```
-//!
-//! `--seeds` sets the fault draws per (scheme, rate) point; `--quick`
-//! shrinks both the draw count and the per-message byte size;
-//! `--workload` picks wrf/cg/shift; `--w2` (a single value) slims the
-//! machine's top level.
-
-use xgft_analysis::ResilienceConfig;
-use xgft_bench::{workload_pattern, ExperimentArgs};
+//! Legacy shim: forwards argv to the `faults` entry of the scenario
+//! registry. The canonical invocation is `xgft faults [flags]`; all
+//! experiment logic lives in `xgft-scenario` (see `xgft list`).
 
 fn main() {
-    let args = ExperimentArgs::parse();
-    let pattern = match workload_pattern(&args.workload, args.k, args.byte_scale) {
-        Ok(p) => p,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
-    // One campaign is one machine: --w2 picks a single slimming point.
-    let w2 = match args.w2_values.as_deref() {
-        None => args.k,
-        Some([w2]) => *w2,
-        Some(_) => {
-            eprintln!("faults runs one machine per campaign; pass a single --w2 value");
-            std::process::exit(2);
-        }
-    };
-    // 0%, 1%, 5% for the smoke budget; the default run adds 2% and 10%.
-    let rates: Vec<u32> = if args.quick {
-        vec![0, 10, 50]
-    } else {
-        vec![0, 10, 20, 50, 100]
-    };
-    let mut config = ResilienceConfig::full_tree(
-        format!("faults-{}-k{}-w{}", args.workload, args.k, w2),
-        args.k,
-        rates,
-        args.seeds,
-        args.base_seed,
-    );
-    config.w2 = w2;
-
-    let shards = config.shards();
-    eprintln!(
-        "# resilience {}: {} leaves, {} shards ({} rates x {} algorithms, {} fault draws/point, base seed {})",
-        config.name,
-        args.k * args.k,
-        shards.len(),
-        config.failure_permille.len(),
-        config.algorithms.len(),
-        config.faults_per_point,
-        config.base_seed,
-    );
-
-    let result = config.run(&pattern);
-    let rerouted: usize = result.shards.iter().map(|o| o.rerouted).sum();
-    let undelivered = result
-        .shards
-        .iter()
-        .filter(|o| o.slowdown.is_none())
-        .count();
-    let table = format!(
-        "{}# {} shards, {} routes rerouted in total, {} shards undeliverable, crossbar reference {} ps",
-        result.render_table(),
-        result.shards.len(),
-        rerouted,
-        undelivered,
-        result.crossbar_ps
-    );
-    if args.json {
-        // Keep stdout pure JSON; the human-readable table goes to stderr.
-        eprintln!("{table}");
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&result).expect("serialisable")
-        );
-    } else {
-        println!("{table}");
-    }
+    std::process::exit(xgft_scenario::cli::run_named(
+        "faults",
+        std::env::args().skip(1),
+    ));
 }

@@ -1,9 +1,12 @@
-//! Regenerates the Fig. 1 overview: example XGFT instantiations and their
-//! structural parameters.
-
-use xgft_analysis::experiments::fig1;
+//! Fig. 1 overview: example XGFT instantiations.
+//!
+//! Legacy shim: forwards argv to the `fig1` entry of the scenario
+//! registry. The canonical invocation is `xgft fig1 [flags]`; all
+//! experiment logic lives in `xgft-scenario` (see `xgft list`).
 
 fn main() {
-    let result = fig1::run();
-    println!("{}", result.render());
+    std::process::exit(xgft_scenario::cli::run_named(
+        "fig1",
+        std::env::args().skip(1),
+    ));
 }

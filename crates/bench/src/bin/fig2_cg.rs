@@ -1,28 +1,12 @@
-//! Regenerates Fig. 2(b): CG.D-128 slowdown vs. Full-Crossbar on
-//! progressively slimmed XGFT(2;16,16;1,w2) under Random, S-mod-k, D-mod-k
-//! and the pattern-aware Colored baseline.
+//! Fig. 2(b): CG.D-128 under the classic oblivious routings.
 //!
-//! With `--analytic` the same sweep is evaluated through the `xgft-flow`
-//! closed-form channel-load model (expected MCL + congestion ratio, no
-//! simulation, no seeds).
-
-use xgft_analysis::experiments::fig2::{Fig2Config, Workload};
-use xgft_bench::ExperimentArgs;
+//! Legacy shim: forwards argv to the `fig2_cg` entry of the scenario
+//! registry. The canonical invocation is `xgft fig2_cg [flags]`; all
+//! experiment logic lives in `xgft-scenario` (see `xgft list`).
 
 fn main() {
-    let args = ExperimentArgs::parse();
-    let mut config = Fig2Config::new(Workload::CgD128, args.byte_scale, args.seed_list());
-    config.w2_values = args.w2_sweep();
-    if args.analytic {
-        xgft_bench::emit_analytic(&config.run_analytic(), args.json);
-        return;
-    }
-    let result = config.run();
-    println!("{}", result.render_table());
-    if args.json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&result).expect("serialisable")
-        );
-    }
+    std::process::exit(xgft_scenario::cli::run_named(
+        "fig2_cg",
+        std::env::args().skip(1),
+    ));
 }

@@ -1,9 +1,12 @@
-//! Regenerates Fig. 3: the CG.D-128 traffic pattern (phase structure and
-//! block communication matrix).
-
-use xgft_analysis::experiments::fig3;
+//! Fig. 3: the CG.D-128 traffic pattern.
+//!
+//! Legacy shim: forwards argv to the `fig3` entry of the scenario
+//! registry. The canonical invocation is `xgft fig3 [flags]`; all
+//! experiment logic lives in `xgft-scenario` (see `xgft list`).
 
 fn main() {
-    let result = fig3::run(128, 750 * 1024);
-    println!("{}", result.render());
+    std::process::exit(xgft_scenario::cli::run_named(
+        "fig3",
+        std::env::args().skip(1),
+    ));
 }

@@ -1,21 +1,12 @@
-//! Regenerates Fig. 4: the distribution of routes per NCA over all
-//! (source, destination) pairs for the five routing schemes, on
-//! XGFT(2;16,16;1,16) (Fig. 4(a)) and XGFT(2;16,16;1,10) (Fig. 4(b)).
-
-use xgft_analysis::experiments::fig4;
-use xgft_bench::ExperimentArgs;
+//! Fig. 4: routes-per-NCA distributions.
+//!
+//! Legacy shim: forwards argv to the `fig4` entry of the scenario
+//! registry. The canonical invocation is `xgft fig4 [flags]`; all
+//! experiment logic lives in `xgft-scenario` (see `xgft list`).
 
 fn main() {
-    let args = ExperimentArgs::parse();
-    let seeds = args.seed_list();
-    for w2 in [16usize, 10] {
-        let result = fig4::run(w2, &seeds);
-        println!("{}", result.render());
-        if args.json {
-            println!(
-                "{}",
-                serde_json::to_string_pretty(&result).expect("serialisable")
-            );
-        }
-    }
+    std::process::exit(xgft_scenario::cli::run_named(
+        "fig4",
+        std::env::args().skip(1),
+    ));
 }

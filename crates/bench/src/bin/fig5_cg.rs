@@ -1,30 +1,12 @@
-//! Regenerates Fig. 5(b): CG.D-128 under the proposed r-NCA-u / r-NCA-d
-//! schemes (boxplots over seeds) against S-mod-k, D-mod-k, Random and the
-//! pattern-aware Colored baseline.
+//! Fig. 5(b): CG.D-128 under the proposed r-NCA schemes.
 //!
-//! With `--analytic` the seed boxplots are replaced by the `xgft-flow`
-//! closed form: the r-NCA schemes contribute their exact seed-marginal
-//! expected MCL in a single computation.
-
-use xgft_analysis::experiments::fig2::Workload;
-use xgft_analysis::experiments::fig5::{Fig5Claims, Fig5Config};
-use xgft_bench::ExperimentArgs;
+//! Legacy shim: forwards argv to the `fig5_cg` entry of the scenario
+//! registry. The canonical invocation is `xgft fig5_cg [flags]`; all
+//! experiment logic lives in `xgft-scenario` (see `xgft list`).
 
 fn main() {
-    let args = ExperimentArgs::parse();
-    let mut config = Fig5Config::new(Workload::CgD128, args.byte_scale, args.seed_list());
-    config.w2_values = args.w2_sweep();
-    if args.analytic {
-        xgft_bench::emit_analytic(&config.run_analytic(), args.json);
-        return;
-    }
-    let result = config.run();
-    println!("{}", result.render_table());
-    println!("{}", Fig5Claims::evaluate(&result).render());
-    if args.json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&result).expect("serialisable")
-        );
-    }
+    std::process::exit(xgft_scenario::cli::run_named(
+        "fig5_cg",
+        std::env::args().skip(1),
+    ));
 }

@@ -1,87 +1,12 @@
-//! The `flow_mcl` experiment: analytical maximum-channel-load sweeps over
-//! the paper's slimming family, the tree-cut lower bound, per-scheme
-//! congestion ratios, a netsim cross-validation, and a large-instance
-//! demonstration of the closed forms.
+//! Analytical MCL sweeps and netsim cross-validation.
 //!
-//! Flags are shared with the other experiment binaries; `--seeds` controls
-//! the cross-validation seed count and `--quick` skips the large-instance
-//! demo (the CI smoke mode).
-
-use std::time::Instant;
-use xgft_analysis::experiments::flow_mcl::{
-    cross_validate_mcl, large_instance_demo, FlowMclConfig,
-};
-use xgft_bench::ExperimentArgs;
-use xgft_core::RandomRouting;
-use xgft_flow::{ExpectedLoads, TrafficMatrix, TrafficSpec};
-use xgft_topo::Xgft;
+//! Legacy shim: forwards argv to the `flow_mcl` entry of the scenario
+//! registry. The canonical invocation is `xgft flow_mcl [flags]`; all
+//! experiment logic lives in `xgft-scenario` (see `xgft list`).
 
 fn main() {
-    let args = ExperimentArgs::parse();
-
-    // 1. The analytical slimming sweep, uniform all-pairs traffic.
-    let config = FlowMclConfig::new(args.w2_sweep());
-    let result = config.run();
-    println!("{}", result.render_table());
-
-    // 2. The same sweep under a pattern family (cyclic shift by one
-    // switch), showing the congestion ratios pattern structure induces.
-    let shifted = FlowMclConfig {
-        traffic: TrafficSpec::Shift { offset: 16 },
-        ..FlowMclConfig::new(args.w2_sweep())
-    };
-    let shift_result = shifted.run();
-    println!("{}", shift_result.render_table());
-
-    // 3. Cross-validation: seed-averaged netsim utilization vs the model.
-    let xgft = Xgft::new(xgft_topo::XgftSpec::slimmed_two_level(8, 5).expect("valid"))
-        .expect("valid topology");
-    let n = xgft.num_leaves();
-    let flows: Vec<(usize, usize)> = (0..n)
-        .flat_map(|s| (0..n).map(move |d| (s, d)))
-        .filter(|&(s, d)| s != d)
-        .collect();
-    let cv = cross_validate_mcl(
-        &xgft,
-        |seed| Box::new(RandomRouting::new(seed)),
-        &flows,
-        &args.seed_list(),
-        1024,
-    );
-    println!(
-        "cross-validation on {} ({} seeds): model MCL {:.1}, netsim {:.1} ({:.1}% off, worst channel {:.1}%)\n",
-        xgft.spec(),
-        args.seeds,
-        cv.model_mcl,
-        cv.measured_mcl,
-        cv.mcl_relative_error * 100.0,
-        cv.max_channel_deviation * 100.0
-    );
-
-    // 4. The scale demo: closed-form MCL on machines netsim cannot replay.
-    if !args.quick {
-        for (spec, scheme) in large_instance_demo() {
-            let start = Instant::now();
-            let xgft = Xgft::new(spec.clone()).expect("valid spec");
-            let traffic = TrafficMatrix::uniform(xgft.num_leaves());
-            let algo = scheme.instantiate(&xgft, &TrafficSpec::Uniform);
-            let loads = ExpectedLoads::compute(&xgft, algo.as_ref(), &traffic);
-            println!(
-                "{} x {}: {} leaves, {} channels, MCL {:.0} in {:.1} ms",
-                spec,
-                scheme.name(),
-                xgft.num_leaves(),
-                xgft.channels().len(),
-                loads.mcl(),
-                start.elapsed().as_secs_f64() * 1e3
-            );
-        }
-    }
-
-    if args.json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&result).expect("serialisable")
-        );
-    }
+    std::process::exit(xgft_scenario::cli::run_named(
+        "flow_mcl",
+        std::env::args().skip(1),
+    ));
 }

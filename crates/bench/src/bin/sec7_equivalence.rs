@@ -1,22 +1,12 @@
-//! Regenerates the Sec. VII-B/C analysis: the combinatorial equivalence of
-//! S-mod-k and D-mod-k over random permutations (exact duality with the
-//! inverse pattern, plus the empirical contention-level distributions).
-
-use xgft_analysis::experiments::equivalence;
-use xgft_bench::ExperimentArgs;
+//! Sec. VII-B/C: S-mod-k / D-mod-k duality.
+//!
+//! Legacy shim: forwards argv to the `equivalence` entry of the scenario
+//! registry. The canonical invocation is `xgft equivalence [flags]`; all
+//! experiment logic lives in `xgft-scenario` (see `xgft list`).
 
 fn main() {
-    let args = ExperimentArgs::parse();
-    // Sample count scales with --seeds so --quick stays fast.
-    let samples = (args.seeds * 10).max(20);
-    for w2 in [16usize, 10, 4] {
-        let result = equivalence::run(16, w2, samples, 2009);
-        println!("{}", result.render());
-        if args.json {
-            println!(
-                "{}",
-                serde_json::to_string_pretty(&result).expect("serialisable")
-            );
-        }
-    }
+    std::process::exit(xgft_scenario::cli::run_named(
+        "equivalence",
+        std::env::args().skip(1),
+    ));
 }

@@ -1,21 +1,12 @@
-//! Extension experiment: network contention of every oblivious scheme on the
-//! classic synthetic permutations (shift, transpose, bit-reversal,
-//! bit-complement, random) over full and slimmed 16-ary 2-trees.
-
-use xgft_analysis::experiments::synthetic;
-use xgft_bench::ExperimentArgs;
+//! Synthetic permutations on full and slimmed trees.
+//!
+//! Legacy shim: forwards argv to the `synthetic` entry of the scenario
+//! registry. The canonical invocation is `xgft synthetic [flags]`; all
+//! experiment logic lives in `xgft-scenario` (see `xgft list`).
 
 fn main() {
-    let args = ExperimentArgs::parse();
-    let seeds = args.seed_list();
-    for w2 in [16usize, 10, 4] {
-        let result = synthetic::run(16, w2, &seeds);
-        println!("{}", result.render());
-        if args.json {
-            println!(
-                "{}",
-                serde_json::to_string_pretty(&result).expect("serialisable")
-            );
-        }
-    }
+    std::process::exit(xgft_scenario::cli::run_named(
+        "synthetic",
+        std::env::args().skip(1),
+    ));
 }

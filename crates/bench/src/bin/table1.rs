@@ -1,24 +1,12 @@
-//! Regenerates Table I (node/link labeling and counts) and validates Eq. (1)
-//! for the paper's topologies and a few further examples.
-
-use xgft_analysis::experiments::table1;
-use xgft_topo::XgftSpec;
+//! Table I (labels, node/link counts) and Eq. (1).
+//!
+//! Legacy shim: forwards argv to the `table1` entry of the scenario
+//! registry. The canonical invocation is `xgft table1 [flags]`; all
+//! experiment logic lives in `xgft-scenario` (see `xgft list`).
 
 fn main() {
-    let specs = vec![
-        XgftSpec::slimmed_two_level(16, 16).expect("valid"),
-        XgftSpec::slimmed_two_level(16, 10).expect("valid"),
-        XgftSpec::slimmed_two_level(16, 1).expect("valid"),
-        XgftSpec::k_ary_n_tree(4, 3),
-        XgftSpec::new(vec![4, 4, 4], vec![1, 2, 2]).expect("valid"),
-    ];
-    for spec in &specs {
-        let result = table1::run(spec);
-        println!("{}", result.render());
-        assert_eq!(
-            result.inner_switches, result.inner_switches_by_sum,
-            "Eq. (1) must match the per-level sum"
-        );
-    }
-    println!("Eq. (1) validated for {} topologies.", specs.len());
+    std::process::exit(xgft_scenario::cli::run_named(
+        "table1",
+        std::env::args().skip(1),
+    ));
 }

@@ -1,0 +1,16 @@
+//! The unified `xgft` experiment CLI.
+//!
+//! ```sh
+//! xgft list                                 # the built-in scenario registry
+//! xgft run examples/scenarios/fig2_wrf_quick.json
+//! xgft run examples/scenarios/flow_mcl_slimming.toml --json
+//! xgft fig5_wrf --quick                     # any registry entry by name
+//! xgft faults --quick --k 32                # resilience campaign
+//! ```
+//!
+//! See `xgft_scenario::cli` for commands, flags and exit codes, and the
+//! repository README's "Scenario specs" section for the spec format.
+
+fn main() {
+    std::process::exit(xgft_scenario::cli::main());
+}

@@ -1,66 +1,20 @@
 //! # xgft-bench — experiment binaries and Criterion benches
 //!
-//! One binary per table/figure of the paper (the repository `README.md`
-//! carries the index) plus Criterion micro-benchmarks of the machinery
-//! itself. This library hosts the small command-line helper the binaries
-//! share.
+//! The experiment surface is the unified `xgft` binary (the
+//! `xgft-scenario` crate's CLI: `xgft run <spec>`, `xgft list`,
+//! `xgft fig2_wrf --quick`, …). The historical per-figure binaries still
+//! build, but every one is a one-line argv forwarder over the scenario
+//! registry — no experiment logic lives in `src/bin/` anymore.
+//!
+//! This library re-exports the shared flag parser for backwards
+//! compatibility; new code should depend on `xgft-scenario` directly.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-pub mod cli;
-
-pub use cli::ExperimentArgs;
-
-/// Scale a per-message byte count by the CLI's `--scale` factor, flooring
-/// at 1 KB so heavily scaled-down runs still move whole segments.
-pub fn scale_bytes(bytes: u64, scale: f64) -> u64 {
-    ((bytes as f64 * scale).round() as u64).max(1024)
+/// The shared experiment flag parser (now hosted by `xgft-scenario`).
+pub mod cli {
+    pub use xgft_scenario::args::*;
 }
 
-/// Instantiate the campaign workload named by `--workload` for a radix-`k`
-/// two-level machine (`k²` ranks). Shared by the `campaign` and `faults`
-/// binaries so the flag always means the same pattern.
-pub fn workload_pattern(
-    name: &str,
-    k: usize,
-    byte_scale: f64,
-) -> Result<xgft_patterns::Pattern, String> {
-    use xgft_patterns::generators;
-    let n = k * k;
-    match name {
-        "wrf" => Ok(generators::wrf_mesh_exchange(
-            k,
-            k,
-            scale_bytes(generators::WRF_DEFAULT_BYTES, byte_scale),
-        )),
-        "cg" => {
-            if !n.is_power_of_two() || n < 32 {
-                return Err(format!("cg needs k*k a power of two >= 32, got {n}"));
-            }
-            Ok(generators::cg_d(
-                n,
-                scale_bytes(generators::CG_D_PHASE_BYTES, byte_scale),
-            ))
-        }
-        "shift" => Ok(generators::shift(
-            n,
-            k,
-            scale_bytes(generators::WRF_DEFAULT_BYTES, byte_scale),
-        )),
-        other => Err(format!("unknown workload: {other} (wrf|cg|shift)")),
-    }
-}
-
-/// Print an analytical (`--analytic`) sweep result: the text table, plus
-/// pretty JSON when requested. Shared by the figure binaries so the
-/// analytic output format lives in one place.
-pub fn emit_analytic(result: &xgft_flow::FlowSweepResult, json: bool) {
-    println!("{}", result.render_table());
-    if json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(result).expect("serialisable")
-        );
-    }
-}
+pub use xgft_scenario::args::{scale_bytes, workload_pattern, ExperimentArgs};

@@ -191,6 +191,86 @@ pub fn uniform_random<R: Rng + ?Sized>(
     Pattern::single_phase("uniform-random", m)
 }
 
+/// A hot-spot pattern: every source still emits `bytes` bytes in total,
+/// but a `skew` fraction of it converges on `spots` evenly spaced hot
+/// destinations (the classic server/IO-node congestion scenario) while the
+/// remaining `1 - skew` fraction goes to the source's ring successor as
+/// background traffic. Deterministic: no sampling, identical for every run.
+///
+/// Requires `0.0 <= skew <= 1.0` and `1 <= spots <= n`.
+pub fn hot_spot(n: usize, spots: usize, skew: f64, bytes: u64) -> Pattern {
+    assert!(n >= 2, "hot_spot needs at least two nodes");
+    assert!(
+        spots >= 1 && spots <= n,
+        "hot_spot needs 1 <= spots <= n, got {spots}"
+    );
+    assert!(
+        (0.0..=1.0).contains(&skew),
+        "hot_spot skew must be in [0, 1], got {skew}"
+    );
+    // Hot destinations are spread evenly over the node range so they land
+    // under different first-level switches (the interesting case).
+    let hot: Vec<usize> = (0..spots).map(|i| i * n / spots).collect();
+    let hot_bytes = ((bytes as f64 * skew / spots as f64).round() as u64).min(bytes);
+    let background = bytes.saturating_sub(hot_bytes * spots as u64);
+    let mut m = ConnectivityMatrix::new(n);
+    for s in 0..n {
+        if hot_bytes > 0 {
+            for &h in &hot {
+                if h != s {
+                    m.add_flow(s, h, hot_bytes);
+                }
+            }
+        }
+        if background > 0 {
+            // Keep background off the hot nodes so `skew` really is the
+            // fraction of traffic they receive: walk the ring until a
+            // non-hot, non-self destination appears (there may be none
+            // when every node is hot).
+            let d = (1..n)
+                .map(|step| (s + step) % n)
+                .find(|d| !hot.contains(d) && *d != s);
+            if let Some(d) = d {
+                m.add_flow(s, d, background);
+            }
+        }
+    }
+    Pattern::single_phase(format!("hot-spot-{spots}x{skew}"), m)
+}
+
+/// The tornado permutation: node `i` sends to `(i + ⌈n/2⌉ - 1) mod n` —
+/// the adversarial near-half-ring shift of Dally & Towles. The `- 1` keeps
+/// the pattern asymmetric on even `n` (a plain `n/2` shift degenerates to
+/// pairwise exchange).
+pub fn tornado(n: usize, bytes: u64) -> Pattern {
+    assert!(n >= 3, "tornado needs at least three nodes");
+    let offset = (n.div_ceil(2) - 1).max(1);
+    let mapping: Vec<usize> = (0..n).map(|i| (i + offset) % n).collect();
+    let p = Permutation::new(mapping).expect("tornado is a permutation");
+    Pattern::single_phase("tornado", p.to_matrix(bytes))
+}
+
+/// The k-shift family: node `i` sends `bytes` to each of
+/// `(i + j·k) mod n` for `j = 1..=shifts` — a superposition of `shifts`
+/// cyclic shifts at stride `k`. With `k` equal to the first-level switch
+/// radix every flow leaves its switch through the same label arithmetic,
+/// which is exactly the congruence structure that stresses mod-k routing.
+pub fn k_shift(n: usize, k: usize, shifts: usize, bytes: u64) -> Pattern {
+    assert!(n >= 2, "k_shift needs at least two nodes");
+    assert!(k >= 1, "k_shift needs a stride of at least 1");
+    assert!(shifts >= 1, "k_shift needs at least one shift");
+    let mut m = ConnectivityMatrix::new(n);
+    for s in 0..n {
+        for j in 1..=shifts {
+            let d = (s + j * k) % n;
+            if d != s {
+                m.add_flow(s, d, bytes);
+            }
+        }
+    }
+    Pattern::single_phase(format!("k-shift-{k}x{shifts}"), m)
+}
+
 /// A ring exchange: every node sends to both neighbours on a ring.
 pub fn ring_exchange(n: usize, bytes: u64) -> Pattern {
     let mut m = ConnectivityMatrix::new(n);
@@ -331,6 +411,107 @@ mod tests {
             let bytes: u64 = m.flows().filter(|f| f.src == s).map(|f| f.bytes).sum();
             assert_eq!(bytes, 30);
         }
+    }
+
+    #[test]
+    fn hot_spot_concentrates_the_skewed_fraction() {
+        let n = 64;
+        let bytes = 1 << 20;
+        let p = hot_spot(n, 4, 0.8, bytes);
+        let m = &p.phases()[0];
+        // Hot nodes sit at 0, 16, 32, 48 and absorb ~80% of all traffic.
+        let hot = [0usize, 16, 32, 48];
+        let total: u64 = m.flows().map(|f| f.bytes).sum();
+        let to_hot: u64 = m
+            .flows()
+            .filter(|f| hot.contains(&f.dst))
+            .map(|f| f.bytes)
+            .sum();
+        let hot_fraction = to_hot as f64 / total as f64;
+        assert!(
+            (hot_fraction - 0.8).abs() < 0.02,
+            "hot fraction {hot_fraction}"
+        );
+        // Every source emits at most `bytes` (rounding may shave a little;
+        // hot sources additionally skip their own self-flow) and never
+        // sends to itself.
+        for s in 0..n {
+            let out: u64 = m.flows().filter(|f| f.src == s).map(|f| f.bytes).sum();
+            assert!(out <= bytes, "source {s} emits {out}");
+            if !hot.contains(&s) {
+                assert!(out >= bytes - 8, "source {s} emits only {out}");
+            }
+        }
+        assert!(m.flows().all(|f| f.src != f.dst));
+        // Degenerate skews still produce valid patterns.
+        let uniform = hot_spot(n, 1, 0.0, bytes);
+        assert!(uniform.phases()[0].num_flows() > 0);
+        let all_hot = hot_spot(n, 1, 1.0, bytes);
+        assert!(all_hot.phases()[0].flows().all(|f| f.dst == 0));
+    }
+
+    #[test]
+    fn hot_spot_background_never_lands_on_adjacent_hot_nodes() {
+        // With spots > n/2 the hot nodes are adjacent on the ring; the
+        // background redirect must walk past *all* of them, not just one,
+        // or the delivered hot fraction exceeds the requested skew.
+        let bytes = 1u64 << 20;
+        let p = hot_spot(4, 3, 0.5, bytes);
+        let hot = [0usize, 1, 2];
+        let hot_bytes = (bytes as f64 * 0.5 / 3.0).round() as u64;
+        let background = bytes - hot_bytes * 3;
+        assert_ne!(hot_bytes, background);
+        for f in p.phases()[0].flows() {
+            if f.bytes == background {
+                assert!(
+                    !hot.contains(&f.dst),
+                    "background flow {} -> {} lands on a hot node",
+                    f.src,
+                    f.dst
+                );
+            }
+        }
+        // Every node hot: background has nowhere to go and is dropped
+        // rather than inflating the hot fraction.
+        let saturated = hot_spot(4, 4, 0.5, bytes);
+        let per_spot = (bytes as f64 * 0.5 / 4.0).round() as u64;
+        assert!(saturated.phases()[0].flows().all(|f| f.bytes == per_spot));
+    }
+
+    #[test]
+    fn tornado_is_the_near_half_ring_shift() {
+        for &n in &[8usize, 9, 64, 256] {
+            let p = tornado(n, 100);
+            let m = &p.phases()[0];
+            assert!(m.is_permutation(), "n={n}");
+            let offset = (n.div_ceil(2) - 1).max(1);
+            for f in m.network_flows() {
+                assert_eq!(f.dst, (f.src + offset) % n, "n={n} src={}", f.src);
+            }
+            // The even-n case must not collapse to a pairwise exchange.
+            if n % 2 == 0 {
+                assert!(!m.is_symmetric(), "n={n} degenerated to an exchange");
+            }
+        }
+    }
+
+    #[test]
+    fn k_shift_superposes_strided_shifts() {
+        let p = k_shift(64, 16, 3, 10);
+        let m = &p.phases()[0];
+        for s in 0..64 {
+            let dsts: Vec<usize> = m.flows().filter(|f| f.src == s).map(|f| f.dst).collect();
+            assert_eq!(dsts.len(), 3, "source {s}");
+            for j in 1..=3usize {
+                assert!(dsts.contains(&((s + j * 16) % 64)), "source {s} shift {j}");
+            }
+        }
+        // A stride that wraps onto the source merges away the self-flow.
+        let wrap = k_shift(16, 16, 1, 10);
+        assert_eq!(wrap.phases()[0].num_flows(), 0);
+        // shifts = 1 at stride 1 is the plain neighbour shift.
+        let plain = k_shift(8, 1, 1, 10);
+        assert!(plain.phases()[0].is_permutation());
     }
 
     #[test]

@@ -1,7 +1,8 @@
-//! Shared command-line parsing for the experiment binaries.
+//! The single shared command-line parser of the experiment layer.
 //!
-//! Every binary accepts the same flags so the full-paper sweep and a quick
-//! CI-friendly run share one code path:
+//! Every registry entry (and therefore every legacy binary shim) accepts
+//! the same flags through this one parser, so a flag can never drift
+//! between experiments again:
 //!
 //! * `--quick`            — few seeds, strongly scaled-down message sizes.
 //! * `--full`             — paper-scale message sizes and 40 seeds.
@@ -10,15 +11,13 @@
 //! * `--w2 <a,b,c>`       — explicit list of w2 values to sweep.
 //! * `--json`             — additionally emit the result as JSON to stdout.
 //! * `--analytic`         — evaluate through the `xgft-flow` closed-form
-//!   channel-load model (expected MCL + congestion ratio) instead of
-//!   replaying the event-driven simulation; seeds are ignored.
-//! * `--k <n>`            — switch radix of the swept family (default 16,
-//!   the paper's; 64 gives 4096-leaf machines). Used by the `campaign`
-//!   binary.
-//! * `--base-seed <s>`    — root of the campaign's deterministic per-shard
-//!   seed streams (default 2009).
-//! * `--workload <name>`  — campaign workload: `wrf`, `cg` or `shift`.
+//!   channel-load model instead of replaying the simulation.
+//! * `--k <n>`            — switch radix of the swept family (default 16).
+//! * `--base-seed <s>`    — root of deterministic per-shard seed streams.
+//! * `--workload <name>`  — workload generator name (`wrf`, `cg`, `shift`,
+//!   `tornado`, `hot_spot`, `k_shift`, …; see [`crate::spec::WorkloadSpec`]).
 
+use crate::spec::WorkloadSpec;
 use std::env;
 
 /// Parsed experiment arguments.
@@ -34,14 +33,14 @@ pub struct ExperimentArgs {
     pub json: bool,
     /// Use the analytical flow-level model instead of simulation replay.
     pub analytic: bool,
-    /// The `--quick` preset was requested (CI smoke mode): binaries skip
+    /// The `--quick` preset was requested (CI smoke mode): experiments skip
     /// their expensive optional sections.
     pub quick: bool,
     /// Switch radix of the swept topology family (16 = the paper's).
     pub k: usize,
     /// Root seed of the campaign's deterministic per-shard seed streams.
     pub base_seed: u64,
-    /// Campaign workload name (`wrf`, `cg` or `shift`).
+    /// Workload generator name (`wrf`, `cg`, `shift`, `tornado`, …).
     pub workload: String,
 }
 
@@ -113,7 +112,7 @@ impl ExperimentArgs {
                     return Err(concat!(
                         "usage: <experiment> [--quick|--full] [--seeds N] ",
                         "[--scale F] [--w2 a,b,c] [--json] [--analytic] ",
-                        "[--k K] [--base-seed S] [--workload wrf|cg|shift]"
+                        "[--k K] [--base-seed S] [--workload NAME]"
                     )
                     .to_string())
                 }
@@ -162,6 +161,25 @@ impl ExperimentArgs {
             .clone()
             .unwrap_or_else(|| (1..=self.k).rev().collect())
     }
+}
+
+/// Scale a per-message byte count by the CLI's `--scale` factor, flooring
+/// at 1 KB so heavily scaled-down runs still move whole segments.
+pub fn scale_bytes(bytes: u64, scale: f64) -> u64 {
+    ((bytes as f64 * scale).round() as u64).max(1024)
+}
+
+/// Instantiate the workload named by `--workload` for a radix-`k`
+/// two-level machine (`k²` ranks), scaled by `byte_scale`. Shared by the
+/// `campaign` and `faults` registry entries so the flag always means the
+/// same pattern; any generator name known to [`WorkloadSpec`] is accepted.
+pub fn workload_pattern(
+    name: &str,
+    k: usize,
+    byte_scale: f64,
+) -> Result<xgft_patterns::Pattern, String> {
+    let spec = WorkloadSpec::named_for_machine(name, k, byte_scale)?;
+    spec.pattern().map_err(|e| e.to_string())
 }
 
 #[cfg(test)]
@@ -246,5 +264,18 @@ mod tests {
         assert_eq!(sweep.len(), 16);
         assert_eq!(sweep[0], 16);
         assert_eq!(sweep[15], 1);
+    }
+
+    #[test]
+    fn workload_pattern_accepts_every_campaign_name() {
+        // The historical trio plus the new generator families resolve for a
+        // 2-level k=8 machine (64 ranks).
+        for name in ["wrf", "cg", "shift", "tornado", "hot_spot", "k_shift"] {
+            let p = workload_pattern(name, 8, 0.1).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(p.num_nodes(), 64, "{name}");
+        }
+        assert!(workload_pattern("bogus", 8, 0.1).is_err());
+        // cg needs a power-of-two rank count >= 32.
+        assert!(workload_pattern("cg", 5, 0.1).is_err());
     }
 }

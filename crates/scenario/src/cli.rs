@@ -1,0 +1,303 @@
+//! The unified `xgft` command line.
+//!
+//! ```text
+//! xgft run <spec.json|spec.toml> [--quick] [--json]   run a scenario file
+//! xgft list [--json]                                  list built-in scenarios
+//! xgft <name> [flags]                                 run a built-in scenario
+//! xgft help                                           this text
+//! ```
+//!
+//! Exit codes are consistent across every subcommand and every legacy
+//! binary shim:
+//!
+//! * `0` — success;
+//! * `2` — bad input: unknown command, bad flags, unreadable/invalid spec;
+//! * `1` — runtime failure after a valid invocation.
+//!
+//! `--json` always puts the machine-readable result on stdout. For
+//! commands whose JSON is the primary artifact (`run`, `campaign`,
+//! `faults`) the human-readable table moves to stderr so piped stdout is
+//! pure JSON.
+
+use crate::args::ExperimentArgs;
+use crate::registry::{self, EntryOutput};
+use crate::runner::{run_scenario, RunOptions};
+use crate::spec::ScenarioSpec;
+use serde::Value;
+
+const USAGE: &str = "\
+usage: xgft <command> [flags]
+
+commands:
+  run <spec.json|spec.toml>  run a declarative scenario file
+                             (--quick bounds seeds/sweep, --json emits the
+                             versioned result envelope on stdout)
+  list                       list the built-in scenarios (--json for tooling)
+  <name>                     run a built-in scenario by registry name
+                             (see `xgft list`; accepts the shared flag set:
+                             --quick --full --seeds N --scale F --w2 a,b,c
+                             --json --analytic --k K --base-seed S
+                             --workload NAME)
+  help                       show this text
+";
+
+/// Entry point over explicit arguments; returns the process exit code.
+pub fn main_with_args(argv: Vec<String>) -> i32 {
+    let mut iter = argv.into_iter();
+    let Some(command) = iter.next() else {
+        eprint!("{USAGE}");
+        return 2;
+    };
+    let rest: Vec<String> = iter.collect();
+    match command.as_str() {
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            0
+        }
+        "list" => run_list(&rest),
+        "run" => run_spec_file(&rest),
+        name => run_named(name, rest),
+    }
+}
+
+/// Entry point for the `xgft` binary: dispatch on `std::env::args`.
+pub fn main() -> i32 {
+    main_with_args(std::env::args().skip(1).collect())
+}
+
+/// Run a registry entry by name with the shared flag set. The legacy
+/// binaries forward here with their historical name.
+pub fn run_named<I: IntoIterator<Item = String>>(name: &str, args: I) -> i32 {
+    let Some(entry) = registry::find(name) else {
+        eprintln!("unknown scenario `{name}` — try `xgft list`");
+        eprint!("{USAGE}");
+        return 2;
+    };
+    let parsed = match ExperimentArgs::parse_from(args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return 2;
+        }
+    };
+    match (entry.run)(&parsed) {
+        Ok(output) => {
+            emit(&output, parsed.json);
+            0
+        }
+        Err(registry::EntryError::Usage(msg)) => {
+            eprintln!("{name}: {msg}");
+            2
+        }
+        Err(registry::EntryError::Runtime(msg)) => {
+            eprintln!("{name}: {msg}");
+            1
+        }
+    }
+}
+
+fn run_list(rest: &[String]) -> i32 {
+    let mut json = false;
+    for flag in rest {
+        match flag.as_str() {
+            "--json" => json = true,
+            other => {
+                eprintln!("list: unknown flag `{other}`");
+                return 2;
+            }
+        }
+    }
+    let entries = registry::registry();
+    if json {
+        let value = Value::Array(
+            entries
+                .iter()
+                .map(|e| {
+                    Value::Object(vec![
+                        ("name".to_string(), Value::Str(e.name.to_string())),
+                        ("about".to_string(), Value::Str(e.about.to_string())),
+                        (
+                            "aliases".to_string(),
+                            Value::Array(
+                                e.aliases
+                                    .iter()
+                                    .map(|a| Value::Str(a.to_string()))
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        println!("{}", render_value(&value));
+        return 0;
+    }
+    println!("built-in scenarios (run with `xgft <name> [flags]`):\n");
+    for e in entries {
+        println!("  {:<12} {}", e.name, e.about);
+    }
+    println!("\ndeclarative scenarios: `xgft run <spec.json|spec.toml>` (see examples/scenarios/)");
+    0
+}
+
+fn render_value(value: &Value) -> String {
+    struct Raw<'a>(&'a Value);
+    impl serde::Serialize for Raw<'_> {
+        fn to_value(&self) -> Value {
+            self.0.clone()
+        }
+    }
+    serde_json::to_string_pretty(&Raw(value)).expect("serialisable")
+}
+
+fn run_spec_file(rest: &[String]) -> i32 {
+    let mut path: Option<&str> = None;
+    let mut options = RunOptions::default();
+    let mut json = false;
+    for flag in rest {
+        match flag.as_str() {
+            "--quick" => options.quick = true,
+            "--json" => json = true,
+            other if other.starts_with('-') => {
+                eprintln!("run: unknown flag `{other}`");
+                return 2;
+            }
+            file => {
+                if path.replace(file).is_some() {
+                    eprintln!("run: expected exactly one spec file");
+                    return 2;
+                }
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("run: expected a spec file (`xgft run scenario.json`)");
+        return 2;
+    };
+    let spec = match load_spec(path) {
+        Ok(spec) => spec,
+        Err(msg) => {
+            eprintln!("run: {msg}");
+            return 2;
+        }
+    };
+    // Announce long campaigns before they run (they can take minutes);
+    // compute the header from the spec that will actually run.
+    let effective = if options.quick {
+        spec.quickened()
+    } else {
+        spec.clone()
+    };
+    if let Some(header) = crate::runner::shard_summary(&effective) {
+        eprintln!("{header}");
+    }
+    match run_scenario(&spec, &options) {
+        Ok(result) => {
+            let output = EntryOutput {
+                stdout: result.render(),
+                json: Some(serde_json::to_string_pretty(&result).expect("serialisable result")),
+                json_owns_stdout: true,
+            };
+            emit(&output, json);
+            0
+        }
+        Err(e) => {
+            eprintln!("run: {e}");
+            2
+        }
+    }
+}
+
+/// Load a scenario from a JSON or TOML file (decided by extension; files
+/// without a recognised extension are tried as JSON first, then TOML).
+pub fn load_spec(path: &str) -> Result<ScenarioSpec, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let lower = path.to_ascii_lowercase();
+    if lower.ends_with(".toml") {
+        crate::toml::from_toml_str(&text).map_err(|e| format!("`{path}`: {e}"))
+    } else if lower.ends_with(".json") {
+        serde_json::from_str(&text).map_err(|e| format!("`{path}`: {e}"))
+    } else {
+        serde_json::from_str(&text)
+            .or_else(|json_err| {
+                crate::toml::from_toml_str(&text)
+                    .map_err(|toml_err| format!("as JSON: {json_err}; as TOML: {toml_err}"))
+            })
+            .map_err(|e| format!("`{path}`: {e}"))
+    }
+}
+
+/// Print an entry's output: the table to stdout — unless `--json` was
+/// given and the entry declares its JSON the primary artifact, in which
+/// case stdout carries pure JSON and the table moves to stderr.
+fn emit(output: &EntryOutput, want_json: bool) {
+    match (&output.json, want_json) {
+        (Some(json), true) => {
+            if output.json_owns_stdout {
+                eprint!("{}", output.stdout);
+            } else {
+                print!("{}", output.stdout);
+            }
+            println!("{json}");
+        }
+        _ => print!("{}", output.stdout),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{SchemeSpec, TopologySpec, WorkloadSpec};
+    use xgft_analysis::AlgorithmSpec;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn exit_codes_are_consistent() {
+        assert_eq!(main_with_args(vec![]), 2);
+        assert_eq!(main_with_args(args(&["help"])), 0);
+        assert_eq!(main_with_args(args(&["list"])), 0);
+        assert_eq!(main_with_args(args(&["list", "--json"])), 0);
+        assert_eq!(main_with_args(args(&["list", "--bogus"])), 2);
+        assert_eq!(main_with_args(args(&["no_such_scenario"])), 2);
+        assert_eq!(main_with_args(args(&["fig1", "--bogus"])), 2);
+        assert_eq!(main_with_args(args(&["run"])), 2);
+        assert_eq!(main_with_args(args(&["run", "/no/such/file.json"])), 2);
+        assert_eq!(main_with_args(args(&["run", "a.json", "b.json"])), 2);
+    }
+
+    #[test]
+    fn spec_files_load_in_both_formats() {
+        let spec = ScenarioSpec::basic(
+            "cli-test",
+            TopologySpec::SlimmedTwoLevel { k: 4, w2: 4 },
+            WorkloadSpec::new("wrf", 16, 16 * 1024),
+            vec![SchemeSpec(AlgorithmSpec::DModK)],
+        );
+        let dir = std::env::temp_dir().join("xgft-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let json_path = dir.join("spec.json");
+        std::fs::write(&json_path, serde_json::to_string_pretty(&spec).unwrap()).unwrap();
+        let loaded = load_spec(json_path.to_str().unwrap()).unwrap();
+        assert_eq!(loaded, spec);
+
+        let toml_path = dir.join("spec.toml");
+        std::fs::write(&toml_path, crate::toml::to_toml_string(&spec).unwrap()).unwrap();
+        let loaded = load_spec(toml_path.to_str().unwrap()).unwrap();
+        assert_eq!(loaded, spec);
+
+        // A valid file run end-to-end through the CLI returns 0.
+        assert_eq!(
+            main_with_args(args(&["run", json_path.to_str().unwrap(), "--quick"])),
+            0
+        );
+
+        // Invalid content is a usage-class error.
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "{\"schema_version\": 99}").unwrap();
+        assert_eq!(main_with_args(args(&["run", bad.to_str().unwrap()])), 2);
+    }
+}

@@ -1,0 +1,805 @@
+//! Lowering [`ScenarioSpec`]s onto the evaluation machinery.
+//!
+//! [`run_scenario`] validates a spec, dispatches on its engine/fault/seed
+//! combination and drives the existing compiled-table infrastructure:
+//!
+//! | spec shape | lowered onto | payload |
+//! |---|---|---|
+//! | `Tracesim` + `SeedSpec::List` | [`SweepConfig`] (figure sweeps) | [`ResultPayload::Sweep`] |
+//! | `Tracesim` + `SeedSpec::Stream` | [`CampaignConfig`] (seed campaigns) | [`ResultPayload::Campaign`] |
+//! | `Tracesim` + `FaultSpec::UniformLinks` | [`ResilienceConfig`] | [`ResultPayload::Resilience`] |
+//! | `Flow` | [`FlowSweepConfig`] (closed forms) | [`ResultPayload::Flow`] |
+//! | `Nca` | `experiments::fig4` | [`ResultPayload::Nca`] |
+//! | `Netsim` | direct injection (this module) | [`ResultPayload::Direct`] |
+//! | `AllWithAgreement` | all three engines, channel-by-channel | [`ResultPayload::Agreement`] |
+//!
+//! Every run returns one versioned [`ScenarioResult`] envelope:
+//! `schema_version` + the spec (provenance) + the payload. The payload
+//! types are exactly the pre-existing result structs, so results produced
+//! through the scenario layer are byte-identical to what the historical
+//! binaries emitted (pinned by `tests/scenario_registry.rs` against the
+//! golden fixtures).
+
+use crate::spec::{
+    EngineSpec, FaultSpec, ScenarioError, ScenarioSpec, SchemeSpec, SeedSpec, TopologySpec,
+};
+use serde::{Deserialize, Serialize};
+use xgft_analysis::experiments::fig4::{self, Fig4Result};
+use xgft_analysis::{
+    CampaignConfig, CampaignResult, ResilienceConfig, ResilienceResult, SweepConfig, SweepResult,
+};
+use xgft_core::CompiledRouteTable;
+use xgft_flow::{DegradedLoads, FlowSweepConfig, FlowSweepResult, TrafficMatrix, TrafficSpec};
+use xgft_netsim::{NetworkConfig, NetworkSim};
+use xgft_patterns::Pattern;
+use xgft_topo::Xgft;
+use xgft_tracesim::{RankEvent, ReplayEngine, RoutedNetwork, Trace};
+
+/// The result schema version this crate emits.
+pub const RESULT_SCHEMA_VERSION: u32 = 1;
+
+/// Options the CLI layers on top of a spec.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOptions {
+    /// Apply [`ScenarioSpec::quickened`] before running (the CI preset).
+    pub quick: bool,
+}
+
+/// One point of a direct-injection (`Netsim` engine) run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DirectPoint {
+    /// Topology display form.
+    pub topology: String,
+    /// Top-level width of the machine.
+    pub w_top: usize,
+    /// Scheme name.
+    pub scheme: String,
+    /// Seed (0 for deterministic schemes).
+    pub seed: u64,
+    /// Messages delivered.
+    pub delivered: usize,
+    /// Time of the last delivery (ps).
+    pub makespan_ps: u64,
+    /// Busy time of the most loaded channel (ps).
+    pub max_busy_ps: u64,
+    /// Busy time of the most loaded channel divided by the makespan.
+    pub max_utilization: f64,
+}
+
+/// The result of a direct-injection run: all flows of the workload
+/// scheduled into the event-driven simulator at t = 0.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DirectResult {
+    /// Scenario name.
+    pub name: String,
+    /// Workload name.
+    pub workload: String,
+    /// One point per (topology, scheme, seed).
+    pub points: Vec<DirectPoint>,
+}
+
+impl DirectResult {
+    /// Text table: one row per point.
+    pub fn render_table(&self) -> String {
+        let mut out = format!(
+            "# {} — direct injection of {} (makespan / max channel busy, ps)\n{:>24} {:>10} {:>12} {:>14} {:>14} {:>6}\n",
+            self.name, self.workload, "topology", "scheme", "seed", "makespan", "max-busy", "util"
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "{:>24} {:>10} {:>12} {:>14} {:>14} {:>6.3}\n",
+                p.topology, p.scheme, p.seed, p.makespan_ps, p.max_busy_ps, p.max_utilization
+            ));
+        }
+        out
+    }
+}
+
+/// One (topology, scheme) agreement check across the three engines.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AgreementPoint {
+    /// Topology display form.
+    pub topology: String,
+    /// Scheme name.
+    pub scheme: String,
+    /// Seed the scheme was instantiated with (0 for deterministic ones).
+    pub seed: u64,
+    /// The two simulators' per-channel busy vectors are byte-identical.
+    pub sims_identical: bool,
+    /// Largest relative deviation between the flow model's per-channel
+    /// occupancy and the simulators' busy time (0 = exact agreement).
+    pub flow_max_rel_dev: f64,
+    /// The flow model's maximum per-channel occupancy (ps).
+    pub model_mcl_ps: f64,
+}
+
+/// The result of an `AllWithAgreement` run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AgreementResult {
+    /// Scenario name.
+    pub name: String,
+    /// Workload name.
+    pub workload: String,
+    /// Tolerance applied to `flow_max_rel_dev` for [`Self::all_agree`].
+    pub tolerance: f64,
+    /// Every engine pair agreed on every point.
+    pub all_agree: bool,
+    /// One check per (topology, scheme).
+    pub points: Vec<AgreementPoint>,
+}
+
+impl AgreementResult {
+    /// Text table: one row per check.
+    pub fn render_table(&self) -> String {
+        let mut out = format!(
+            "# {} — engine agreement on {} (flow vs netsim vs tracesim)\n{:>24} {:>10} {:>12} {:>6} {:>12} {:>14}\n",
+            self.name, self.workload, "topology", "scheme", "seed", "sims", "flow-dev", "model-mcl"
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "{:>24} {:>10} {:>12} {:>6} {:>12.2e} {:>14.0}\n",
+                p.topology,
+                p.scheme,
+                p.seed,
+                if p.sims_identical { "==" } else { "!=" },
+                p.flow_max_rel_dev,
+                p.model_mcl_ps
+            ));
+        }
+        out.push_str(&format!(
+            "# all_agree = {} (tolerance {:.1e})\n",
+            self.all_agree, self.tolerance
+        ));
+        out
+    }
+}
+
+/// The engine-specific payload of a scenario run. Every variant wraps the
+/// result struct the corresponding machinery already produced before the
+/// scenario layer existed, so serialized payloads are stable across the
+/// refactor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ResultPayload {
+    /// A figure-style sweep (`Tracesim` + explicit seed list).
+    Sweep(SweepResult),
+    /// A seed campaign (`Tracesim` + seed streams).
+    Campaign(CampaignResult),
+    /// A resilience campaign (`Tracesim` + faults).
+    Resilience(ResilienceResult),
+    /// An analytical sweep (`Flow`).
+    Flow(FlowSweepResult),
+    /// Routes-per-NCA distributions (`Nca`), one per swept topology.
+    Nca(Vec<Fig4Result>),
+    /// Direct injection (`Netsim`).
+    Direct(DirectResult),
+    /// Cross-engine agreement (`AllWithAgreement`).
+    Agreement(AgreementResult),
+}
+
+impl ResultPayload {
+    /// The text rendering the unified CLI prints.
+    pub fn render(&self) -> String {
+        match self {
+            ResultPayload::Sweep(r) => r.render_table(),
+            ResultPayload::Campaign(r) => format!(
+                "{}# {} shards replayed against a crossbar reference of {} ps\n",
+                r.sweep.render_table(),
+                r.shards.len(),
+                r.crossbar_ps
+            ),
+            ResultPayload::Resilience(r) => {
+                let rerouted: usize = r.shards.iter().map(|o| o.rerouted).sum();
+                let undelivered = r.shards.iter().filter(|o| o.slowdown.is_none()).count();
+                format!(
+                    "{}# {} shards, {} routes rerouted in total, {} shards undeliverable, crossbar reference {} ps\n",
+                    r.render_table(),
+                    r.shards.len(),
+                    rerouted,
+                    undelivered,
+                    r.crossbar_ps
+                )
+            }
+            ResultPayload::Flow(r) => r.render_table(),
+            ResultPayload::Nca(results) => {
+                let mut out = String::new();
+                for r in results {
+                    out.push_str(&r.render());
+                    out.push('\n');
+                }
+                out
+            }
+            ResultPayload::Direct(r) => r.render_table(),
+            ResultPayload::Agreement(r) => r.render_table(),
+        }
+    }
+}
+
+/// The versioned envelope every scenario run returns: schema version,
+/// provenance (the exact spec that ran) and the engine payload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// Result schema version ([`RESULT_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Scenario name (from the spec).
+    pub scenario: String,
+    /// The spec that produced this result (after any `--quick` rewrite).
+    pub spec: ScenarioSpec,
+    /// The engine payload.
+    pub payload: ResultPayload,
+}
+
+impl ScenarioResult {
+    /// The text rendering the unified CLI prints.
+    pub fn render(&self) -> String {
+        self.payload.render()
+    }
+}
+
+/// The pre-run progress header of campaign/resilience scenarios (`None`
+/// for the other shapes). Long campaigns run for minutes; the CLI prints
+/// this to stderr *before* [`run_scenario`] so they are never silent —
+/// the same contract the historical `campaign`/`faults` binaries had.
+/// Shard counts are computed arithmetically, mirroring
+/// `CampaignConfig::shards` / `ResilienceConfig::shards`.
+pub fn shard_summary(spec: &ScenarioSpec) -> Option<String> {
+    let TopologySpec::SlimmedTwoLevel { k, .. } = spec.topology else {
+        return None;
+    };
+    match (&spec.faults, &spec.seeds) {
+        (
+            FaultSpec::UniformLinks {
+                permille,
+                draws_per_point,
+            },
+            SeedSpec::Stream { base_seed, .. },
+        ) => {
+            let algos = spec.schemes.len();
+            let draws: usize = permille
+                .iter()
+                .map(|&p| if p == 0 { 1 } else { *draws_per_point })
+                .sum();
+            Some(format!(
+                "# resilience {}: {} leaves, {} shards ({} rates x {} algorithms, {} fault draws/point, base seed {})",
+                spec.name,
+                k * k,
+                draws * algos,
+                permille.len(),
+                algos,
+                draws_per_point,
+                base_seed
+            ))
+        }
+        (
+            FaultSpec::None,
+            SeedSpec::Stream {
+                base_seed,
+                seeds_per_point,
+            },
+        ) if spec.engine == EngineSpec::Tracesim => {
+            let w2s = if spec.sweep.w2_values.is_empty() {
+                1
+            } else {
+                spec.sweep.w2_values.len()
+            };
+            let seeded = spec.schemes.iter().filter(|s| s.0.is_seeded()).count();
+            let deterministic = spec.schemes.len() - seeded;
+            Some(format!(
+                "# campaign {}: {} leaves, {} shards ({} w2 points x {} algorithms, {} seeds/point, base seed {})",
+                spec.name,
+                k * k,
+                w2s * (seeded * seeds_per_point + deterministic),
+                w2s,
+                spec.schemes.len(),
+                seeds_per_point,
+                base_seed
+            ))
+        }
+        _ => None,
+    }
+}
+
+/// Run one scenario end to end. See the module docs for the dispatch.
+pub fn run_scenario(
+    spec: &ScenarioSpec,
+    options: &RunOptions,
+) -> Result<ScenarioResult, ScenarioError> {
+    let spec = if options.quick {
+        spec.quickened()
+    } else {
+        spec.clone()
+    };
+    // Validation instantiates the workload while checking it; reuse that
+    // pattern instead of materialising a second copy.
+    let pattern = spec.validated_pattern()?;
+    let payload = match (&spec.faults, spec.engine) {
+        (
+            FaultSpec::UniformLinks {
+                permille,
+                draws_per_point,
+            },
+            EngineSpec::Tracesim,
+        ) => {
+            let SeedSpec::Stream { base_seed, .. } = spec.seeds else {
+                unreachable!("validate() requires Stream seeds with faults");
+            };
+            let (k, w2) = slimmed_family(&spec)?;
+            let mut config = ResilienceConfig::full_tree(
+                spec.name.clone(),
+                k,
+                permille.clone(),
+                *draws_per_point,
+                base_seed,
+            );
+            config.w2 = w2.first().copied().unwrap_or(k);
+            config.algorithms = spec.schemes.iter().map(|s| s.0).collect();
+            config.network = spec.network.clone();
+            ResultPayload::Resilience(config.run(&pattern))
+        }
+        (FaultSpec::UniformLinks { .. }, _) => {
+            unreachable!("validate() restricts faults to the Tracesim engine")
+        }
+        (FaultSpec::None, EngineSpec::Tracesim) => {
+            let (k, w2_values) = slimmed_family(&spec)?;
+            match &spec.seeds {
+                SeedSpec::List { seeds } => {
+                    let config = SweepConfig {
+                        k,
+                        w2_values,
+                        algorithms: spec.schemes.iter().map(|s| s.0).collect(),
+                        seeds: seeds.clone(),
+                        network: spec.network.clone(),
+                    };
+                    ResultPayload::Sweep(config.run(&pattern))
+                }
+                SeedSpec::Stream {
+                    base_seed,
+                    seeds_per_point,
+                } => {
+                    let config = CampaignConfig {
+                        name: spec.name.clone(),
+                        k,
+                        w2_values,
+                        algorithms: spec.schemes.iter().map(|s| s.0).collect(),
+                        seeds_per_point: *seeds_per_point,
+                        base_seed: *base_seed,
+                        network: spec.network.clone(),
+                    };
+                    ResultPayload::Campaign(config.run(&pattern))
+                }
+            }
+        }
+        (FaultSpec::None, EngineSpec::Flow) => {
+            let config = FlowSweepConfig {
+                specs: spec.topologies()?,
+                schemes: spec.schemes.iter().map(SchemeSpec::flow_scheme).collect(),
+                traffic: TrafficSpec::Pattern(pattern),
+            };
+            ResultPayload::Flow(config.run())
+        }
+        (FaultSpec::None, EngineSpec::Nca) => {
+            let seeds = spec
+                .seeds
+                .as_list()
+                .expect("validate() requires a seed list for Nca")
+                .to_vec();
+            let results: Vec<Fig4Result> = spec
+                .topologies()?
+                .iter()
+                .map(|t| fig4::run_for(t, &seeds))
+                .collect();
+            ResultPayload::Nca(results)
+        }
+        (FaultSpec::None, EngineSpec::Netsim) => {
+            ResultPayload::Direct(run_direct(&spec, &pattern)?)
+        }
+        (FaultSpec::None, EngineSpec::AllWithAgreement) => {
+            ResultPayload::Agreement(run_agreement(&spec, &pattern)?)
+        }
+    };
+    Ok(ScenarioResult {
+        schema_version: RESULT_SCHEMA_VERSION,
+        scenario: spec.name.clone(),
+        spec,
+        payload,
+    })
+}
+
+/// Extract `(k, swept w2 list)` for the tracesim machinery, which is
+/// specialised to the slimming family.
+fn slimmed_family(spec: &ScenarioSpec) -> Result<(usize, Vec<usize>), ScenarioError> {
+    match spec.topology {
+        crate::spec::TopologySpec::SlimmedTwoLevel { k, w2 } => {
+            let w2_values = if spec.sweep.w2_values.is_empty() {
+                vec![w2]
+            } else {
+                spec.sweep.w2_values.clone()
+            };
+            Ok((k, w2_values))
+        }
+        _ => Err(ScenarioError::Invalid(
+            "this engine requires a SlimmedTwoLevel topology".to_string(),
+        )),
+    }
+}
+
+/// The (scheme, seed) jobs of a non-campaign engine: deterministic schemes
+/// once with seed 0, seeded schemes once per listed seed.
+fn scheme_jobs(spec: &ScenarioSpec) -> Vec<(SchemeSpec, u64)> {
+    let seeds: Vec<u64> = spec
+        .seeds
+        .as_list()
+        .map(<[u64]>::to_vec)
+        .unwrap_or_default();
+    let mut jobs = Vec::new();
+    for &scheme in &spec.schemes {
+        if scheme.0.is_seeded() {
+            for &seed in &seeds {
+                jobs.push((scheme, seed));
+            }
+        } else {
+            jobs.push((scheme, 0));
+        }
+    }
+    jobs
+}
+
+/// Total channel occupancy (busy time) one message of `bytes` bytes causes
+/// on every channel it crosses: the sum of its segments' serialization
+/// times. This is the exact unit in which the event-driven simulator
+/// accounts `channel_busy_ps`, so flow loads expressed in it are directly
+/// comparable to simulator busy vectors — even for mixed message sizes.
+fn occupancy_ps(config: &NetworkConfig, bytes: u64) -> u64 {
+    (0..config.num_segments(bytes))
+        .map(|i| config.serialization_ps(config.segment_size(bytes, i)))
+        .sum()
+}
+
+fn compile_for(
+    xgft: &Xgft,
+    scheme: SchemeSpec,
+    seed: u64,
+    pattern: &Pattern,
+    flows: &[(usize, usize, u64)],
+) -> CompiledRouteTable {
+    let algo = scheme.0.instantiate(xgft, pattern, seed);
+    let pairs: Vec<(usize, usize)> = flows.iter().map(|&(s, d, _)| (s, d)).collect();
+    CompiledRouteTable::compile(xgft, algo.as_ref(), pairs)
+}
+
+/// The flow list of a pattern's combined matrix: `(src, dst, bytes)`.
+fn flow_list(pattern: &Pattern) -> Vec<(usize, usize, u64)> {
+    pattern
+        .combined()
+        .network_flows()
+        .map(|f| (f.src, f.dst, f.bytes))
+        .collect()
+}
+
+fn run_direct(spec: &ScenarioSpec, pattern: &Pattern) -> Result<DirectResult, ScenarioError> {
+    let flows = flow_list(pattern);
+    let mut points = Vec::new();
+    for topo_spec in spec.topologies()? {
+        let xgft = Xgft::new(topo_spec.clone())
+            .map_err(|e| ScenarioError::Invalid(format!("topology: {e}")))?;
+        for (scheme, seed) in scheme_jobs(spec) {
+            let table = compile_for(&xgft, scheme, seed, pattern, &flows);
+            let mut sim = NetworkSim::new(&xgft, spec.network.clone());
+            for &(s, d, bytes) in &flows {
+                let path = table.path(s, d).expect("compiled pair");
+                sim.schedule_message_on_path(0, s, d, bytes, path);
+            }
+            let report = sim.run_to_completion();
+            let max_busy = sim.channel_busy_ps().into_iter().max().unwrap_or(0);
+            points.push(DirectPoint {
+                topology: topo_spec.to_string(),
+                w_top: topo_spec.w(topo_spec.height()),
+                scheme: scheme.name().to_string(),
+                seed,
+                delivered: report.completed_messages,
+                makespan_ps: report.makespan_ps,
+                max_busy_ps: max_busy,
+                max_utilization: report.max_channel_utilization,
+            });
+        }
+    }
+    Ok(DirectResult {
+        name: spec.name.clone(),
+        workload: pattern.name().to_string(),
+        points,
+    })
+}
+
+const AGREEMENT_TOLERANCE: f64 = 1e-9;
+
+fn run_agreement(spec: &ScenarioSpec, pattern: &Pattern) -> Result<AgreementResult, ScenarioError> {
+    let flows = flow_list(pattern);
+    let mut points = Vec::new();
+    for topo_spec in spec.topologies()? {
+        let xgft = Xgft::new(topo_spec.clone())
+            .map_err(|e| ScenarioError::Invalid(format!("topology: {e}")))?;
+        for &scheme in &spec.schemes {
+            // One representative instance per scheme: the agreement claim
+            // is per-instance (exact), so one seed suffices.
+            let seed = if scheme.0.is_seeded() {
+                spec.seeds
+                    .as_list()
+                    .and_then(|s| s.first().copied())
+                    .unwrap_or(1)
+            } else {
+                0
+            };
+            let table = compile_for(&xgft, scheme, seed, pattern, &flows);
+
+            // Engine 2: direct injection.
+            let mut sim = NetworkSim::new(&xgft, spec.network.clone());
+            for &(s, d, bytes) in &flows {
+                let path = table.path(s, d).expect("compiled pair");
+                sim.schedule_message_on_path(0, s, d, bytes, path);
+            }
+            sim.run_to_completion();
+            let netsim_busy = sim.channel_busy_ps();
+
+            // Engine 3: the same flows as a Send/Recv trace replay.
+            let n = xgft.num_leaves();
+            let mut programs: Vec<Vec<RankEvent>> = vec![vec![]; n];
+            for (tag, &(s, d, bytes)) in flows.iter().enumerate() {
+                programs[s].push(RankEvent::Send {
+                    dst: d,
+                    bytes,
+                    tag: tag as u32,
+                });
+            }
+            for (tag, &(s, d, _)) in flows.iter().enumerate() {
+                programs[d].push(RankEvent::Recv {
+                    src: s,
+                    tag: tag as u32,
+                });
+            }
+            let trace = Trace::new("agreement", programs);
+            let mut net = RoutedNetwork::with_compiled(
+                NetworkSim::new(&xgft, spec.network.clone()),
+                table.clone(),
+            );
+            ReplayEngine::new(trace)
+                .run(&mut net)
+                .expect("fully-routed replay cannot deadlock");
+            let tracesim_busy = net.sim().channel_busy_ps();
+
+            // Engine 1: the flow model on the same table, with demands in
+            // channel-occupancy units so loads == busy exactly.
+            let traffic = TrafficMatrix::from_flows(
+                n,
+                flows
+                    .iter()
+                    .map(|&(s, d, bytes)| (s, d, occupancy_ps(&spec.network, bytes) as f64)),
+            );
+            let model = DegradedLoads::from_compiled(&xgft, &table, &traffic);
+
+            let sims_identical = netsim_busy == tracesim_busy;
+            let max_busy = netsim_busy.iter().copied().max().unwrap_or(0) as f64;
+            let flow_max_rel_dev = if max_busy == 0.0 {
+                model.mcl()
+            } else {
+                model
+                    .loads()
+                    .iter()
+                    .zip(&netsim_busy)
+                    .map(|(&load, &busy)| (load - busy as f64).abs() / max_busy)
+                    .fold(0.0, f64::max)
+            };
+            points.push(AgreementPoint {
+                topology: topo_spec.to_string(),
+                scheme: scheme.name().to_string(),
+                seed,
+                sims_identical,
+                flow_max_rel_dev,
+                model_mcl_ps: model.mcl(),
+            });
+        }
+    }
+    let all_agree = points
+        .iter()
+        .all(|p| p.sims_identical && p.flow_max_rel_dev <= AGREEMENT_TOLERANCE);
+    Ok(AgreementResult {
+        name: spec.name.clone(),
+        workload: pattern.name().to_string(),
+        tolerance: AGREEMENT_TOLERANCE,
+        all_agree,
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{SweepSpec, TopologySpec, WorkloadSpec};
+    use xgft_analysis::AlgorithmSpec;
+
+    fn base_spec() -> ScenarioSpec {
+        ScenarioSpec::basic(
+            "unit",
+            TopologySpec::SlimmedTwoLevel { k: 4, w2: 4 },
+            WorkloadSpec::new("wrf", 16, 16 * 1024),
+            vec![
+                SchemeSpec(AlgorithmSpec::DModK),
+                SchemeSpec(AlgorithmSpec::Random),
+            ],
+        )
+    }
+
+    #[test]
+    fn tracesim_list_lowers_to_a_sweep() {
+        let mut spec = base_spec();
+        spec.sweep = SweepSpec::over(vec![4, 1]);
+        spec.seeds = SeedSpec::List { seeds: vec![1, 2] };
+        let result = run_scenario(&spec, &RunOptions::default()).unwrap();
+        assert_eq!(result.schema_version, RESULT_SCHEMA_VERSION);
+        let ResultPayload::Sweep(sweep) = &result.payload else {
+            panic!("expected a sweep payload");
+        };
+        assert_eq!(sweep.k, 4);
+        assert_eq!(sweep.points.len(), 4); // 2 w2 × 2 schemes
+        assert_eq!(sweep.point(4, "random").unwrap().samples.len(), 2);
+        // Slimming degrades d-mod-k on the mesh exchange.
+        let full = sweep.point(4, "d-mod-k").unwrap().stats.median;
+        let slim = sweep.point(1, "d-mod-k").unwrap().stats.median;
+        assert!(slim >= full);
+        assert!(result.render().contains("d-mod-k"));
+    }
+
+    #[test]
+    fn tracesim_stream_lowers_to_a_campaign() {
+        let mut spec = base_spec();
+        spec.sweep = SweepSpec::over(vec![4]);
+        spec.seeds = SeedSpec::Stream {
+            base_seed: 2009,
+            seeds_per_point: 2,
+        };
+        let result = run_scenario(&spec, &RunOptions::default()).unwrap();
+        let ResultPayload::Campaign(campaign) = &result.payload else {
+            panic!("expected a campaign payload");
+        };
+        assert_eq!(campaign.name, "unit");
+        assert_eq!(campaign.base_seed, 2009);
+        // 1 w2 × (2 random + 1 d-mod-k).
+        assert_eq!(campaign.shards.len(), 3);
+        assert!(result.render().contains("crossbar reference"));
+    }
+
+    #[test]
+    fn faults_lower_to_a_resilience_campaign() {
+        let mut spec = base_spec();
+        spec.faults = FaultSpec::UniformLinks {
+            permille: vec![0, 100],
+            draws_per_point: 2,
+        };
+        spec.seeds = SeedSpec::Stream {
+            base_seed: 2009,
+            seeds_per_point: 2,
+        };
+        let result = run_scenario(&spec, &RunOptions::default()).unwrap();
+        let ResultPayload::Resilience(r) = &result.payload else {
+            panic!("expected a resilience payload");
+        };
+        assert_eq!(r.w2, 4);
+        // rate 0 → 1 shard/scheme; rate 100 → 2 draws/scheme.
+        assert_eq!(r.shards.len(), 2 + 4);
+        assert!(result.render().contains("rerouted"));
+    }
+
+    #[test]
+    fn flow_engine_lowers_to_the_analytic_sweep() {
+        let mut spec = base_spec();
+        spec.engine = EngineSpec::Flow;
+        spec.sweep = SweepSpec::over(vec![4, 2]);
+        let result = run_scenario(&spec, &RunOptions::default()).unwrap();
+        let ResultPayload::Flow(flow) = &result.payload else {
+            panic!("expected a flow payload");
+        };
+        assert_eq!(flow.points.len(), 4);
+        assert!(flow.points.iter().all(|p| p.mcl > 0.0));
+    }
+
+    #[test]
+    fn nca_engine_reports_distributions() {
+        let mut spec = base_spec();
+        spec.engine = EngineSpec::Nca;
+        spec.seeds = SeedSpec::List { seeds: vec![1] };
+        let result = run_scenario(&spec, &RunOptions::default()).unwrap();
+        let ResultPayload::Nca(results) = &result.payload else {
+            panic!("expected an NCA payload");
+        };
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].num_ncas, 4);
+    }
+
+    #[test]
+    fn netsim_engine_injects_directly() {
+        let mut spec = base_spec();
+        spec.engine = EngineSpec::Netsim;
+        spec.seeds = SeedSpec::List { seeds: vec![7] };
+        let result = run_scenario(&spec, &RunOptions::default()).unwrap();
+        let ResultPayload::Direct(direct) = &result.payload else {
+            panic!("expected a direct payload");
+        };
+        // 1 d-mod-k + 1 random seed.
+        assert_eq!(direct.points.len(), 2);
+        for p in &direct.points {
+            assert!(p.delivered > 0);
+            assert!(p.makespan_ps > 0);
+            assert!(p.max_busy_ps > 0);
+        }
+    }
+
+    #[test]
+    fn agreement_engine_confirms_the_three_way_match() {
+        let mut spec = base_spec();
+        spec.engine = EngineSpec::AllWithAgreement;
+        spec.schemes.push(SchemeSpec(AlgorithmSpec::RandomNcaUp));
+        let result = run_scenario(&spec, &RunOptions::default()).unwrap();
+        let ResultPayload::Agreement(agreement) = &result.payload else {
+            panic!("expected an agreement payload");
+        };
+        assert_eq!(agreement.points.len(), 3);
+        assert!(
+            agreement.all_agree,
+            "engines diverged: {:#?}",
+            agreement.points
+        );
+    }
+
+    #[test]
+    fn quick_option_shrinks_the_run() {
+        let mut spec = base_spec();
+        spec.seeds = SeedSpec::List {
+            seeds: (1..=10).collect(),
+        };
+        let result = run_scenario(&spec, &RunOptions { quick: true }).unwrap();
+        let ResultPayload::Sweep(sweep) = &result.payload else {
+            panic!("expected a sweep payload");
+        };
+        assert_eq!(sweep.point(4, "random").unwrap().samples.len(), 3);
+        // The envelope records the spec that actually ran.
+        assert_eq!(result.spec.seeds.as_list().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_before_running() {
+        let mut spec = base_spec();
+        spec.schema_version = 9;
+        assert!(run_scenario(&spec, &RunOptions::default()).is_err());
+    }
+
+    #[test]
+    fn shard_summary_announces_campaigns_and_resilience_only() {
+        // Plain figure sweeps have no pre-run header.
+        assert!(shard_summary(&base_spec()).is_none());
+
+        let mut campaign = base_spec();
+        campaign.sweep = SweepSpec::over(vec![4, 2]);
+        campaign.seeds = SeedSpec::Stream {
+            base_seed: 7,
+            seeds_per_point: 3,
+        };
+        let header = shard_summary(&campaign).unwrap();
+        // 2 w2 × (1 random × 3 seeds + 1 d-mod-k) = 8 shards, like
+        // CampaignConfig::shards would enumerate.
+        assert!(header.contains("8 shards"), "{header}");
+        assert!(header.contains("base seed 7"), "{header}");
+
+        let mut faults = base_spec();
+        faults.faults = FaultSpec::UniformLinks {
+            permille: vec![0, 100],
+            draws_per_point: 2,
+        };
+        faults.seeds = SeedSpec::Stream {
+            base_seed: 9,
+            seeds_per_point: 2,
+        };
+        let header = shard_summary(&faults).unwrap();
+        // (1 draw at rate 0 + 2 at rate 100) × 2 schemes = 6 shards, like
+        // ResilienceConfig::shards would enumerate.
+        assert!(header.contains("6 shards"), "{header}");
+        assert!(header.contains("2 rates"), "{header}");
+    }
+}

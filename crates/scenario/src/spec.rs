@@ -1,0 +1,860 @@
+//! The declarative [`ScenarioSpec`]: one experiment as serializable data.
+//!
+//! A spec is the full description of a grid point of the paper's (and this
+//! repository's extended) evaluation:
+//!
+//! ```text
+//! ScenarioSpec = topology × schemes × workload × faults × engine
+//!                × sweep axis × seed policy × network parameters
+//! ```
+//!
+//! Specs round-trip losslessly through JSON (`serde_json`) and TOML
+//! ([`crate::toml`]); the [`crate::runner`] lowers them onto the compiled
+//! route-table / campaign / resilience machinery. `schema_version` is
+//! checked on load so old tooling fails loudly on specs from the future.
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+use xgft_analysis::AlgorithmSpec;
+use xgft_flow::FlowScheme;
+use xgft_netsim::NetworkConfig;
+use xgft_patterns::{generators, Pattern};
+use xgft_topo::XgftSpec;
+
+/// The spec schema version this crate reads and writes.
+pub const SPEC_SCHEMA_VERSION: u32 = 1;
+
+/// Everything that can go wrong while validating or lowering a spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// The spec's `schema_version` is not supported by this build.
+    UnsupportedSchema(u32),
+    /// A structurally invalid field combination, with an explanation.
+    Invalid(String),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::UnsupportedSchema(v) => write!(
+                f,
+                "unsupported scenario schema_version {v} (this build reads {SPEC_SCHEMA_VERSION})"
+            ),
+            ScenarioError::Invalid(msg) => write!(f, "invalid scenario: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+fn invalid(msg: impl Into<String>) -> ScenarioError {
+    ScenarioError::Invalid(msg.into())
+}
+
+/// The machine under test.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TopologySpec {
+    /// The paper's slimming family `XGFT(2; k, k; 1, w2)`.
+    SlimmedTwoLevel {
+        /// Switch radix (and first-level width) `k`.
+        k: usize,
+        /// Number of top-level switches (`w2 = k` is the full tree).
+        w2: usize,
+    },
+    /// A full k-ary n-tree.
+    KAryNTree {
+        /// Switch radix.
+        k: usize,
+        /// Tree height.
+        n: usize,
+    },
+    /// An arbitrary `XGFT(h; m1..mh; w1..wh)`.
+    Custom {
+        /// Children per switch, bottom-up (`m1..mh`).
+        m: Vec<usize>,
+        /// Parents per node, bottom-up (`w1..wh`).
+        w: Vec<usize>,
+    },
+}
+
+impl TopologySpec {
+    /// Lower to the topology crate's [`XgftSpec`].
+    pub fn to_xgft(&self) -> Result<XgftSpec, ScenarioError> {
+        match self {
+            TopologySpec::SlimmedTwoLevel { k, w2 } => {
+                XgftSpec::slimmed_two_level(*k, *w2).map_err(|e| invalid(format!("topology: {e}")))
+            }
+            TopologySpec::KAryNTree { k, n } => {
+                if *k < 2 || *n < 1 {
+                    return Err(invalid(format!("topology: bad k-ary n-tree ({k}, {n})")));
+                }
+                Ok(XgftSpec::k_ary_n_tree(*k, *n))
+            }
+            TopologySpec::Custom { m, w } => {
+                XgftSpec::new(m.clone(), w.clone()).map_err(|e| invalid(format!("topology: {e}")))
+            }
+        }
+    }
+
+    /// The same family at a different top-level width (the sweep axis).
+    /// Only the slimming family has a w2 axis.
+    pub fn with_w2(&self, w2: usize) -> Result<TopologySpec, ScenarioError> {
+        match self {
+            TopologySpec::SlimmedTwoLevel { k, .. } => {
+                Ok(TopologySpec::SlimmedTwoLevel { k: *k, w2 })
+            }
+            other => Err(invalid(format!(
+                "sweep.w2_values requires a SlimmedTwoLevel topology, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// A routing scheme, serialized by its paper name (`"d-mod-k"`,
+/// `"r-NCA-u"`, …) so specs read like the paper's legends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchemeSpec(pub AlgorithmSpec);
+
+impl SchemeSpec {
+    /// All scheme names this spec layer accepts.
+    pub const NAMES: [&'static str; 6] = [
+        "random", "s-mod-k", "d-mod-k", "r-NCA-u", "r-NCA-d", "colored",
+    ];
+
+    /// Parse a paper name into a scheme.
+    pub fn parse(name: &str) -> Result<SchemeSpec, ScenarioError> {
+        let algo = match name {
+            "random" => AlgorithmSpec::Random,
+            "s-mod-k" => AlgorithmSpec::SModK,
+            "d-mod-k" => AlgorithmSpec::DModK,
+            "r-NCA-u" => AlgorithmSpec::RandomNcaUp,
+            "r-NCA-d" => AlgorithmSpec::RandomNcaDown,
+            "colored" => AlgorithmSpec::Colored,
+            other => {
+                return Err(invalid(format!(
+                    "unknown scheme `{other}` (expected one of {:?})",
+                    SchemeSpec::NAMES
+                )))
+            }
+        };
+        Ok(SchemeSpec(algo))
+    }
+
+    /// The paper name (`"d-mod-k"`, …).
+    pub fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    /// The analytical flow-model counterpart of this scheme.
+    pub fn flow_scheme(&self) -> FlowScheme {
+        match self.0 {
+            AlgorithmSpec::Random => FlowScheme::Random,
+            AlgorithmSpec::SModK => FlowScheme::SModK,
+            AlgorithmSpec::DModK => FlowScheme::DModK,
+            AlgorithmSpec::RandomNcaUp => FlowScheme::RNcaUp,
+            AlgorithmSpec::RandomNcaDown => FlowScheme::RNcaDown,
+            AlgorithmSpec::Colored => FlowScheme::Colored,
+        }
+    }
+}
+
+impl Serialize for SchemeSpec {
+    fn to_value(&self) -> Value {
+        Value::Str(self.name().to_string())
+    }
+}
+
+impl Deserialize for SchemeSpec {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        let name = value
+            .as_str()
+            .ok_or_else(|| serde::Error::custom("expected a scheme name string"))?;
+        SchemeSpec::parse(name).map_err(serde::Error::custom)
+    }
+}
+
+/// A workload as a *named generator plus parameters* — every generator in
+/// `xgft_patterns::generators` is reachable by name.
+///
+/// `n` is the rank count, `bytes` the per-message size; generator-specific
+/// extras (shift offsets, hot-spot skew, …) live in `params` as
+/// `(name, value)` pairs so new generators never change the schema.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Generator name: `wrf`, `cg`, `shift`, `transpose`, `bit_reversal`,
+    /// `bit_complement`, `all_to_all`, `ring`, `hot_spot`, `tornado`,
+    /// `k_shift`, `random_permutation` or `uniform_random`.
+    pub generator: String,
+    /// Number of communicating ranks.
+    pub n: usize,
+    /// Per-message byte count.
+    pub bytes: u64,
+    /// Generator-specific parameters (see each generator's docs).
+    pub params: Vec<(String, f64)>,
+}
+
+impl WorkloadSpec {
+    /// All generator names this spec layer accepts.
+    pub const GENERATORS: [&'static str; 13] = [
+        "wrf",
+        "cg",
+        "shift",
+        "transpose",
+        "bit_reversal",
+        "bit_complement",
+        "all_to_all",
+        "ring",
+        "hot_spot",
+        "tornado",
+        "k_shift",
+        "random_permutation",
+        "uniform_random",
+    ];
+
+    /// A parameterless workload.
+    pub fn new(generator: impl Into<String>, n: usize, bytes: u64) -> Self {
+        WorkloadSpec {
+            generator: generator.into(),
+            n,
+            bytes,
+            params: Vec::new(),
+        }
+    }
+
+    /// Add a named parameter (builder style).
+    pub fn with_param(mut self, name: impl Into<String>, value: f64) -> Self {
+        self.params.push((name.into(), value));
+        self
+    }
+
+    /// Look up a parameter by name.
+    pub fn param(&self, name: &str) -> Option<f64> {
+        self.params.iter().find(|(k, _)| k == name).map(|&(_, v)| v)
+    }
+
+    fn usize_param(&self, name: &str) -> Result<usize, ScenarioError> {
+        let v = self.param(name).ok_or_else(|| {
+            invalid(format!(
+                "workload `{}` needs param `{name}`",
+                self.generator
+            ))
+        })?;
+        if v < 0.0 || v.fract() != 0.0 || v > usize::MAX as f64 {
+            return Err(invalid(format!(
+                "workload param `{name}` must be a non-negative integer, got {v}"
+            )));
+        }
+        Ok(v as usize)
+    }
+
+    /// The default workload of `--workload <name>` on a radix-`k` two-level
+    /// machine (`k²` ranks), with per-message sizes scaled by `byte_scale`.
+    pub fn named_for_machine(name: &str, k: usize, byte_scale: f64) -> Result<Self, String> {
+        let n = k * k;
+        let scale = |b: u64| crate::args::scale_bytes(b, byte_scale);
+        let spec = match name {
+            "wrf" => WorkloadSpec::new("wrf", n, scale(generators::WRF_DEFAULT_BYTES)),
+            "cg" => WorkloadSpec::new("cg", n, scale(generators::CG_D_PHASE_BYTES)),
+            "shift" => WorkloadSpec::new("shift", n, scale(generators::WRF_DEFAULT_BYTES))
+                .with_param("offset", k as f64),
+            "tornado" => WorkloadSpec::new("tornado", n, scale(generators::WRF_DEFAULT_BYTES)),
+            "hot_spot" => WorkloadSpec::new("hot_spot", n, scale(generators::WRF_DEFAULT_BYTES))
+                .with_param("spots", k.min(4) as f64)
+                .with_param("skew", 0.5),
+            "k_shift" => WorkloadSpec::new("k_shift", n, scale(generators::WRF_DEFAULT_BYTES))
+                .with_param("k", k as f64)
+                .with_param("shifts", 2.0),
+            other if WorkloadSpec::GENERATORS.contains(&other) => {
+                WorkloadSpec::new(other, n, scale(generators::WRF_DEFAULT_BYTES))
+            }
+            other => {
+                return Err(format!(
+                    "unknown workload: {other} (expected one of {:?})",
+                    WorkloadSpec::GENERATORS
+                ))
+            }
+        };
+        // Surface machine-shape mismatches (e.g. cg on a non-power-of-two
+        // rank count) here, where the caller still has the flag context;
+        // the shape checks are O(1), the pattern itself is not built.
+        if spec.generator == "cg" && (!n.is_power_of_two() || n < 32) {
+            return Err(format!("cg needs k*k a power of two >= 32, got {n}"));
+        }
+        Ok(spec)
+    }
+
+    /// Instantiate the pattern this workload names.
+    pub fn pattern(&self) -> Result<Pattern, ScenarioError> {
+        let n = self.n;
+        if n < 2 {
+            return Err(invalid("workload needs at least two ranks"));
+        }
+        let bytes = self.bytes;
+        let square_side = || -> Result<usize, ScenarioError> {
+            let side = (n as f64).sqrt().round() as usize;
+            if side * side != n {
+                return Err(invalid(format!(
+                    "workload `{}` needs a square rank count, got {n}",
+                    self.generator
+                )));
+            }
+            Ok(side)
+        };
+        let pow2 = |what: &str| -> Result<(), ScenarioError> {
+            if !n.is_power_of_two() {
+                return Err(invalid(format!(
+                    "workload `{what}` needs a power-of-two rank count, got {n}"
+                )));
+            }
+            Ok(())
+        };
+        match self.generator.as_str() {
+            "wrf" => {
+                let (rows, cols) = match (self.param("rows"), self.param("cols")) {
+                    (None, None) => {
+                        let side = square_side()?;
+                        (side, side)
+                    }
+                    _ => (self.usize_param("rows")?, self.usize_param("cols")?),
+                };
+                if rows * cols != n {
+                    return Err(invalid(format!(
+                        "wrf rows*cols ({rows}x{cols}) must equal n ({n})"
+                    )));
+                }
+                Ok(generators::wrf_mesh_exchange(rows, cols, bytes))
+            }
+            "cg" => {
+                if !n.is_power_of_two() || n < 32 {
+                    return Err(invalid(format!(
+                        "cg needs a power-of-two rank count >= 32, got {n}"
+                    )));
+                }
+                Ok(generators::cg_d(n, bytes))
+            }
+            "shift" => Ok(generators::shift(n, self.usize_param("offset")?, bytes)),
+            "transpose" => Ok(generators::transpose(square_side()?, bytes)),
+            "bit_reversal" => {
+                pow2("bit_reversal")?;
+                Ok(generators::bit_reversal(n, bytes))
+            }
+            "bit_complement" => {
+                pow2("bit_complement")?;
+                Ok(generators::bit_complement(n, bytes))
+            }
+            "all_to_all" => Ok(generators::all_to_all(n, bytes)),
+            "ring" => Ok(generators::ring_exchange(n, bytes)),
+            "hot_spot" => {
+                let spots = self.usize_param("spots")?;
+                let skew = self
+                    .param("skew")
+                    .ok_or_else(|| invalid("workload `hot_spot` needs param `skew`"))?;
+                if spots == 0 || spots > n {
+                    return Err(invalid(format!(
+                        "hot_spot needs 1 <= spots <= n, got {spots}"
+                    )));
+                }
+                if !(0.0..=1.0).contains(&skew) {
+                    return Err(invalid(format!(
+                        "hot_spot skew must be in [0, 1], got {skew}"
+                    )));
+                }
+                Ok(generators::hot_spot(n, spots, skew, bytes))
+            }
+            "tornado" => {
+                if n < 3 {
+                    return Err(invalid("tornado needs at least three ranks"));
+                }
+                Ok(generators::tornado(n, bytes))
+            }
+            "k_shift" => {
+                let stride = self.usize_param("k")?;
+                let shifts = self.usize_param("shifts")?;
+                if stride == 0 || shifts == 0 {
+                    return Err(invalid("k_shift needs k >= 1 and shifts >= 1"));
+                }
+                Ok(generators::k_shift(n, stride, shifts, bytes))
+            }
+            "random_permutation" => {
+                use rand::{rngs::StdRng, SeedableRng};
+                let seed = self.usize_param("seed")? as u64;
+                let mut rng = StdRng::seed_from_u64(seed);
+                Ok(generators::random_permutation(n, bytes, &mut rng))
+            }
+            "uniform_random" => {
+                use rand::{rngs::StdRng, SeedableRng};
+                let flows = self.usize_param("flows_per_node")?;
+                let seed = self.usize_param("seed")? as u64;
+                let mut rng = StdRng::seed_from_u64(seed);
+                Ok(generators::uniform_random(n, flows, bytes, &mut rng))
+            }
+            other => Err(invalid(format!(
+                "unknown workload generator `{other}` (expected one of {:?})",
+                WorkloadSpec::GENERATORS
+            ))),
+        }
+    }
+}
+
+/// The evaluation engine a scenario runs through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EngineSpec {
+    /// Full trace replay (Send/Recv dependencies) through the event-driven
+    /// simulator — the figures' slowdown-vs-crossbar path.
+    Tracesim,
+    /// Direct injection: every flow scheduled into the event-driven
+    /// simulator at t = 0 (no dependencies); reports makespan and
+    /// per-channel busy maxima.
+    Netsim,
+    /// The closed-form channel-load model (`xgft-flow`): expected MCL and
+    /// congestion ratio, no simulation, no seed axis.
+    Flow,
+    /// Routes-per-NCA distributions (Fig. 4's metric; no traffic replay).
+    Nca,
+    /// Run flow + netsim + tracesim on the same compiled tables and check
+    /// they agree channel by channel.
+    AllWithAgreement,
+}
+
+/// The fault model applied to the machine before routing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultSpec {
+    /// Pristine machine.
+    None,
+    /// Uniform link failures at each listed rate (permille, so the spec
+    /// stays integral), `draws_per_point` fault sets per (scheme, rate).
+    UniformLinks {
+        /// Failure rates in permille (10 = 1%).
+        permille: Vec<u32>,
+        /// Independent fault draws per (scheme, rate) point.
+        draws_per_point: usize,
+    },
+}
+
+/// The topology sweep axis: a list of `w2` values over the slimming family.
+/// Empty = evaluate the base topology only.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Top-level widths to sweep (descending by convention).
+    pub w2_values: Vec<usize>,
+}
+
+impl SweepSpec {
+    /// No sweep: evaluate the base topology as-is.
+    pub fn none() -> Self {
+        SweepSpec {
+            w2_values: Vec::new(),
+        }
+    }
+
+    /// Sweep the listed `w2` values.
+    pub fn over(w2_values: Vec<usize>) -> Self {
+        SweepSpec { w2_values }
+    }
+}
+
+/// Where randomised schemes get their seeds.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SeedSpec {
+    /// An explicit seed list, shared by every sweep point (the historical
+    /// per-figure behaviour).
+    List {
+        /// The seeds.
+        seeds: Vec<u64>,
+    },
+    /// Deterministic point-local SplitMix64 streams rooted at `base_seed`
+    /// (the campaign/resilience discipline: enlarging the sweep never
+    /// perturbs existing points).
+    Stream {
+        /// Root of every per-shard stream.
+        base_seed: u64,
+        /// Seeds drawn per (topology, scheme) point.
+        seeds_per_point: usize,
+    },
+}
+
+impl SeedSpec {
+    /// The explicit seed list, if this is a `List` policy.
+    pub fn as_list(&self) -> Option<&[u64]> {
+        match self {
+            SeedSpec::List { seeds } => Some(seeds),
+            SeedSpec::Stream { .. } => None,
+        }
+    }
+}
+
+/// One fully described experiment. See the module docs for the shape and
+/// `examples/scenarios/` in the repository root for annotated instances.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Spec schema version; must equal [`SPEC_SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// Scenario label, carried into results.
+    pub name: String,
+    /// The machine under test (the sweep, if any, varies its `w2`).
+    pub topology: TopologySpec,
+    /// The traffic.
+    pub workload: WorkloadSpec,
+    /// The routing schemes to evaluate.
+    pub schemes: Vec<SchemeSpec>,
+    /// The evaluation engine.
+    pub engine: EngineSpec,
+    /// The fault model.
+    pub faults: FaultSpec,
+    /// The topology sweep axis.
+    pub sweep: SweepSpec,
+    /// The seed policy for randomised schemes.
+    pub seeds: SeedSpec,
+    /// Network parameters (links, flits, buffers).
+    pub network: NetworkConfig,
+}
+
+impl ScenarioSpec {
+    /// A minimal valid scenario to build on: tracesim engine, no faults,
+    /// no sweep, three seeds, default network.
+    pub fn basic(
+        name: impl Into<String>,
+        topology: TopologySpec,
+        workload: WorkloadSpec,
+        schemes: Vec<SchemeSpec>,
+    ) -> Self {
+        ScenarioSpec {
+            schema_version: SPEC_SCHEMA_VERSION,
+            name: name.into(),
+            topology,
+            workload,
+            schemes,
+            engine: EngineSpec::Tracesim,
+            faults: FaultSpec::None,
+            sweep: SweepSpec::none(),
+            seeds: SeedSpec::List {
+                seeds: vec![1, 2, 3],
+            },
+            network: NetworkConfig::default(),
+        }
+    }
+
+    /// The swept topology list: the base machine at each `w2` of the sweep,
+    /// or just the base machine when the sweep is empty.
+    pub fn topologies(&self) -> Result<Vec<XgftSpec>, ScenarioError> {
+        if self.sweep.w2_values.is_empty() {
+            return Ok(vec![self.topology.to_xgft()?]);
+        }
+        self.sweep
+            .w2_values
+            .iter()
+            .map(|&w2| self.topology.with_w2(w2)?.to_xgft())
+            .collect()
+    }
+
+    /// Structural validation: every error the runner would otherwise hit
+    /// mid-flight, reported up front with a message naming the field.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        self.validated_pattern().map(|_| ())
+    }
+
+    /// [`Self::validate`], returning the instantiated workload pattern so
+    /// the runner does not build it a second time (an `all_to_all` on a
+    /// 4096-leaf machine is ~16.7M flows — worth materialising once).
+    pub fn validated_pattern(&self) -> Result<Pattern, ScenarioError> {
+        if self.schema_version != SPEC_SCHEMA_VERSION {
+            return Err(ScenarioError::UnsupportedSchema(self.schema_version));
+        }
+        if self.name.is_empty() {
+            return Err(invalid("name must be non-empty"));
+        }
+        if self.schemes.is_empty() && self.engine != EngineSpec::Nca {
+            return Err(invalid("schemes must be non-empty"));
+        }
+        let topologies = self.topologies()?;
+        let pattern = self.workload.pattern()?;
+        for spec in &topologies {
+            if pattern.num_nodes() > spec.num_leaves() {
+                return Err(invalid(format!(
+                    "workload has {} ranks but {} has only {} leaves",
+                    pattern.num_nodes(),
+                    spec,
+                    spec.num_leaves()
+                )));
+            }
+        }
+        match &self.faults {
+            FaultSpec::None => {}
+            FaultSpec::UniformLinks {
+                permille,
+                draws_per_point,
+            } => {
+                if self.engine != EngineSpec::Tracesim {
+                    return Err(invalid(
+                        "faults currently require the Tracesim engine (the resilience campaign)",
+                    ));
+                }
+                if permille.is_empty() {
+                    return Err(invalid("faults.permille must be non-empty"));
+                }
+                if permille.iter().any(|&p| p > 1000) {
+                    return Err(invalid("faults.permille rates must be <= 1000"));
+                }
+                if *draws_per_point == 0 {
+                    return Err(invalid("faults.draws_per_point must be at least 1"));
+                }
+                if topologies.len() != 1 {
+                    return Err(invalid(
+                        "a fault campaign runs one machine; leave sweep.w2_values empty or \
+                         give a single value",
+                    ));
+                }
+                if !matches!(self.seeds, SeedSpec::Stream { .. }) {
+                    return Err(invalid(
+                        "faults require SeedSpec::Stream (point-local fault seed streams)",
+                    ));
+                }
+            }
+        }
+        match &self.seeds {
+            SeedSpec::List { seeds } => {
+                // The Flow engine evaluates randomised schemes by their
+                // closed-form expectation — no seed axis to populate.
+                if seeds.is_empty()
+                    && self.engine != EngineSpec::Flow
+                    && self.schemes.iter().any(|s| s.0.is_seeded())
+                {
+                    return Err(invalid("seeds.List is empty but a seeded scheme is listed"));
+                }
+            }
+            SeedSpec::Stream {
+                seeds_per_point, ..
+            } => {
+                if *seeds_per_point == 0 {
+                    return Err(invalid("seeds.Stream.seeds_per_point must be at least 1"));
+                }
+                // Only the Tracesim machinery (campaigns / resilience)
+                // implements point-local seed streams; every other engine
+                // would silently ignore them.
+                if self.engine != EngineSpec::Tracesim {
+                    return Err(invalid(
+                        "SeedSpec::Stream requires the Tracesim engine; \
+                         other engines take an explicit SeedSpec::List",
+                    ));
+                }
+            }
+        }
+        match self.engine {
+            EngineSpec::Tracesim | EngineSpec::Netsim | EngineSpec::AllWithAgreement => {
+                // The replay sweep machinery is specialised to the slimming
+                // family; a single custom machine is fine too.
+                if !self.sweep.w2_values.is_empty()
+                    && !matches!(self.topology, TopologySpec::SlimmedTwoLevel { .. })
+                {
+                    return Err(invalid(
+                        "simulation sweeps require a SlimmedTwoLevel topology",
+                    ));
+                }
+                if self.engine == EngineSpec::Tracesim
+                    && !matches!(self.topology, TopologySpec::SlimmedTwoLevel { .. })
+                {
+                    return Err(invalid(
+                        "the Tracesim engine currently requires a SlimmedTwoLevel topology \
+                         (its crossbar-relative sweep is defined on the slimming family)",
+                    ));
+                }
+            }
+            EngineSpec::Flow | EngineSpec::Nca => {}
+        }
+        Ok(pattern)
+    }
+
+    /// The CI preset: truncate seed lists to 3, per-point streams to 2,
+    /// fault draws to 2 and the sweep to its first 3 values. Keeps every
+    /// structural property of the scenario while bounding its cost.
+    pub fn quickened(&self) -> ScenarioSpec {
+        let mut spec = self.clone();
+        spec.seeds = match &self.seeds {
+            SeedSpec::List { seeds } => SeedSpec::List {
+                seeds: seeds.iter().copied().take(3).collect(),
+            },
+            SeedSpec::Stream {
+                base_seed,
+                seeds_per_point,
+            } => SeedSpec::Stream {
+                base_seed: *base_seed,
+                seeds_per_point: (*seeds_per_point).min(2),
+            },
+        };
+        if let FaultSpec::UniformLinks {
+            permille,
+            draws_per_point,
+        } = &self.faults
+        {
+            spec.faults = FaultSpec::UniformLinks {
+                permille: permille.clone(),
+                draws_per_point: (*draws_per_point).min(2),
+            };
+        }
+        spec.sweep = SweepSpec {
+            w2_values: self.sweep.w2_values.iter().copied().take(3).collect(),
+        };
+        spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wrf16() -> WorkloadSpec {
+        WorkloadSpec::new("wrf", 16, 32 * 1024)
+    }
+
+    fn spec() -> ScenarioSpec {
+        ScenarioSpec::basic(
+            "test",
+            TopologySpec::SlimmedTwoLevel { k: 4, w2: 4 },
+            wrf16(),
+            vec![
+                SchemeSpec(AlgorithmSpec::DModK),
+                SchemeSpec(AlgorithmSpec::Random),
+            ],
+        )
+    }
+
+    #[test]
+    fn scheme_names_round_trip() {
+        for name in SchemeSpec::NAMES {
+            let scheme = SchemeSpec::parse(name).unwrap();
+            assert_eq!(scheme.name(), name);
+            let json = serde_json::to_string(&scheme).unwrap();
+            let back: SchemeSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(scheme, back);
+        }
+        assert!(SchemeSpec::parse("bogus").is_err());
+    }
+
+    #[test]
+    fn every_generator_is_reachable_by_name() {
+        let cases: Vec<WorkloadSpec> = vec![
+            WorkloadSpec::new("wrf", 64, 1024),
+            WorkloadSpec::new("cg", 64, 1024),
+            WorkloadSpec::new("shift", 64, 1024).with_param("offset", 8.0),
+            WorkloadSpec::new("transpose", 64, 1024),
+            WorkloadSpec::new("bit_reversal", 64, 1024),
+            WorkloadSpec::new("bit_complement", 64, 1024),
+            WorkloadSpec::new("all_to_all", 64, 1024),
+            WorkloadSpec::new("ring", 64, 1024),
+            WorkloadSpec::new("hot_spot", 64, 1024)
+                .with_param("spots", 4.0)
+                .with_param("skew", 0.75),
+            WorkloadSpec::new("tornado", 64, 1024),
+            WorkloadSpec::new("k_shift", 64, 1024)
+                .with_param("k", 8.0)
+                .with_param("shifts", 2.0),
+            WorkloadSpec::new("random_permutation", 64, 1024).with_param("seed", 7.0),
+            WorkloadSpec::new("uniform_random", 64, 1024)
+                .with_param("flows_per_node", 2.0)
+                .with_param("seed", 7.0),
+        ];
+        assert_eq!(cases.len(), WorkloadSpec::GENERATORS.len());
+        for case in cases {
+            let p = case
+                .pattern()
+                .unwrap_or_else(|e| panic!("{}: {e}", case.generator));
+            assert_eq!(p.num_nodes(), 64, "{}", case.generator);
+        }
+    }
+
+    #[test]
+    fn workload_errors_name_the_problem() {
+        assert!(WorkloadSpec::new("nope", 16, 1).pattern().is_err());
+        assert!(WorkloadSpec::new("cg", 24, 1).pattern().is_err());
+        assert!(WorkloadSpec::new("shift", 16, 1).pattern().is_err()); // missing offset
+        assert!(WorkloadSpec::new("transpose", 15, 1).pattern().is_err());
+        assert!(WorkloadSpec::new("hot_spot", 16, 1)
+            .with_param("spots", 2.0)
+            .with_param("skew", 1.5)
+            .pattern()
+            .is_err());
+        // Non-integer value for an integral parameter.
+        assert!(WorkloadSpec::new("shift", 16, 1)
+            .with_param("offset", 1.5)
+            .pattern()
+            .is_err());
+    }
+
+    #[test]
+    fn validation_catches_structural_mistakes() {
+        assert!(spec().validate().is_ok());
+
+        let mut bad = spec();
+        bad.schema_version = 99;
+        assert!(matches!(
+            bad.validate(),
+            Err(ScenarioError::UnsupportedSchema(99))
+        ));
+
+        let mut bad = spec();
+        bad.workload = WorkloadSpec::new("wrf", 256, 1024); // 256 ranks on 16 leaves
+        assert!(bad.validate().is_err());
+
+        let mut bad = spec();
+        bad.schemes.clear();
+        assert!(bad.validate().is_err());
+
+        let mut bad = spec();
+        bad.faults = FaultSpec::UniformLinks {
+            permille: vec![10],
+            draws_per_point: 2,
+        };
+        // Faults need Stream seeds.
+        assert!(bad.validate().is_err());
+        bad.seeds = SeedSpec::Stream {
+            base_seed: 1,
+            seeds_per_point: 2,
+        };
+        assert!(bad.validate().is_ok());
+
+        let mut bad = spec();
+        bad.topology = TopologySpec::KAryNTree { k: 4, n: 2 };
+        bad.sweep = SweepSpec::over(vec![4, 2]);
+        assert!(bad.validate().is_err(), "sweep needs the slimming family");
+
+        // Seed streams are a Tracesim-only feature: any other engine would
+        // silently drop seeded schemes or fabricate a seed.
+        for engine in [
+            EngineSpec::Netsim,
+            EngineSpec::AllWithAgreement,
+            EngineSpec::Flow,
+            EngineSpec::Nca,
+        ] {
+            let mut bad = spec();
+            bad.engine = engine;
+            bad.seeds = SeedSpec::Stream {
+                base_seed: 1,
+                seeds_per_point: 2,
+            };
+            assert!(bad.validate().is_err(), "{engine:?} must reject Stream");
+        }
+    }
+
+    #[test]
+    fn quickened_bounds_the_scenario() {
+        let mut big = spec();
+        big.seeds = SeedSpec::List {
+            seeds: (1..=40).collect(),
+        };
+        big.sweep = SweepSpec::over((1..=16).rev().collect());
+        let quick = big.quickened();
+        assert_eq!(quick.seeds.as_list().unwrap().len(), 3);
+        assert_eq!(quick.sweep.w2_values, vec![16, 15, 14]);
+        assert!(quick.validate().is_ok());
+    }
+
+    #[test]
+    fn topologies_follow_the_sweep() {
+        let mut s = spec();
+        s.sweep = SweepSpec::over(vec![4, 2, 1]);
+        let tops = s.topologies().unwrap();
+        assert_eq!(tops.len(), 3);
+        assert_eq!(tops[0].w(2), 4);
+        assert_eq!(tops[2].w(2), 1);
+    }
+}

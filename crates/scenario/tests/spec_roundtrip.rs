@@ -1,0 +1,191 @@
+//! Property tests: [`ScenarioSpec`] serde round-trips are lossless for
+//! randomized specs, through **both** wire formats — JSON (`serde_json`)
+//! and TOML (`xgft_scenario::toml`).
+//!
+//! This is the contract the whole declarative layer rests on: a spec
+//! written by one tool (or by hand, in either format) reloads to exactly
+//! the value the runner would have seen in-process.
+
+use proptest::prelude::*;
+use xgft_analysis::AlgorithmSpec;
+use xgft_netsim::{NetworkConfig, SwitchingMode};
+use xgft_scenario::{
+    toml, EngineSpec, FaultSpec, ScenarioSpec, SchemeSpec, SeedSpec, SweepSpec, TopologySpec,
+    WorkloadSpec, SPEC_SCHEMA_VERSION,
+};
+
+fn topology() -> impl Strategy<Value = TopologySpec> {
+    prop_oneof![
+        (2usize..=16, 1usize..=16)
+            .prop_map(|(k, w2)| TopologySpec::SlimmedTwoLevel { k, w2: w2.min(k) }),
+        (2usize..=4, 1usize..=3).prop_map(|(k, n)| TopologySpec::KAryNTree { k, n }),
+        (2usize..=4, 1usize..=4).prop_map(|(m, w)| TopologySpec::Custom {
+            m: vec![m, m, m],
+            w: vec![1, w, w],
+        }),
+    ]
+}
+
+fn workload() -> impl Strategy<Value = WorkloadSpec> {
+    prop_oneof![
+        (4usize..=64, 1u64..=1 << 20).prop_map(|(n, bytes)| WorkloadSpec::new("wrf", n * n, bytes)),
+        (2usize..=256, 1u64..=1 << 20, 0usize..=255).prop_map(|(n, bytes, offset)| {
+            WorkloadSpec::new("shift", n, bytes).with_param("offset", offset as f64)
+        }),
+        (4usize..=128, 1u64..=1 << 20, 1usize..=4, 0u32..=100).prop_map(
+            |(n, bytes, spots, skew)| {
+                WorkloadSpec::new("hot_spot", n, bytes)
+                    .with_param("spots", spots as f64)
+                    .with_param("skew", skew as f64 / 100.0)
+            }
+        ),
+        (3usize..=99, 1u64..=1 << 20).prop_map(|(n, bytes)| WorkloadSpec::new("tornado", n, bytes)),
+        (2usize..=64, 1u64..=1 << 20, 1usize..=8, 1usize..=4).prop_map(|(n, bytes, k, shifts)| {
+            WorkloadSpec::new("k_shift", n, bytes)
+                .with_param("k", k as f64)
+                .with_param("shifts", shifts as f64)
+        }),
+    ]
+}
+
+fn schemes() -> impl Strategy<Value = Vec<SchemeSpec>> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(SchemeSpec(AlgorithmSpec::Random)),
+            Just(SchemeSpec(AlgorithmSpec::SModK)),
+            Just(SchemeSpec(AlgorithmSpec::DModK)),
+            Just(SchemeSpec(AlgorithmSpec::RandomNcaUp)),
+            Just(SchemeSpec(AlgorithmSpec::RandomNcaDown)),
+            Just(SchemeSpec(AlgorithmSpec::Colored)),
+        ],
+        1..=6,
+    )
+}
+
+fn engine() -> impl Strategy<Value = EngineSpec> {
+    prop_oneof![
+        Just(EngineSpec::Tracesim),
+        Just(EngineSpec::Netsim),
+        Just(EngineSpec::Flow),
+        Just(EngineSpec::Nca),
+        Just(EngineSpec::AllWithAgreement),
+    ]
+}
+
+fn faults() -> impl Strategy<Value = FaultSpec> {
+    prop_oneof![
+        Just(FaultSpec::None),
+        (proptest::collection::vec(0u32..=1000, 1..=4), 1usize..=8).prop_map(
+            |(permille, draws_per_point)| FaultSpec::UniformLinks {
+                permille,
+                draws_per_point,
+            }
+        ),
+    ]
+}
+
+fn seeds() -> impl Strategy<Value = SeedSpec> {
+    prop_oneof![
+        proptest::collection::vec(0u64..=u64::MAX / 2, 0..=8)
+            .prop_map(|seeds| SeedSpec::List { seeds }),
+        (0u64..=u64::MAX / 2, 1usize..=64).prop_map(|(base_seed, seeds_per_point)| {
+            SeedSpec::Stream {
+                base_seed,
+                seeds_per_point,
+            }
+        }),
+    ]
+}
+
+fn network() -> impl Strategy<Value = NetworkConfig> {
+    (
+        1u32..=40,
+        1u64..=64,
+        1u64..=8,
+        0u64..=500,
+        1usize..=16,
+        0u8..=1,
+    )
+        .prop_map(
+            |(gbps_tenths, flit, seg_flits, latency, buffers, mode)| NetworkConfig {
+                link_bandwidth_gbps: gbps_tenths as f64 / 10.0,
+                flit_bytes: flit,
+                segment_bytes: flit * seg_flits,
+                switch_latency_ns: latency,
+                input_buffer_segments: buffers,
+                switching: if mode == 0 {
+                    SwitchingMode::StoreAndForward
+                } else {
+                    SwitchingMode::CutThrough
+                },
+            },
+        )
+}
+
+fn scenario() -> impl Strategy<Value = ScenarioSpec> {
+    (
+        topology(),
+        workload(),
+        schemes(),
+        engine(),
+        faults(),
+        proptest::collection::vec(1usize..=16, 0..=6),
+        seeds(),
+        network(),
+    )
+        .prop_map(
+            |(topology, workload, schemes, engine, faults, w2_values, seeds, network)| {
+                ScenarioSpec {
+                    schema_version: SPEC_SCHEMA_VERSION,
+                    // Exercise key escaping too: names carry quotes/unicode.
+                    name: "prop \"scenario\" ☃".to_string(),
+                    topology,
+                    workload,
+                    schemes,
+                    engine,
+                    faults,
+                    sweep: SweepSpec { w2_values },
+                    seeds,
+                    network,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// JSON round-trip: compact and pretty printing both reload to the
+    /// exact same spec (no field drops, no numeric type drift).
+    #[test]
+    fn json_round_trip_is_lossless(spec in scenario()) {
+        let compact = serde_json::to_string(&spec).expect("serializable");
+        let back: ScenarioSpec = serde_json::from_str(&compact).expect("parseable");
+        prop_assert_eq!(&back, &spec);
+
+        let pretty = serde_json::to_string_pretty(&spec).expect("serializable");
+        let back: ScenarioSpec = serde_json::from_str(&pretty).expect("parseable");
+        prop_assert_eq!(&back, &spec);
+    }
+
+    /// TOML round-trip: the hand-rolled emitter/parser pair is lossless
+    /// over the full randomized spec space (nested enums, mixed-type
+    /// parameter arrays, floats vs integers, unicode strings).
+    #[test]
+    fn toml_round_trip_is_lossless(spec in scenario()) {
+        let text = toml::to_toml_string(&spec).expect("serializable");
+        let back: ScenarioSpec = toml::from_toml_str(&text).expect("parseable");
+        prop_assert_eq!(&back, &spec);
+    }
+
+    /// Cross-format: JSON → spec → TOML → spec is still the identity, so
+    /// the two wire formats can be mixed freely in a pipeline.
+    #[test]
+    fn json_and_toml_agree(spec in scenario()) {
+        let json = serde_json::to_string(&spec).expect("serializable");
+        let from_json: ScenarioSpec = serde_json::from_str(&json).expect("parseable");
+        let toml_text = toml::to_toml_string(&from_json).expect("serializable");
+        let from_toml: ScenarioSpec = toml::from_toml_str(&toml_text).expect("parseable");
+        prop_assert_eq!(&from_toml, &spec);
+    }
+}

@@ -18,6 +18,9 @@
 //!   WRF-256 / CG.D-128 workloads.
 //! * [`analysis`] — metrics, statistics and experiment drivers for every
 //!   table and figure in the paper.
+//! * [`scenario`] — the declarative `ScenarioSpec` layer and the unified
+//!   `xgft` CLI: whole experiments (topology × schemes × workload × faults
+//!   × engine × sweep × seeds) as serializable JSON/TOML data.
 //!
 //! See `README.md` for a quickstart, the crate dependency diagram and the
 //! figure-reproduction workflow.
@@ -27,6 +30,7 @@ pub use xgft_core as routing;
 pub use xgft_flow as flow;
 pub use xgft_netsim as netsim;
 pub use xgft_patterns as patterns;
+pub use xgft_scenario as scenario;
 pub use xgft_topo as topo;
 pub use xgft_tracesim as tracesim;
 
@@ -41,6 +45,9 @@ pub mod prelude {
     pub use xgft_flow::{ExpectedLoads, FlowSweepConfig, TrafficMatrix, TrafficSpec};
     pub use xgft_netsim::{NetworkConfig, SwitchingMode};
     pub use xgft_patterns::{ConnectivityMatrix, Pattern};
+    pub use xgft_scenario::{
+        run_scenario, RunOptions, ScenarioResult, ScenarioSpec, SchemeSpec, WorkloadSpec,
+    };
     pub use xgft_topo::{KAryNTree, NodeLabel, Route, Xgft, XgftSpec};
     pub use xgft_tracesim::{
         workloads::{cg_d_trace, wrf_trace},

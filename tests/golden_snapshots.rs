@@ -19,6 +19,10 @@ use xgft::analysis::resilience::ResilienceConfig;
 use xgft::analysis::sweep::{AlgorithmSpec, SweepConfig};
 use xgft::netsim::NetworkConfig;
 use xgft::patterns::generators;
+use xgft::scenario::{
+    run_scenario, EngineSpec, FaultSpec, RunOptions, ScenarioSpec, SchemeSpec, SeedSpec, SweepSpec,
+    TopologySpec, WorkloadSpec, SPEC_SCHEMA_VERSION,
+};
 use xgft::topo::XgftSpec;
 
 /// Compare `rendered` against the committed fixture, or rewrite the fixture
@@ -109,6 +113,33 @@ fn campaign_small_is_byte_stable() {
         network: NetworkConfig::default(),
     };
     assert_golden("campaign_small.json", &to_json(&config.run(&pattern)));
+}
+
+/// The versioned scenario-result envelope: a complete `xgft run` outcome —
+/// `schema_version`, the exact spec (provenance, including the new
+/// `tornado` workload family) and the payload — pinned byte for byte. The
+/// result schema cannot change shape, lose a field or renumber itself
+/// without this fixture (and a deliberate `UPDATE_GOLDEN=1` regeneration)
+/// recording it.
+#[test]
+fn scenario_envelope_is_byte_stable() {
+    let spec = ScenarioSpec {
+        schema_version: SPEC_SCHEMA_VERSION,
+        name: "scenario-golden".to_string(),
+        topology: TopologySpec::SlimmedTwoLevel { k: 4, w2: 4 },
+        workload: WorkloadSpec::new("tornado", 16, 16 * 1024),
+        schemes: vec![
+            SchemeSpec(AlgorithmSpec::DModK),
+            SchemeSpec(AlgorithmSpec::RandomNcaUp),
+        ],
+        engine: EngineSpec::Tracesim,
+        faults: FaultSpec::None,
+        sweep: SweepSpec::over(vec![4, 2]),
+        seeds: SeedSpec::List { seeds: vec![1, 2] },
+        network: NetworkConfig::default(),
+    };
+    let result = run_scenario(&spec, &RunOptions::default()).expect("valid scenario");
+    assert_golden("scenario_small.json", &to_json(&result));
 }
 
 /// A mini resilience campaign: pins the fault-sampler seed streams, every
