@@ -6,7 +6,7 @@
 //! ratio isolates exactly what the routing scheme can influence.
 
 use serde::{Deserialize, Serialize};
-use xgft_core::{CompiledRouteTable, RouteTable, RoutingAlgorithm};
+use xgft_core::{CompiledRouteTable, RouteSource, RouteTable, RoutingAlgorithm};
 use xgft_netsim::{CrossbarSim, NetworkConfig, NetworkSim};
 use xgft_topo::Xgft;
 use xgft_tracesim::{Network, ReplayEngine, ReplayError, ReplayResult, RoutedNetwork, Trace};
@@ -67,6 +67,20 @@ pub fn run_on_xgft_with_compiled(
     config: &NetworkConfig,
 ) -> Result<ReplayResult, ReplayError> {
     let net = RoutedNetwork::with_compiled(NetworkSim::new(xgft, config.clone()), table);
+    ReplayEngine::new(trace.clone()).run(net)
+}
+
+/// Replay `trace` on any route representation ([`CompiledRouteTable`],
+/// `CompactRoutes`, …): the generic counterpart of
+/// [`run_on_xgft_with_compiled`], used when route state is computed rather
+/// than stored.
+pub fn run_on_xgft_with_source<R: RouteSource>(
+    trace: &Trace,
+    xgft: &Xgft,
+    source: R,
+    config: &NetworkConfig,
+) -> Result<ReplayResult, ReplayError> {
+    let net = RoutedNetwork::with_source(NetworkSim::new(xgft, config.clone()), source);
     ReplayEngine::new(trace.clone()).run(net)
 }
 

@@ -16,12 +16,13 @@
 //! [`crate::campaign`] module layers deterministic per-shard seed streams
 //! and serde-JSON campaign output on top of the same machinery.
 
-use crate::slowdown::{run_on_crossbar, run_on_xgft};
+use crate::slowdown::{run_on_crossbar, run_on_xgft, run_on_xgft_with_source};
 use crate::stats::BoxplotStats;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use xgft_core::{
-    ColoredRouting, DModK, RandomNcaDown, RandomNcaUp, RandomRouting, RoutingAlgorithm, SModK,
+    ColoredRouting, CompactRoutes, CompactScheme, DModK, RandomNcaDown, RandomNcaUp, RandomRouting,
+    RoutingAlgorithm, SModK,
 };
 use xgft_netsim::NetworkConfig;
 use xgft_patterns::Pattern;
@@ -105,6 +106,21 @@ impl AlgorithmSpec {
             AlgorithmSpec::Colored => Box::new(ColoredRouting::new(xgft, &pattern.combined())),
         }
     }
+
+    /// The closed-form [`CompactScheme`] equivalent of this algorithm, or
+    /// `None` for the pattern-aware colored scheme, which has no
+    /// label-arithmetic form. For seeded algorithms the same seed yields
+    /// paths byte-identical to [`Self::instantiate`]'s.
+    pub fn compact_scheme(&self, xgft: &Xgft, seed: u64) -> Option<CompactScheme> {
+        Some(match self {
+            AlgorithmSpec::Random => CompactScheme::Random { seed },
+            AlgorithmSpec::SModK => CompactScheme::SModK,
+            AlgorithmSpec::DModK => CompactScheme::DModK,
+            AlgorithmSpec::RandomNcaUp => CompactScheme::random_nca_up(xgft, seed),
+            AlgorithmSpec::RandomNcaDown => CompactScheme::random_nca_down(xgft, seed),
+            AlgorithmSpec::Colored => return None,
+        })
+    }
 }
 
 /// One unit of parallel sweep work: a (topology, algorithm, seed) triple.
@@ -168,6 +184,28 @@ pub(crate) fn run_shard(
     let xgft = Xgft::new(spec).expect("valid topology");
     let instance = shard.algorithm.instantiate(&xgft, pattern, shard.seed);
     let result = run_on_xgft(trace, &xgft, instance.as_ref(), network)
+        .expect("replay cannot deadlock on a valid trace");
+    result.completion_ps as f64 / crossbar_ps as f64
+}
+
+/// Replay one shard through the closed-form [`CompactRoutes`] engine
+/// instead of a compiled table. Paths are byte-identical to the compiled
+/// form (pinned by the core crate's property tests), so the sample is too.
+pub(crate) fn run_shard_compact(
+    shard: &SweepShard,
+    k: usize,
+    network: &NetworkConfig,
+    trace: &Trace,
+    crossbar_ps: u64,
+) -> f64 {
+    let spec = XgftSpec::slimmed_two_level(k, shard.w2).expect("valid slimmed spec");
+    let xgft = Xgft::new(spec).expect("valid topology");
+    let scheme = shard
+        .algorithm
+        .compact_scheme(&xgft, shard.seed)
+        .expect("colored has no compact closed form; rejected upstream");
+    let routes = CompactRoutes::for_pairs(&xgft, scheme, trace.communication_pairs());
+    let result = run_on_xgft_with_source(trace, &xgft, routes, network)
         .expect("replay cannot deadlock on a valid trace");
     result.completion_ps as f64 / crossbar_ps as f64
 }
@@ -327,6 +365,28 @@ impl SweepConfig {
         self.run_trace(pattern, &trace)
     }
 
+    /// [`Self::run`] through the closed-form [`CompactRoutes`] engine:
+    /// identical shards, identical samples (compact paths are byte-equal to
+    /// compiled ones), near-zero route state per shard. Panics if the
+    /// configuration lists the colored scheme, which has no closed form.
+    pub fn run_compact(&self, pattern: &Pattern) -> SweepResult {
+        let trace = workloads::trace_from_pattern(pattern, 0);
+        let crossbar_ps = run_on_crossbar(&trace, &self.network)
+            .expect("crossbar replay cannot deadlock")
+            .completion_ps;
+        let shards = self.shards();
+        let samples: Vec<f64> = shards
+            .par_iter()
+            .map(|shard| run_shard_compact(shard, self.k, &self.network, &trace, crossbar_ps))
+            .collect();
+        SweepResult {
+            trace: trace.name().to_string(),
+            k: self.k,
+            crossbar_ps,
+            points: assemble_points(&shards, &samples),
+        }
+    }
+
     /// Run the sweep for an explicit trace (must communicate over the
     /// pattern's pairs; the pattern is still needed by pattern-aware
     /// schemes): one parallel replay per shard, aggregated into per-point
@@ -391,6 +451,33 @@ mod tests {
         let table = result.render_table();
         assert!(table.contains("d-mod-k"));
         assert!(table.contains("w2"));
+    }
+
+    /// The compact-representation sweep must reproduce the compiled sweep
+    /// exactly: same shards, same crossbar reference, bitwise-equal
+    /// slowdown samples for every (w2, algorithm, seed) point.
+    #[test]
+    fn compact_sweep_is_byte_identical_to_compiled() {
+        let pattern = generators::shift(16, 4, 16 * 1024);
+        let config = SweepConfig {
+            k: 4,
+            w2_values: vec![4, 2],
+            algorithms: vec![
+                AlgorithmSpec::DModK,
+                AlgorithmSpec::Random,
+                AlgorithmSpec::RandomNcaUp,
+            ],
+            seeds: vec![1, 2],
+            network: NetworkConfig::default(),
+        };
+        let compiled = config.run(&pattern);
+        let compact = config.run_compact(&pattern);
+        assert_eq!(compiled.crossbar_ps, compact.crossbar_ps);
+        assert_eq!(compiled.points.len(), compact.points.len());
+        for (a, b) in compiled.points.iter().zip(&compact.points) {
+            assert_eq!((a.w2, &a.algorithm), (b.w2, &b.algorithm));
+            assert_eq!(a.samples, b.samples, "{}@w2={}", a.algorithm, a.w2);
+        }
     }
 
     #[test]

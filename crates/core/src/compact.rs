@@ -1,0 +1,861 @@
+//! Closed-form compact routes: every hop computed from `(source,
+//! destination)` labels in O(height), with near-zero route state.
+//!
+//! [`crate::CompiledRouteTable`] stores the full channel path of every pair
+//! — O(N² · pathlen) memory, which walls out long before the million-leaf
+//! machines the paper's schemes are meant for. But every oblivious scheme of
+//! the paper is *pure label arithmetic*: d-mod-k and s-mod-k read digits of
+//! one endpoint's label, Random draws from a per-pair seeded stream, and the
+//! r-NCA family reads per-subtree relabeling maps whose size depends on the
+//! topology, not on the pair count. That is exactly the regime of compact
+//! oblivious routing (Räcke & Schmid, arXiv:1812.09887): the routing *state*
+//! is a constant-size function, not a table.
+//!
+//! [`CompactRoutes`] packages one such closed form per scheme behind the
+//! same observable behaviour as the compiled table:
+//!
+//! * the same route for every pair, byte-identical down to the dense channel
+//!   indices (pinned by property tests against
+//!   [`crate::CompiledRouteTable`]);
+//! * the same typed miss semantics — self-pairs, out-of-range leaves and
+//!   pairs outside the built domain return `None`, which the network layer
+//!   surfaces as `MissingRoute`;
+//! * the same lossless [`CompactRoutes::from_table`] /
+//!   [`CompactRoutes::to_table`] bridge (tabled routes that disagree with
+//!   the closed form are kept verbatim in the overlay);
+//! * a degraded mode that mirrors [`crate::CompiledRouteTable::patch`]
+//!   *sparsely*: only fault-crossing pairs are stored in an overlay, every
+//!   clean pair keeps costing zero bytes.
+
+use crate::compiled::{CompiledRouteTable, PatchStats};
+use crate::degraded::{node_index, reroute};
+use crate::random::pair_stream;
+use crate::relabel::RelabelMaps;
+use crate::table::RouteTable;
+use rand::Rng;
+use std::collections::HashMap;
+use xgft_topo::{ChannelId, ChannelTable, DegradedXgft, Direction, FaultSet, Route, Xgft};
+
+/// The closed-form port arithmetic of one oblivious scheme.
+///
+/// The pattern-aware Colored scheme has no closed form (its choices are the
+/// output of a pattern-level optimisation), so it is deliberately absent:
+/// colored routes stay in the compiled representation.
+#[derive(Debug, Clone)]
+pub enum CompactScheme {
+    /// Source-mod-k: ascent ports are digits of the source label.
+    SModK,
+    /// Destination-mod-k: ascent ports are digits of the destination label.
+    DModK,
+    /// Static random routing: ports drawn from the per-pair seeded stream of
+    /// [`crate::RandomRouting`], reproduced draw-for-draw from the seed.
+    Random {
+        /// The table-fill seed (one seed is one routing-table fill).
+        seed: u64,
+    },
+    /// r-NCA-u: balanced-relabeled self-routing guided by the source.
+    RandomNcaUp {
+        /// The balanced relabeling maps (the scheme's entire state).
+        maps: RelabelMaps,
+    },
+    /// r-NCA-d: balanced-relabeled self-routing guided by the destination.
+    RandomNcaDown {
+        /// The balanced relabeling maps (the scheme's entire state).
+        maps: RelabelMaps,
+    },
+}
+
+impl CompactScheme {
+    /// The r-NCA-u scheme with maps freshly drawn from `seed` (matches
+    /// [`crate::RandomNcaUp::new`]).
+    pub fn random_nca_up(xgft: &Xgft, seed: u64) -> Self {
+        CompactScheme::RandomNcaUp {
+            maps: RelabelMaps::random(xgft, seed),
+        }
+    }
+
+    /// The r-NCA-d scheme with maps freshly drawn from `seed` (matches
+    /// [`crate::RandomNcaDown::new`]).
+    pub fn random_nca_down(xgft: &Xgft, seed: u64) -> Self {
+        CompactScheme::RandomNcaDown {
+            maps: RelabelMaps::random(xgft, seed),
+        }
+    }
+
+    /// The algorithm name, identical to the corresponding
+    /// [`crate::RoutingAlgorithm::name`] so compiled and compact forms of the
+    /// same scheme compare equal.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CompactScheme::SModK => "s-mod-k",
+            CompactScheme::DModK => "d-mod-k",
+            CompactScheme::Random { .. } => "random",
+            CompactScheme::RandomNcaUp { .. } => "r-NCA-u",
+            CompactScheme::RandomNcaDown { .. } => "r-NCA-d",
+        }
+    }
+
+    /// Bytes of scheme state (the only state that scales with anything at
+    /// all: the relabeling maps scale with the *topology*, never with the
+    /// pair count).
+    fn state_bytes(&self) -> usize {
+        match self {
+            CompactScheme::SModK | CompactScheme::DModK => 0,
+            CompactScheme::Random { .. } => std::mem::size_of::<u64>(),
+            CompactScheme::RandomNcaUp { maps } | CompactScheme::RandomNcaDown { maps } => {
+                maps.storage_bytes()
+            }
+        }
+    }
+}
+
+/// Which ordered pairs the engine answers for (the analogue of which pairs a
+/// table was compiled with).
+#[derive(Debug, Clone)]
+enum PairDomain {
+    /// Every ordered pair of distinct leaves.
+    AllPairs,
+    /// An explicit sorted, deduplicated set of `s·n + d` pair codes.
+    Pairs(Vec<u64>),
+}
+
+/// A sparse overlay entry for one pair whose effective route is *not* the
+/// closed form.
+#[derive(Debug, Clone, PartialEq)]
+enum PatchEntry {
+    /// The pair's route was diverted (by a fault patch or adopted verbatim
+    /// from a bridged table); the stored dense channel path wins.
+    Rerouted(Vec<u32>),
+    /// No minimal route of the pair survives: a typed miss.
+    Unroutable,
+}
+
+/// Closed-form routes for one scheme on one topology: the fourth route
+/// representation, after the hash-map [`RouteTable`], the flat
+/// [`CompiledRouteTable`] and the per-pair [`crate::RouteDist`]
+/// distributions.
+///
+/// Lookups compute the dense channel path on the fly from the pair's labels;
+/// nothing per-pair is stored unless a fault patch or a table bridge forces
+/// a divergence into the sparse overlay. Memory is O(height) for the mod-k
+/// and Random schemes and O(topology) for the r-NCA relabeling maps —
+/// compare [`CompactRoutes::storage_bytes`] against
+/// [`CompiledRouteTable::storage_bytes`] for the numbers the docs table
+/// reports.
+///
+/// ```
+/// use xgft_core::{CompactRoutes, CompactScheme, CompiledRouteTable, DModK};
+/// use xgft_topo::Xgft;
+///
+/// let xgft = Xgft::k_ary_n_tree(4, 2);
+/// let compact = CompactRoutes::all_pairs(&xgft, CompactScheme::DModK);
+/// let compiled = CompiledRouteTable::compile_all_pairs(&xgft, &DModK::new());
+///
+/// // Same routes, a fraction of the bytes.
+/// assert_eq!(compact.to_compiled(&xgft), compiled);
+/// assert!(compact.storage_bytes() < compiled.storage_bytes() / 10);
+///
+/// // Same miss semantics: self-pairs and out-of-range leaves miss.
+/// let mut path = Vec::new();
+/// assert!(compact.path_into(0, 9, &mut path));
+/// assert_eq!(Some(path.as_slice()), compiled.path(0, 9));
+/// assert!(!compact.path_into(3, 3, &mut path));
+/// assert!(!compact.path_into(0, 16, &mut path));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompactRoutes {
+    algorithm: String,
+    pattern_aware: bool,
+    num_leaves: usize,
+    /// Channel numbering (embeds the spec: all label arithmetic reads it).
+    channels: ChannelTable,
+    scheme: CompactScheme,
+    domain: PairDomain,
+    /// Only pairs diverging from the closed form: fault detours, typed
+    /// misses, and bridged table entries that disagree with the scheme.
+    overlay: HashMap<u64, PatchEntry>,
+    /// Number of overlay entries that are typed misses.
+    unroutable: usize,
+}
+
+impl CompactRoutes {
+    /// The engine answering every ordered pair of distinct leaves — the
+    /// compact analogue of [`CompiledRouteTable::compile_all_pairs`], at
+    /// O(height) instead of O(N²·pathlen) memory.
+    pub fn all_pairs(xgft: &Xgft, scheme: CompactScheme) -> Self {
+        Self::with_domain(xgft, scheme, PairDomain::AllPairs)
+    }
+
+    /// The engine answering exactly the given pairs (the compact analogue of
+    /// [`CompiledRouteTable::compile`]): self-pairs are skipped, duplicates
+    /// collapse, and pairs outside the set are typed misses.
+    ///
+    /// # Panics
+    /// Panics if a pair references a leaf outside the topology.
+    pub fn for_pairs(
+        xgft: &Xgft,
+        scheme: CompactScheme,
+        pairs: impl IntoIterator<Item = (usize, usize)>,
+    ) -> Self {
+        let n = xgft.num_leaves();
+        let mut codes: Vec<u64> = pairs
+            .into_iter()
+            .filter(|&(s, d)| s != d)
+            .map(|(s, d)| {
+                assert!(s < n && d < n, "pair ({s}, {d}) outside {n} leaves");
+                (s * n + d) as u64
+            })
+            .collect();
+        codes.sort_unstable();
+        codes.dedup();
+        Self::with_domain(xgft, scheme, PairDomain::Pairs(codes))
+    }
+
+    fn with_domain(xgft: &Xgft, scheme: CompactScheme, domain: PairDomain) -> Self {
+        CompactRoutes {
+            algorithm: scheme.name().to_string(),
+            pattern_aware: false,
+            num_leaves: xgft.num_leaves(),
+            channels: xgft.channels().clone(),
+            scheme,
+            domain,
+            overlay: HashMap::new(),
+            unroutable: 0,
+        }
+    }
+
+    /// Adopt an existing hash-map table (the forward half of the lossless
+    /// bridge): the table's pairs become the domain, and every tabled route
+    /// that differs from `scheme`'s closed form is kept verbatim in the
+    /// overlay — so the bridge is lossless for *any* table, while a table
+    /// actually built by the same scheme costs zero overlay entries.
+    pub fn from_table(xgft: &Xgft, table: &RouteTable, scheme: CompactScheme) -> Self {
+        let n = xgft.num_leaves();
+        let mut this = Self::for_pairs(xgft, scheme, table.iter().map(|(&pair, _)| pair));
+        this.algorithm = table.algorithm().to_string();
+        this.pattern_aware = table.is_pattern_aware();
+        let mut scratch = Vec::new();
+        for (&(s, d), route) in table.iter() {
+            if s == d {
+                continue;
+            }
+            let stored: Vec<u32> = xgft
+                .route_channels(s, d, route)
+                .expect("tables hold valid routes")
+                .iter()
+                .map(|&c| c as u32)
+                .collect();
+            scratch.clear();
+            this.closed_form_into(s, d, &mut scratch);
+            if scratch[..] != stored[..] {
+                this.overlay
+                    .insert((s * n + d) as u64, PatchEntry::Rerouted(stored));
+            }
+        }
+        this
+    }
+
+    /// Decode into a hash-map [`RouteTable`] (the reverse half of the
+    /// bridge), matching [`CompiledRouteTable::to_table`].
+    pub fn to_table(&self) -> RouteTable {
+        let mut routes = Vec::with_capacity(self.len());
+        self.for_each_pair(|s, d, _| {
+            if let Some(route) = self.route(s, d) {
+                routes.push(((s, d), route));
+            }
+        });
+        RouteTable::from_parts(self.algorithm.clone(), self.pattern_aware, routes)
+    }
+
+    /// Materialise into the flat compiled form. The result is byte-identical
+    /// to compiling the same pairs directly (pristine) or to patching /
+    /// degraded-compiling them (after [`CompactRoutes::patch`]) — the
+    /// property the differential tests pin.
+    pub fn to_compiled(&self, xgft: &Xgft) -> CompiledRouteTable {
+        self.assert_same_machine(xgft);
+        let n = self.num_leaves;
+        let mut picked: Vec<(usize, Route)> = Vec::with_capacity(self.len());
+        self.for_each_pair(|s, d, code| match self.overlay.get(&code) {
+            Some(PatchEntry::Unroutable) => {}
+            Some(PatchEntry::Rerouted(path)) => {
+                picked.push((s * n + d, self.decode_route(path)));
+            }
+            None => picked.push((s * n + d, Route::new(self.closed_form_ports(s, d)))),
+        });
+        CompiledRouteTable::from_sorted_routes(
+            xgft,
+            self.algorithm.clone(),
+            self.pattern_aware,
+            picked,
+        )
+    }
+
+    /// Layer a fault set over the closed form, in place: only pairs whose
+    /// effective path crosses a failed channel gain an overlay entry (a
+    /// detour chosen exactly like [`CompiledRouteTable::patch`] — the stored
+    /// ports as preference, `(preferred + δ) mod w` depth-first — or a typed
+    /// miss when nothing minimal survives). Clean pairs keep costing zero
+    /// bytes, so sparse fault sets stay sparse in memory no matter the
+    /// machine size — where the compiled patch rewrites its dense arrays.
+    ///
+    /// Same one-way contract as the compiled form: faults accumulate, misses
+    /// never heal, and repair/churn is modelled by re-patching a pristine
+    /// clone. Patching a pristine engine is byte-identical (via
+    /// [`CompactRoutes::to_compiled`]) to
+    /// [`CompiledRouteTable::compile_degraded`] on the same pairs.
+    ///
+    /// # Panics
+    /// Panics if the engine, topology and fault set disagree on machine size
+    /// or channel numbering.
+    pub fn patch(&mut self, xgft: &Xgft, faults: &FaultSet) -> PatchStats {
+        self.assert_same_machine(xgft);
+        let degraded = DegradedXgft::new(xgft, faults).expect("fault set matches the topology");
+        let mut stats = PatchStats::default();
+        if faults.is_empty() {
+            stats.untouched = self.len();
+            return stats;
+        }
+        let mut updates: Vec<(u64, PatchEntry)> = Vec::new();
+        let mut scratch: Vec<u32> = Vec::new();
+        self.for_each_pair(|s, d, code| {
+            let current: &[u32] = match self.overlay.get(&code) {
+                Some(PatchEntry::Unroutable) => return, // a miss stays a miss
+                Some(PatchEntry::Rerouted(path)) => path,
+                None => {
+                    scratch.clear();
+                    self.closed_form_into(s, d, &mut scratch);
+                    &scratch
+                }
+            };
+            if current.iter().all(|&c| !faults.is_failed(c as usize)) {
+                stats.untouched += 1;
+                return;
+            }
+            let preferred = self.decode_route(current);
+            match reroute(&degraded, s, d, &preferred) {
+                Ok(route) => {
+                    let path = xgft
+                        .route_channels(s, d, &route)
+                        .expect("fault-aware fallback produces valid routes");
+                    updates.push((
+                        code,
+                        PatchEntry::Rerouted(path.iter().map(|&c| c as u32).collect()),
+                    ));
+                    stats.rerouted += 1;
+                }
+                Err(_) => {
+                    updates.push((code, PatchEntry::Unroutable));
+                    stats.unroutable += 1;
+                }
+            }
+        });
+        for (code, entry) in updates {
+            if entry == PatchEntry::Unroutable {
+                self.unroutable += 1;
+            }
+            self.overlay.insert(code, entry);
+        }
+        stats
+    }
+
+    /// Compute the dense channel path of `(s, d)` into `out`. Returns
+    /// `false` — leaving `out` empty — on exactly the misses the compiled
+    /// form has: self-pairs, out-of-range leaves, pairs outside the built
+    /// domain, and pairs a patch declared unroutable.
+    pub fn path_into(&self, s: usize, d: usize, out: &mut Vec<u32>) -> bool {
+        out.clear();
+        if s >= self.num_leaves || d >= self.num_leaves || s == d {
+            return false;
+        }
+        let code = (s * self.num_leaves + d) as u64;
+        if !self.domain_contains(code) {
+            return false;
+        }
+        match self.overlay.get(&code) {
+            Some(PatchEntry::Unroutable) => false,
+            Some(PatchEntry::Rerouted(path)) => {
+                out.extend_from_slice(path);
+                true
+            }
+            None => {
+                self.closed_form_into(s, d, out);
+                true
+            }
+        }
+    }
+
+    /// The dense channel path of `(s, d)` as an owned vector (`None` on a
+    /// miss). Allocates; the hot paths use [`CompactRoutes::path_into`].
+    pub fn path(&self, s: usize, d: usize) -> Option<Vec<u32>> {
+        let mut out = Vec::new();
+        self.path_into(s, d, &mut out).then_some(out)
+    }
+
+    /// The up-port [`Route`] of `(s, d)`, decoded from the ascent half of
+    /// its channel path — the same decode as
+    /// [`CompiledRouteTable::route`].
+    pub fn route(&self, s: usize, d: usize) -> Option<Route> {
+        self.path(s, d).map(|path| self.decode_route(&path))
+    }
+
+    /// The name of the scheme (or of the bridged table's algorithm).
+    pub fn algorithm(&self) -> &str {
+        &self.algorithm
+    }
+
+    /// True if a bridged table was pattern-aware (never for the closed
+    /// forms themselves).
+    pub fn is_pattern_aware(&self) -> bool {
+        self.pattern_aware
+    }
+
+    /// Number of leaves of the machine the engine answers for.
+    pub fn num_leaves(&self) -> usize {
+        self.num_leaves
+    }
+
+    /// Number of routable pairs: the domain size minus the typed misses a
+    /// patch introduced.
+    pub fn len(&self) -> usize {
+        let domain = match &self.domain {
+            PairDomain::AllPairs => self.num_leaves * self.num_leaves - self.num_leaves,
+            PairDomain::Pairs(codes) => codes.len(),
+        };
+        domain - self.unroutable
+    }
+
+    /// True if no pair is routable.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes of route state: scheme state (zero for mod-k, one seed for
+    /// Random, the relabeling maps for r-NCA) plus the explicit pair domain
+    /// (if any) plus the sparse overlay — the quantity the compact-routing
+    /// literature budgets, and the number the docs size table reports
+    /// against [`CompiledRouteTable::storage_bytes`].
+    pub fn storage_bytes(&self) -> usize {
+        let domain = match &self.domain {
+            PairDomain::AllPairs => 0,
+            PairDomain::Pairs(codes) => std::mem::size_of_val(&codes[..]),
+        };
+        let overlay: usize = self
+            .overlay
+            .iter()
+            .map(|(key, entry)| {
+                std::mem::size_of_val(key)
+                    + std::mem::size_of::<PatchEntry>()
+                    + match entry {
+                        PatchEntry::Rerouted(path) => std::mem::size_of_val(&path[..]),
+                        PatchEntry::Unroutable => 0,
+                    }
+            })
+            .sum();
+        self.scheme.state_bytes() + domain + overlay
+    }
+
+    /// Validate every routable pair against the topology: the decoded route
+    /// must expand to exactly the path the engine hands out (mirrors
+    /// [`CompiledRouteTable::validate`]).
+    pub fn validate(&self, xgft: &Xgft) -> Result<(), xgft_topo::TopologyError> {
+        self.assert_same_machine(xgft);
+        let mut result = Ok(());
+        let mut out = Vec::new();
+        self.for_each_pair(|s, d, _| {
+            if result.is_err() || !self.path_into(s, d, &mut out) {
+                return;
+            }
+            let route = self.decode_route(&out);
+            match xgft.route_channels(s, d, &route) {
+                Ok(expanded) => {
+                    if expanded.len() != out.len()
+                        || expanded.iter().zip(&out).any(|(&a, &b)| a != b as usize)
+                    {
+                        result = Err(xgft_topo::TopologyError::InvalidRoute {
+                            reason: format!("computed path for ({s},{d}) does not match its route"),
+                        });
+                    }
+                }
+                Err(err) => result = Err(err),
+            }
+        });
+        result
+    }
+
+    fn assert_same_machine(&self, xgft: &Xgft) {
+        assert_eq!(
+            self.num_leaves,
+            xgft.num_leaves(),
+            "engine built for a different machine size"
+        );
+        assert_eq!(
+            self.channels.len(),
+            xgft.channels().len(),
+            "engine built for a different channel numbering"
+        );
+    }
+
+    fn domain_contains(&self, code: u64) -> bool {
+        match &self.domain {
+            PairDomain::AllPairs => true,
+            PairDomain::Pairs(codes) => codes.binary_search(&code).is_ok(),
+        }
+    }
+
+    /// Visit every domain pair in ascending `s·n + d` order.
+    fn for_each_pair(&self, mut f: impl FnMut(usize, usize, u64)) {
+        let n = self.num_leaves;
+        match &self.domain {
+            PairDomain::AllPairs => {
+                for s in 0..n {
+                    for d in 0..n {
+                        if s != d {
+                            f(s, d, (s * n + d) as u64);
+                        }
+                    }
+                }
+            }
+            PairDomain::Pairs(codes) => {
+                for &code in codes {
+                    f((code as usize) / n, (code as usize) % n, code);
+                }
+            }
+        }
+    }
+
+    /// Decode a dense channel path back into its up-port route (the ascent
+    /// half carries the ports).
+    fn decode_route(&self, path: &[u32]) -> Route {
+        let ascent = path.len() / 2;
+        Route::new(
+            path[..ascent]
+                .iter()
+                .map(|&dense| self.channels.channel(dense as usize).up_port)
+                .collect(),
+        )
+    }
+
+    /// The digits (least-significant first) of a leaf label, computed on the
+    /// fly — the same mixed-radix decomposition `NodeLabel::from_index`
+    /// performs for level 0.
+    fn leaf_digits_into(&self, leaf: usize, out: &mut Vec<usize>) {
+        let spec = self.channels.spec();
+        out.clear();
+        let mut rem = leaf;
+        for pos in 1..=spec.height() {
+            let radix = spec.m(pos);
+            out.push(rem % radix);
+            rem /= radix;
+        }
+    }
+
+    /// The closed-form up-port sequence of the pair (no domain or overlay
+    /// checks).
+    fn closed_form_ports(&self, s: usize, d: usize) -> Vec<usize> {
+        let mut s_digits = Vec::new();
+        let mut d_digits = Vec::new();
+        self.leaf_digits_into(s, &mut s_digits);
+        self.leaf_digits_into(d, &mut d_digits);
+        let level = nca_level(&s_digits, &d_digits);
+        self.ports_for(s, d, &s_digits, &d_digits, level)
+    }
+
+    fn ports_for(
+        &self,
+        s: usize,
+        d: usize,
+        s_digits: &[usize],
+        d_digits: &[usize],
+        level: usize,
+    ) -> Vec<usize> {
+        let spec = self.channels.spec();
+        match &self.scheme {
+            CompactScheme::SModK => mod_ports(spec, s_digits, level),
+            CompactScheme::DModK => mod_ports(spec, d_digits, level),
+            CompactScheme::Random { seed } => {
+                let mut rng = pair_stream(*seed, s, d);
+                (0..level)
+                    .map(|l| rng.gen_range(0..spec.w(l + 1)))
+                    .collect()
+            }
+            CompactScheme::RandomNcaUp { maps } => relabel_ports(spec, maps, s_digits, level),
+            CompactScheme::RandomNcaDown { maps } => relabel_ports(spec, maps, d_digits, level),
+        }
+    }
+
+    /// Compute the closed-form dense channel path of a distinct in-range
+    /// pair into `out` — the digit walk of `Xgft::route_path`, done with
+    /// index arithmetic instead of label objects.
+    fn closed_form_into(&self, s: usize, d: usize, out: &mut Vec<u32>) {
+        let spec = self.channels.spec();
+        let mut cur_digits = Vec::new();
+        let mut d_digits = Vec::new();
+        self.leaf_digits_into(s, &mut cur_digits);
+        self.leaf_digits_into(d, &mut d_digits);
+        let level = nca_level(&cur_digits, &d_digits);
+        let ports = self.ports_for(s, d, &cur_digits, &d_digits, level);
+
+        // Ascent: at each level l the low end is the current node; taking
+        // the port replaces digit l+1 (0-based l) with the chosen W digit.
+        let mut cur_index = s;
+        for (l, &port) in ports.iter().enumerate() {
+            out.push(self.channels.index(&ChannelId {
+                level: l,
+                low_index: cur_index,
+                up_port: port,
+                dir: Direction::Up,
+            }) as u32);
+            cur_digits[l] = port;
+            cur_index = node_index(spec, l + 1, &cur_digits);
+        }
+
+        // Descent: the cable is identified by its low end and the W digit of
+        // the node being left.
+        for l in (1..=level).rev() {
+            let upper_w = cur_digits[l - 1];
+            cur_digits[l - 1] = d_digits[l - 1];
+            let low_index = node_index(spec, l - 1, &cur_digits);
+            out.push(self.channels.index(&ChannelId {
+                level: l - 1,
+                low_index,
+                up_port: upper_w,
+                dir: Direction::Down,
+            }) as u32);
+        }
+    }
+}
+
+/// The NCA level of two digit vectors: the highest 1-based position where
+/// they differ, 0 when equal.
+fn nca_level(s_digits: &[usize], d_digits: &[usize]) -> usize {
+    for pos in (1..=s_digits.len()).rev() {
+        if s_digits[pos - 1] != d_digits[pos - 1] {
+            return pos;
+        }
+    }
+    0
+}
+
+/// The mod-k up-port sequence guided by the given digits (the digit-vector
+/// form of `modk::mod_route`).
+fn mod_ports(spec: &xgft_topo::XgftSpec, digits: &[usize], level: usize) -> Vec<usize> {
+    (0..level)
+        .map(|l| {
+            if l == 0 {
+                if spec.w(1) == 1 {
+                    0
+                } else {
+                    digits[0] % spec.w(1)
+                }
+            } else {
+                digits[l - 1] % spec.w(l + 1)
+            }
+        })
+        .collect()
+}
+
+/// The r-NCA up-port sequence guided by the given digits (the digit-vector
+/// form of `RelabelMaps::ports_to_level`).
+fn relabel_ports(
+    spec: &xgft_topo::XgftSpec,
+    maps: &RelabelMaps,
+    digits: &[usize],
+    level: usize,
+) -> Vec<usize> {
+    (0..level)
+        .map(|l| {
+            if l == 0 {
+                if spec.w(1) == 1 {
+                    0
+                } else {
+                    digits[0] % spec.w(1)
+                }
+            } else {
+                maps.port_for_digits(digits, l)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::RoutingAlgorithm;
+    use crate::colored::ColoredRouting;
+    use crate::modk::{DModK, SModK};
+    use crate::random::RandomRouting;
+    use crate::rnca::{RandomNcaDown, RandomNcaUp};
+    use xgft_topo::XgftSpec;
+
+    fn schemes_for(xgft: &Xgft) -> Vec<(CompactScheme, Box<dyn RoutingAlgorithm>)> {
+        vec![
+            (CompactScheme::SModK, Box::new(SModK::new())),
+            (CompactScheme::DModK, Box::new(DModK::new())),
+            (
+                CompactScheme::Random { seed: 11 },
+                Box::new(RandomRouting::new(11)),
+            ),
+            (
+                CompactScheme::random_nca_up(xgft, 5),
+                Box::new(RandomNcaUp::new(xgft, 5)),
+            ),
+            (
+                CompactScheme::random_nca_down(xgft, 5),
+                Box::new(RandomNcaDown::new(xgft, 5)),
+            ),
+        ]
+    }
+
+    #[test]
+    fn all_pairs_matches_compiled_for_every_scheme() {
+        for spec in [
+            XgftSpec::k_ary_n_tree(4, 2),
+            XgftSpec::slimmed_two_level(4, 3).unwrap(),
+            XgftSpec::new(vec![3, 3, 3], vec![1, 2, 2]).unwrap(),
+        ] {
+            let xgft = Xgft::new(spec).unwrap();
+            for (scheme, algo) in schemes_for(&xgft) {
+                let compact = CompactRoutes::all_pairs(&xgft, scheme);
+                let compiled = CompiledRouteTable::compile_all_pairs(&xgft, algo.as_ref());
+                assert_eq!(compact.to_compiled(&xgft), compiled, "{}", algo.name());
+                assert_eq!(compact.len(), compiled.len());
+                let mut path = Vec::new();
+                for s in 0..xgft.num_leaves() {
+                    for d in 0..xgft.num_leaves() {
+                        let hit = compact.path_into(s, d, &mut path);
+                        assert_eq!(
+                            hit.then_some(path.as_slice()),
+                            compiled.path(s, d),
+                            "{} ({s}, {d})",
+                            algo.name()
+                        );
+                    }
+                }
+                assert!(compact.validate(&xgft).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn partial_domains_miss_like_partial_tables() {
+        let xgft = Xgft::k_ary_n_tree(4, 2);
+        let pairs = vec![(0usize, 1usize), (0, 1), (3, 3), (5, 9), (9, 5)];
+        let compact = CompactRoutes::for_pairs(&xgft, CompactScheme::SModK, pairs.clone());
+        let compiled = CompiledRouteTable::compile(&xgft, &SModK::new(), pairs);
+        assert_eq!(compact.to_compiled(&xgft), compiled);
+        assert_eq!(compact.len(), 3);
+        assert!(compact.path(0, 1).is_some());
+        assert!(compact.path(3, 3).is_none(), "self-pairs always miss");
+        assert!(compact.path(1, 0).is_none(), "outside the domain");
+        assert!(compact.path(0, 16).is_none());
+        assert!(compact.path(16, 0).is_none());
+        assert!(compact.route(0, 16).is_none());
+        assert!(!compact.is_empty());
+    }
+
+    #[test]
+    fn table_bridge_round_trips_and_is_lossless_for_foreign_tables() {
+        let xgft = Xgft::k_ary_n_tree(4, 2);
+        // Same-scheme bridge: no overlay entries, perfect round trip.
+        let table = RouteTable::build_all_pairs(&xgft, &DModK::new());
+        let compact = CompactRoutes::from_table(&xgft, &table, CompactScheme::DModK);
+        assert!(compact.overlay.is_empty());
+        let back = compact.to_table();
+        assert_eq!(back.len(), table.len());
+        for (&(s, d), route) in table.iter() {
+            assert_eq!(back.route(s, d), Some(route));
+        }
+
+        // Foreign-table bridge: a d-mod-k table adopted under an s-mod-k
+        // template must still reproduce the tabled routes verbatim.
+        let foreign = CompactRoutes::from_table(&xgft, &table, CompactScheme::SModK);
+        assert!(!foreign.overlay.is_empty());
+        assert_eq!(foreign.algorithm(), "d-mod-k");
+        for (&(s, d), route) in table.iter() {
+            assert_eq!(foreign.route(s, d).as_ref(), Some(route));
+        }
+        // Even a pattern-aware table survives the bridge.
+        let mut pattern = xgft_patterns::ConnectivityMatrix::new(16);
+        for s in 0..16 {
+            pattern.add_flow(s, (s + 1) % 16, 4096);
+        }
+        let colored = RouteTable::build_all_pairs(&xgft, &ColoredRouting::new(&xgft, &pattern));
+        let bridged = CompactRoutes::from_table(&xgft, &colored, CompactScheme::DModK);
+        assert!(bridged.is_pattern_aware());
+        for (&(s, d), route) in colored.iter() {
+            assert_eq!(bridged.route(s, d).as_ref(), Some(route), "({s}, {d})");
+        }
+    }
+
+    #[test]
+    fn patch_matches_compiled_patch_byte_for_byte() {
+        let xgft = Xgft::new(XgftSpec::slimmed_two_level(4, 2).unwrap()).unwrap();
+        let mut faults = FaultSet::none(&xgft);
+        faults.fail_cable(xgft.channels(), 1, 0, 1);
+        for (scheme, algo) in schemes_for(&xgft) {
+            let mut compact = CompactRoutes::all_pairs(&xgft, scheme);
+            let compact_stats = compact.patch(&xgft, &faults);
+            let mut compiled = CompiledRouteTable::compile_all_pairs(&xgft, algo.as_ref());
+            let compiled_stats = compiled.patch(&xgft, &faults);
+            assert_eq!(compact_stats, compiled_stats, "{}", algo.name());
+            assert_eq!(compact.to_compiled(&xgft), compiled, "{}", algo.name());
+            // Only the fault-crossing pairs are stored.
+            assert_eq!(compact.overlay.len(), compact_stats.rerouted);
+            assert!(compact.validate(&xgft).is_ok());
+        }
+    }
+
+    #[test]
+    fn patch_unroutable_pairs_become_typed_misses_and_never_heal() {
+        let xgft = Xgft::new(XgftSpec::slimmed_two_level(4, 2).unwrap()).unwrap();
+        let mut faults = FaultSet::none(&xgft);
+        faults.fail_cable(xgft.channels(), 1, 0, 0);
+        faults.fail_cable(xgft.channels(), 1, 0, 1);
+        let mut compact = CompactRoutes::all_pairs(&xgft, CompactScheme::DModK);
+        let pristine_len = compact.len();
+        let stats = compact.patch(&xgft, &faults);
+        assert!(stats.unroutable > 0);
+        assert!(compact.path(0, 5).is_none(), "cut-off pair must miss");
+        assert!(compact.path(0, 1).is_some(), "intra-switch pair survives");
+        assert_eq!(compact.len(), pristine_len - stats.unroutable);
+
+        let mut compiled = CompiledRouteTable::compile_all_pairs(&xgft, &DModK::new());
+        compiled.patch(&xgft, &faults);
+        assert_eq!(compact.to_compiled(&xgft), compiled);
+        assert_eq!(compact.len(), compiled.len());
+
+        // One-way: re-patching with an empty set must not heal the miss.
+        let repaired = FaultSet::none(&xgft);
+        compact.patch(&xgft, &repaired);
+        assert!(compact.path(0, 5).is_none(), "misses must not heal");
+
+        // Idempotent: re-patching with the same set changes nothing.
+        let again = compact.patch(&xgft, &faults);
+        assert_eq!(again.rerouted, 0);
+        assert_eq!(again.unroutable, 0);
+    }
+
+    #[test]
+    fn storage_stays_near_zero_for_closed_forms() {
+        let xgft = Xgft::new(XgftSpec::slimmed_two_level(16, 10).unwrap()).unwrap();
+        let compact = CompactRoutes::all_pairs(&xgft, CompactScheme::DModK);
+        let compiled = CompiledRouteTable::compile_all_pairs(&xgft, &DModK::new());
+        assert_eq!(compact.storage_bytes(), 0, "d-mod-k needs no state at all");
+        assert!(compiled.storage_bytes() > 1_000_000);
+        let random = CompactRoutes::all_pairs(&xgft, CompactScheme::Random { seed: 1 });
+        assert_eq!(random.storage_bytes(), 8, "random carries only its seed");
+        let rnca = CompactRoutes::all_pairs(&xgft, CompactScheme::random_nca_up(&xgft, 1));
+        assert!(rnca.storage_bytes() > 0);
+        assert!(rnca.storage_bytes() < compiled.storage_bytes() / 100);
+    }
+
+    #[test]
+    fn pristine_patch_with_no_faults_is_free() {
+        let xgft = Xgft::k_ary_n_tree(4, 2);
+        let mut compact = CompactRoutes::all_pairs(&xgft, CompactScheme::SModK);
+        let stats = compact.patch(&xgft, &FaultSet::none(&xgft));
+        assert_eq!(stats.untouched, compact.len());
+        assert_eq!(stats.rerouted, 0);
+        assert!(compact.overlay.is_empty());
+    }
+}

@@ -46,6 +46,24 @@ pub struct PatchStats {
 /// flat `(num_leaves² + 1)`-entry prefix-sum array maps the pair to its run.
 /// An empty run encodes a miss (a real path for `s != d` always has at
 /// least two hops, and self-pairs are never stored).
+///
+/// # Example
+///
+/// ```
+/// use xgft_core::{CompiledRouteTable, DModK};
+/// use xgft_topo::Xgft;
+///
+/// let xgft = Xgft::k_ary_n_tree(4, 2);
+/// let table = CompiledRouteTable::compile(&xgft, &DModK::new(), [(0, 5), (5, 0)]);
+/// assert_eq!(table.len(), 2);
+///
+/// // A hit is a borrowed slice of dense channel indices (no allocation).
+/// let path = table.path(0, 5).expect("compiled pair");
+/// assert!(path.len() >= 2);
+///
+/// // Pairs outside the compiled set stay typed misses, never a panic.
+/// assert!(table.path(1, 2).is_none());
+/// ```
 #[derive(Debug, Clone)]
 pub struct CompiledRouteTable {
     algorithm: String,
@@ -261,8 +279,10 @@ impl CompiledRouteTable {
 
     /// Shared build step: expand each route into its dense channel path and
     /// lay the paths out contiguously. `picked` must be sorted by pair index
-    /// and free of duplicates and self-pairs.
-    fn from_sorted_routes(
+    /// and free of duplicates and self-pairs. Also used by
+    /// [`crate::CompactRoutes::to_compiled`], which is why it is
+    /// crate-visible.
+    pub(crate) fn from_sorted_routes(
         xgft: &Xgft,
         algorithm: impl Into<String>,
         pattern_aware: bool,

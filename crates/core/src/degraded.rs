@@ -48,8 +48,9 @@ impl std::error::Error for RoutingError {}
 
 /// The linear index of the node at `level` with the given digit vector
 /// (least-significant first) — label arithmetic without the allocation, for
-/// the search loop.
-fn node_index(spec: &XgftSpec, level: usize, digits: &[usize]) -> usize {
+/// the search loop (shared with the closed-form [`crate::CompactRoutes`]
+/// path expansion).
+pub(crate) fn node_index(spec: &XgftSpec, level: usize, digits: &[usize]) -> usize {
     let h = spec.height();
     let mut index = 0usize;
     for pos in (1..=h).rev() {

@@ -25,7 +25,11 @@
 //! Supporting machinery: [`RouteTable`] (materialised routes for a pattern
 //! or for all pairs), [`CompiledRouteTable`] (the same routes flattened into
 //! dense per-source channel-index arrays — the zero-allocation form the
-//! simulators inject from), [`contention`] (the network-contention metrics of
+//! simulators inject from), [`CompactRoutes`] (the closed-form
+//! label-arithmetic engine: any hop computed in O(height) from the pair's
+//! labels with near-zero route state, plus a sparse fault-patch overlay),
+//! [`RouteSource`] (the path-lookup abstraction the simulators and the flow
+//! model are generic over), [`contention`] (the network-contention metrics of
 //! Sec. IV and VII), [`distribution`] (routes-per-NCA histograms of
 //! Fig. 4), [`route_dist`] (exact per-pair route *distributions* — the
 //! closed forms the `xgft-flow` analytical channel-load model consumes in
@@ -39,6 +43,7 @@
 
 pub mod algorithm;
 pub mod colored;
+pub mod compact;
 pub mod compiled;
 pub mod contention;
 pub mod degraded;
@@ -48,10 +53,12 @@ pub mod random;
 pub mod relabel;
 pub mod rnca;
 pub mod route_dist;
+pub mod source;
 pub mod table;
 
 pub use algorithm::RoutingAlgorithm;
 pub use colored::ColoredRouting;
+pub use compact::{CompactRoutes, CompactScheme};
 pub use compiled::{CompiledRouteTable, PatchStats};
 pub use contention::{ChannelLoads, ContentionReport};
 pub use degraded::{degraded_route, reroute, RoutingError};
@@ -61,4 +68,5 @@ pub use random::RandomRouting;
 pub use relabel::RelabelMaps;
 pub use rnca::{RandomNcaDown, RandomNcaUp};
 pub use route_dist::{RouteDist, RouteDistribution};
+pub use source::RouteSource;
 pub use table::RouteTable;

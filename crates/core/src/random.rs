@@ -36,16 +36,23 @@ impl RandomRouting {
     /// A small per-pair generator: mixes the seed with the pair so each pair
     /// gets an independent, reproducible stream.
     fn pair_rng(&self, s: usize, d: usize) -> StdRng {
-        // SplitMix64-style mixing of (seed, s, d).
-        let mut z = self
-            .seed
-            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(1 + s as u64))
-            .wrapping_add(0xBF58_476D_1CE4_E5B9u64.wrapping_mul(1 + d as u64));
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        StdRng::seed_from_u64(z)
+        pair_stream(self.seed, s, d)
     }
+}
+
+/// The per-pair random stream of [`RandomRouting`]: mixes the table seed
+/// with the pair so each pair gets an independent, reproducible generator.
+/// Shared with the closed-form [`crate::CompactRoutes`] engine, which must
+/// reproduce the tabled draws exactly.
+pub(crate) fn pair_stream(seed: u64, s: usize, d: usize) -> StdRng {
+    // SplitMix64-style mixing of (seed, s, d).
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(1 + s as u64))
+        .wrapping_add(0xBF58_476D_1CE4_E5B9u64.wrapping_mul(1 + d as u64));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    StdRng::seed_from_u64(z)
 }
 
 impl Default for RandomRouting {

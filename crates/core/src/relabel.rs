@@ -122,21 +122,45 @@ impl RelabelMaps {
 
     /// The context index of a guiding leaf at digit position `l`: the
     /// mixed-radix number formed by its digits above `l`.
-    fn context_index(&self, xgft: &Xgft, leaf: usize, l: usize) -> usize {
+    fn context_index(&self, digits: &[usize], l: usize) -> usize {
         let h = self.spec.height();
         let mut idx = 0usize;
         for pos in ((l + 1)..=h).rev() {
-            idx = idx * self.spec.m(pos) + xgft.leaf_digit(leaf, pos);
+            idx = idx * self.spec.m(pos) + digits[pos - 1];
         }
         idx
     }
 
     /// The up-port chosen at a level-`l` switch (hop into level `l+1`,
+    /// `1 ≤ l < h`) when guided by a leaf with the given label digits
+    /// (least-significant first). This is the label-arithmetic entry point
+    /// the closed-form [`crate::CompactRoutes`] engine uses: no topology
+    /// object needed, just the digits.
+    pub fn port_for_digits(&self, digits: &[usize], l: usize) -> usize {
+        let ctx = self.context_index(digits, l);
+        self.maps[l - 1][ctx][digits[l - 1]]
+    }
+
+    /// The up-port chosen at a level-`l` switch (hop into level `l+1`,
     /// `1 ≤ l < h`) when guided by `leaf`.
     pub fn port_at(&self, xgft: &Xgft, leaf: usize, l: usize) -> usize {
-        let ctx = self.context_index(xgft, leaf, l);
-        let digit = xgft.leaf_digit(leaf, l);
-        self.maps[l - 1][ctx][digit]
+        self.port_for_digits(xgft.leaf_digits(leaf), l)
+    }
+
+    /// Bytes of map payload held by the relabeling (the per-context target
+    /// vectors plus their spines) — the scheme-state term of
+    /// [`crate::CompactRoutes::storage_bytes`].
+    pub fn storage_bytes(&self) -> usize {
+        self.maps
+            .iter()
+            .map(|per_context| {
+                std::mem::size_of_val(&per_context[..])
+                    + per_context
+                        .iter()
+                        .map(|targets| std::mem::size_of_val(&targets[..]))
+                        .sum::<usize>()
+            })
+            .sum()
     }
 
     /// The full up-port sequence guided by `leaf`, climbing to `level`.

@@ -1,0 +1,135 @@
+//! The [`RouteSource`] abstraction: anything a simulator can inject routed
+//! paths from.
+//!
+//! The network simulators and the flow-level load model only ever ask one
+//! question of a route representation: *the dense channel path of a pair, or
+//! a typed miss*. [`crate::CompiledRouteTable`] answers it with a borrowed
+//! slice out of its flat storage; [`crate::CompactRoutes`] computes the path
+//! into a caller-provided scratch buffer. The trait lets every consumer —
+//! trace replay, direct injection, flow loads — be generic over the two
+//! (and stay zero-copy for the compiled form: the scratch buffer is only
+//! written by representations that need it).
+
+use crate::compact::CompactRoutes;
+use crate::compiled::CompiledRouteTable;
+
+/// A source of per-pair dense channel paths with typed-miss semantics.
+pub trait RouteSource {
+    /// The name of the algorithm the routes come from.
+    fn algorithm(&self) -> &str;
+
+    /// True if the producing algorithm was pattern-aware.
+    fn is_pattern_aware(&self) -> bool;
+
+    /// Number of leaves of the machine the source answers for.
+    fn num_leaves(&self) -> usize;
+
+    /// Bytes of route state held by the representation — what the docs size
+    /// table compares across representations.
+    fn route_state_bytes(&self) -> usize;
+
+    /// The dense channel path of `(s, d)`, or `None` on a miss (self-pair,
+    /// out-of-range leaf, pair outside the built set, or a pair a fault
+    /// patch declared unroutable). `scratch` is a reusable buffer the
+    /// implementation *may* compute into; the returned slice borrows from
+    /// either the source or the buffer, whichever the representation uses.
+    fn path_in<'a>(&'a self, s: usize, d: usize, scratch: &'a mut Vec<u32>) -> Option<&'a [u32]>;
+}
+
+impl RouteSource for CompiledRouteTable {
+    fn algorithm(&self) -> &str {
+        CompiledRouteTable::algorithm(self)
+    }
+
+    fn is_pattern_aware(&self) -> bool {
+        CompiledRouteTable::is_pattern_aware(self)
+    }
+
+    fn num_leaves(&self) -> usize {
+        CompiledRouteTable::num_leaves(self)
+    }
+
+    fn route_state_bytes(&self) -> usize {
+        self.storage_bytes()
+    }
+
+    fn path_in<'a>(&'a self, s: usize, d: usize, _scratch: &'a mut Vec<u32>) -> Option<&'a [u32]> {
+        self.path(s, d)
+    }
+}
+
+impl RouteSource for CompactRoutes {
+    fn algorithm(&self) -> &str {
+        CompactRoutes::algorithm(self)
+    }
+
+    fn is_pattern_aware(&self) -> bool {
+        CompactRoutes::is_pattern_aware(self)
+    }
+
+    fn num_leaves(&self) -> usize {
+        CompactRoutes::num_leaves(self)
+    }
+
+    fn route_state_bytes(&self) -> usize {
+        self.storage_bytes()
+    }
+
+    fn path_in<'a>(&'a self, s: usize, d: usize, scratch: &'a mut Vec<u32>) -> Option<&'a [u32]> {
+        self.path_into(s, d, scratch).then_some(&scratch[..])
+    }
+}
+
+/// References delegate, so consumers can borrow a source that something else
+/// still owns (the engine-agreement harness shares one engine between the
+/// event simulator and the flow model).
+impl<T: RouteSource + ?Sized> RouteSource for &T {
+    fn algorithm(&self) -> &str {
+        (**self).algorithm()
+    }
+
+    fn is_pattern_aware(&self) -> bool {
+        (**self).is_pattern_aware()
+    }
+
+    fn num_leaves(&self) -> usize {
+        (**self).num_leaves()
+    }
+
+    fn route_state_bytes(&self) -> usize {
+        (**self).route_state_bytes()
+    }
+
+    fn path_in<'a>(&'a self, s: usize, d: usize, scratch: &'a mut Vec<u32>) -> Option<&'a [u32]> {
+        (**self).path_in(s, d, scratch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compact::CompactScheme;
+    use crate::modk::DModK;
+    use xgft_topo::Xgft;
+
+    #[test]
+    fn compiled_and_compact_agree_through_the_trait() {
+        let xgft = Xgft::k_ary_n_tree(4, 2);
+        let compiled = CompiledRouteTable::compile_all_pairs(&xgft, &DModK::new());
+        let compact = CompactRoutes::all_pairs(&xgft, CompactScheme::DModK);
+        let mut scratch = Vec::new();
+        let mut scratch2 = Vec::new();
+        for s in 0..16 {
+            for d in 0..17 {
+                let a = RouteSource::path_in(&compiled, s, d, &mut scratch).map(<[u32]>::to_vec);
+                let b = RouteSource::path_in(&compact, s, d, &mut scratch2).map(<[u32]>::to_vec);
+                assert_eq!(a, b, "({s}, {d})");
+            }
+        }
+        assert_eq!(RouteSource::algorithm(&compiled), "d-mod-k");
+        assert_eq!(RouteSource::algorithm(&&compact), "d-mod-k");
+        assert_eq!(RouteSource::num_leaves(&compact), 16);
+        assert!(!RouteSource::is_pattern_aware(&compact));
+        assert!(compact.route_state_bytes() < compiled.route_state_bytes());
+    }
+}

@@ -8,15 +8,19 @@
 //! and flows whose pair has no surviving route are reported as unroutable
 //! demand instead of being silently ignored.
 //!
-//! Because the accumulation consumes a [`CompiledRouteTable`], the same
-//! function is also the *per-instance* exact model on pristine topologies
-//! (a point mass per pair), which is what the engine-agreement harness
-//! compares against the simulators: for any fixed table the three engines
-//! must agree channel by channel, faults or no faults.
+//! Because the accumulation consumes any [`RouteSource`] — the flat
+//! [`CompiledRouteTable`] or the closed-form `CompactRoutes` engine — the
+//! same function is also the *per-instance* exact model on pristine
+//! topologies (a point mass per pair), which is what the engine-agreement
+//! harness compares against the simulators: for any fixed route
+//! representation the three engines must agree channel by channel, faults
+//! or no faults. With the compact representation the accumulation needs no
+//! per-pair storage at all, which is what pushes flow MCL sweeps past a
+//! million leaves.
 
 use crate::loads::ExpectedLoads;
 use crate::traffic::TrafficMatrix;
-use xgft_core::CompiledRouteTable;
+use xgft_core::{CompiledRouteTable, RouteSource};
 use xgft_topo::Xgft;
 
 /// Exact per-channel loads of a compiled (possibly fault-patched) route
@@ -37,6 +41,18 @@ impl DegradedLoads {
     /// Panics if the table and topology disagree on the machine size, or
     /// the traffic matrix references leaves outside the machine.
     pub fn from_compiled(xgft: &Xgft, table: &CompiledRouteTable, traffic: &TrafficMatrix) -> Self {
+        Self::from_source(xgft, table, traffic)
+    }
+
+    /// Accumulate the loads of every flow of `traffic` over the paths of
+    /// any route representation ([`CompiledRouteTable`], `CompactRoutes`,
+    /// …). Flows whose pair misses are recorded as unroutable (self-flows
+    /// never enter the network and are skipped).
+    ///
+    /// # Panics
+    /// Panics if the representation and topology disagree on the machine
+    /// size, or the traffic matrix references leaves outside the machine.
+    pub fn from_source<R: RouteSource>(xgft: &Xgft, table: &R, traffic: &TrafficMatrix) -> Self {
         assert_eq!(
             table.num_leaves(),
             xgft.num_leaves(),
@@ -50,11 +66,12 @@ impl DegradedLoads {
         let mut loads = vec![0.0f64; xgft.channels().len()];
         let mut routed_demand = 0.0;
         let mut unroutable = Vec::new();
+        let mut scratch = Vec::new();
         traffic.for_each_flow(|s, d, w| {
             if s == d {
                 return;
             }
-            match table.path(s, d) {
+            match table.path_in(s, d, &mut scratch) {
                 Some(path) => {
                     for &c in path {
                         loads[c as usize] += w;
@@ -79,6 +96,19 @@ impl DegradedLoads {
     /// Maximum channel load over all channels.
     pub fn mcl(&self) -> f64 {
         self.loads.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Maximum channel load restricted to switch-to-switch channels
+    /// (levels ≥ 1) — the routing-sensitive part of the MCL; level-0
+    /// channels carry the same load under every minimal scheme.
+    pub fn network_mcl(&self, xgft: &Xgft) -> f64 {
+        let mut max = 0.0f64;
+        for level in 1..xgft.height() {
+            for idx in xgft.channels().level_range(level) {
+                max = max.max(self.loads[idx]);
+            }
+        }
+        max
     }
 
     /// Demand (weight) actually placed on the network.
@@ -182,6 +212,21 @@ mod tests {
             .iter()
             .all(|&(s, d, _)| (s < 4) ^ (d < 4)));
         assert!(loads.mcl() > 0.0);
+    }
+
+    #[test]
+    fn compact_source_produces_identical_loads_to_compiled() {
+        use xgft_core::{CompactRoutes, CompactScheme};
+        let xgft = two_level(3);
+        let traffic = TrafficMatrix::uniform(16);
+        let compiled = CompiledRouteTable::compile_all_pairs(&xgft, &RandomRouting::new(11));
+        let compact = CompactRoutes::all_pairs(&xgft, CompactScheme::Random { seed: 11 });
+        let a = DegradedLoads::from_compiled(&xgft, &compiled, &traffic);
+        let b = DegradedLoads::from_source(&xgft, &compact, &traffic);
+        assert_eq!(a, b);
+        assert_eq!(a.network_mcl(&xgft), b.network_mcl(&xgft));
+        assert!(a.network_mcl(&xgft) <= a.mcl());
+        assert!(a.network_mcl(&xgft) > 0.0);
     }
 
     #[test]

@@ -298,7 +298,7 @@ impl NetworkSim {
     }
 
     /// Schedule a message whose dense channel path has been precomputed by a
-    /// [`xgft_core::CompiledRouteTable`]-style build step — the hot injection
+    /// `xgft_core::CompiledRouteTable`-style build step — the hot injection
     /// entry: no route validation, no label arithmetic, just one copy of the
     /// path into the message slab. The path must come from
     /// `Xgft::route_channels` for `(src, dst)` on this topology (debug builds

@@ -10,7 +10,7 @@
 //! * [`runner`] — lowers a spec onto the existing compiled-table / campaign
 //!   / resilience / flow-model machinery in `xgft-analysis` and `xgft-flow`
 //!   and returns one versioned [`runner::ScenarioResult`].
-//! * [`registry`] — the built-in scenarios: every figure, table, campaign
+//! * [`mod@registry`] — the built-in scenarios: every figure, table, campaign
 //!   and fault experiment of the reproduction, each runnable as
 //!   `xgft <name>` with the shared flag set.
 //! * [`cli`] — the single `xgft` command line (`xgft run <spec>`,
@@ -20,7 +20,7 @@
 //!   duplicated per binary in `xgft-bench`).
 //!
 //! The old per-figure binaries in `crates/bench/src/bin/` still exist but
-//! are argv-forwarding shims over [`registry`]; new experiments are new
+//! are argv-forwarding shims over [`mod@registry`]; new experiments are new
 //! *specs* (or registry entries), not new binaries.
 
 #![warn(missing_docs)]
@@ -37,6 +37,6 @@ pub use args::ExperimentArgs;
 pub use registry::{registry, RegistryEntry};
 pub use runner::{run_scenario, ResultPayload, RunOptions, ScenarioResult, RESULT_SCHEMA_VERSION};
 pub use spec::{
-    EngineSpec, FaultSpec, ScenarioError, ScenarioSpec, SchemeSpec, SeedSpec, SweepSpec,
-    TopologySpec, WorkloadSpec, SPEC_SCHEMA_VERSION,
+    EngineSpec, FaultSpec, RepresentationSpec, ScenarioError, ScenarioSpec, SchemeSpec, SeedSpec,
+    SweepSpec, TopologySpec, WorkloadSpec, SPEC_SCHEMA_VERSION,
 };

@@ -13,8 +13,8 @@
 use crate::args::{scale_bytes, ExperimentArgs};
 use crate::runner::{run_scenario, shard_summary, ResultPayload, RunOptions, ScenarioResult};
 use crate::spec::{
-    EngineSpec, FaultSpec, ScenarioSpec, SchemeSpec, SeedSpec, SweepSpec, TopologySpec,
-    WorkloadSpec, SPEC_SCHEMA_VERSION,
+    EngineSpec, FaultSpec, RepresentationSpec, ScenarioSpec, SchemeSpec, SeedSpec, SweepSpec,
+    TopologySpec, WorkloadSpec, SPEC_SCHEMA_VERSION,
 };
 use xgft_analysis::experiments::{ablation, equivalence, fig1, fig3, fig5, flow_mcl, table1};
 use xgft_analysis::AlgorithmSpec;
@@ -201,6 +201,7 @@ pub fn spec_for(name: &str, args: &ExperimentArgs) -> Option<Result<ScenarioSpec
                 figure5_schemes()
             },
             engine,
+            representation: RepresentationSpec::Compiled,
             faults: FaultSpec::None,
             sweep: SweepSpec::over(args.w2_sweep()),
             seeds: SeedSpec::List {
@@ -223,6 +224,7 @@ pub fn spec_for(name: &str, args: &ExperimentArgs) -> Option<Result<ScenarioSpec
                 figure5_schemes()
             },
             engine,
+            representation: RepresentationSpec::Compiled,
             faults: FaultSpec::None,
             sweep: SweepSpec::over(args.w2_sweep()),
             seeds: SeedSpec::List {
@@ -243,6 +245,7 @@ pub fn spec_for(name: &str, args: &ExperimentArgs) -> Option<Result<ScenarioSpec
             ),
             schemes: figure5_schemes(),
             engine: EngineSpec::Nca,
+            representation: RepresentationSpec::Compiled,
             faults: FaultSpec::None,
             sweep: SweepSpec::over(args.w2_values.clone().unwrap_or_else(|| vec![16, 10])),
             seeds: SeedSpec::List {
@@ -266,6 +269,7 @@ pub fn spec_for(name: &str, args: &ExperimentArgs) -> Option<Result<ScenarioSpec
                 workload,
                 schemes: figure5_schemes(),
                 engine: EngineSpec::Tracesim,
+                representation: RepresentationSpec::Compiled,
                 faults: FaultSpec::None,
                 sweep: SweepSpec::over(args.w2_sweep_for_k()),
                 seeds: SeedSpec::Stream {
@@ -311,6 +315,7 @@ pub fn spec_for(name: &str, args: &ExperimentArgs) -> Option<Result<ScenarioSpec
                     SchemeSpec(AlgorithmSpec::RandomNcaDown),
                 ],
                 engine: EngineSpec::Tracesim,
+                representation: RepresentationSpec::Compiled,
                 faults: FaultSpec::UniformLinks {
                     permille,
                     draws_per_point: args.seeds,

@@ -21,16 +21,20 @@
 //! golden fixtures).
 
 use crate::spec::{
-    EngineSpec, FaultSpec, ScenarioError, ScenarioSpec, SchemeSpec, SeedSpec, TopologySpec,
+    EngineSpec, FaultSpec, RepresentationSpec, ScenarioError, ScenarioSpec, SchemeSpec, SeedSpec,
+    TopologySpec,
 };
 use serde::{Deserialize, Serialize};
 use xgft_analysis::experiments::fig4::{self, Fig4Result};
 use xgft_analysis::{
     CampaignConfig, CampaignResult, ResilienceConfig, ResilienceResult, SweepConfig, SweepResult,
 };
-use xgft_core::CompiledRouteTable;
-use xgft_flow::{DegradedLoads, FlowSweepConfig, FlowSweepResult, TrafficMatrix, TrafficSpec};
-use xgft_netsim::{NetworkConfig, NetworkSim};
+use xgft_core::{CompactRoutes, CompiledRouteTable, RouteSource};
+use xgft_flow::{
+    tree_cut_lower_bound, DegradedLoads, FlowSweepConfig, FlowSweepResult, TrafficMatrix,
+    TrafficSpec,
+};
+use xgft_netsim::{NetworkConfig, NetworkSim, SimReport};
 use xgft_patterns::Pattern;
 use xgft_topo::Xgft;
 use xgft_tracesim::{RankEvent, ReplayEngine, RoutedNetwork, Trace};
@@ -89,6 +93,84 @@ impl DirectResult {
             out.push_str(&format!(
                 "{:>24} {:>10} {:>12} {:>14} {:>14} {:>6.3}\n",
                 p.topology, p.scheme, p.seed, p.makespan_ps, p.max_busy_ps, p.max_utilization
+            ));
+        }
+        out
+    }
+}
+
+/// One point of a compact-representation flow run: the exact per-instance
+/// channel loads of the closed-form engine under the workload's traffic,
+/// plus the route state the representation held — the memory axis the
+/// compiled form cannot reach at million-leaf scale.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompactFlowPoint {
+    /// Topology display form.
+    pub topology: String,
+    /// Number of leaves of the machine.
+    pub num_leaves: usize,
+    /// Top-level width of the machine.
+    pub w_top: usize,
+    /// Scheme name.
+    pub scheme: String,
+    /// Seed (0 for deterministic schemes).
+    pub seed: u64,
+    /// Maximum channel load over all channels.
+    pub mcl: f64,
+    /// Maximum channel load over switch-to-switch channels only.
+    pub network_mcl: f64,
+    /// The tree-cut lower bound no scheme can beat.
+    pub lower_bound: f64,
+    /// `mcl / lower_bound`.
+    pub ratio: f64,
+    /// Demand actually placed on the network.
+    pub routed_demand: f64,
+    /// Demand with no route (0 on a pristine machine).
+    pub unroutable_demand: f64,
+    /// Bytes of route state the compact engine held for this point.
+    pub route_state_bytes: usize,
+}
+
+/// The result of a `Flow` run under `representation = "compact"`: exact
+/// per-instance loads from the closed-form engine, one point per
+/// (topology, scheme, seed).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompactFlowResult {
+    /// Scenario name.
+    pub name: String,
+    /// Workload name.
+    pub workload: String,
+    /// One point per (topology, scheme, seed).
+    pub points: Vec<CompactFlowPoint>,
+}
+
+impl CompactFlowResult {
+    /// Text table: one row per point.
+    pub fn render_table(&self) -> String {
+        let mut out = format!(
+            "# {} — compact-representation flow loads of {} (exact per-instance MCL)\n{:>28} {:>10} {:>10} {:>12} {:>12} {:>10} {:>7} {:>12}\n",
+            self.name,
+            self.workload,
+            "topology",
+            "leaves",
+            "scheme",
+            "seed",
+            "mcl",
+            "bound",
+            "ratio",
+            "route-bytes"
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "{:>28} {:>10} {:>10} {:>12} {:>12.1} {:>10.1} {:>7.3} {:>12}\n",
+                p.topology,
+                p.num_leaves,
+                p.scheme,
+                p.seed,
+                p.mcl,
+                p.lower_bound,
+                p.ratio,
+                p.route_state_bytes
             ));
         }
         out
@@ -166,8 +248,10 @@ pub enum ResultPayload {
     Campaign(CampaignResult),
     /// A resilience campaign (`Tracesim` + faults).
     Resilience(ResilienceResult),
-    /// An analytical sweep (`Flow`).
+    /// An analytical sweep (`Flow`, compiled representation).
     Flow(FlowSweepResult),
+    /// Exact closed-form loads (`Flow`, compact representation).
+    CompactFlow(CompactFlowResult),
     /// Routes-per-NCA distributions (`Nca`), one per swept topology.
     Nca(Vec<Fig4Result>),
     /// Direct injection (`Netsim`).
@@ -200,6 +284,7 @@ impl ResultPayload {
                 )
             }
             ResultPayload::Flow(r) => r.render_table(),
+            ResultPayload::CompactFlow(r) => r.render_table(),
             ResultPayload::Nca(results) => {
                 let mut out = String::new();
                 for r in results {
@@ -349,7 +434,12 @@ pub fn run_scenario(
                         seeds: seeds.clone(),
                         network: spec.network.clone(),
                     };
-                    ResultPayload::Sweep(config.run(&pattern))
+                    ResultPayload::Sweep(match spec.representation {
+                        RepresentationSpec::Compiled => config.run(&pattern),
+                        // Byte-identical samples from the closed-form
+                        // engine (compact paths equal compiled paths).
+                        RepresentationSpec::Compact => config.run_compact(&pattern),
+                    })
                 }
                 SeedSpec::Stream {
                     base_seed,
@@ -368,14 +458,19 @@ pub fn run_scenario(
                 }
             }
         }
-        (FaultSpec::None, EngineSpec::Flow) => {
-            let config = FlowSweepConfig {
-                specs: spec.topologies()?,
-                schemes: spec.schemes.iter().map(SchemeSpec::flow_scheme).collect(),
-                traffic: TrafficSpec::Pattern(pattern),
-            };
-            ResultPayload::Flow(config.run())
-        }
+        (FaultSpec::None, EngineSpec::Flow) => match spec.representation {
+            RepresentationSpec::Compiled => {
+                let config = FlowSweepConfig {
+                    specs: spec.topologies()?,
+                    schemes: spec.schemes.iter().map(SchemeSpec::flow_scheme).collect(),
+                    traffic: TrafficSpec::Pattern(pattern),
+                };
+                ResultPayload::Flow(config.run())
+            }
+            RepresentationSpec::Compact => {
+                ResultPayload::CompactFlow(run_compact_flow(&spec, &pattern)?)
+            }
+        },
         (FaultSpec::None, EngineSpec::Nca) => {
             let seeds = spec
                 .seeds
@@ -466,6 +561,20 @@ fn compile_for(
     CompiledRouteTable::compile(xgft, algo.as_ref(), pairs)
 }
 
+/// The closed-form engine for one (scheme, seed) over the workload's pairs.
+fn compact_for(
+    xgft: &Xgft,
+    scheme: SchemeSpec,
+    seed: u64,
+    flows: &[(usize, usize, u64)],
+) -> CompactRoutes {
+    let closed_form = scheme
+        .0
+        .compact_scheme(xgft, seed)
+        .expect("validate() rejects colored under the compact representation");
+    CompactRoutes::for_pairs(xgft, closed_form, flows.iter().map(|&(s, d, _)| (s, d)))
+}
+
 /// The flow list of a pattern's combined matrix: `(src, dst, bytes)`.
 fn flow_list(pattern: &Pattern) -> Vec<(usize, usize, u64)> {
     pattern
@@ -475,6 +584,75 @@ fn flow_list(pattern: &Pattern) -> Vec<(usize, usize, u64)> {
         .collect()
 }
 
+/// Inject every flow at t = 0 through `source` and run the event-driven
+/// simulator to completion. Shared by both route representations.
+fn inject_and_run<R: RouteSource>(
+    xgft: &Xgft,
+    network: &NetworkConfig,
+    flows: &[(usize, usize, u64)],
+    source: &R,
+) -> (SimReport, Vec<u64>) {
+    let mut sim = NetworkSim::new(xgft, network.clone());
+    let mut scratch = Vec::new();
+    for &(s, d, bytes) in flows {
+        let path = source.path_in(s, d, &mut scratch).expect("routed pair");
+        sim.schedule_message_on_path(0, s, d, bytes, path);
+    }
+    let report = sim.run_to_completion();
+    let busy = sim.channel_busy_ps();
+    (report, busy)
+}
+
+/// Exact per-instance loads from the closed-form engine, one point per
+/// (topology, scheme, seed) — the `Flow` engine under
+/// `representation = "compact"`. The traffic matrix is sparse and the
+/// compact engine holds near-zero route state, so this path scales to
+/// million-leaf machines the compiled table cannot represent.
+fn run_compact_flow(
+    spec: &ScenarioSpec,
+    pattern: &Pattern,
+) -> Result<CompactFlowResult, ScenarioError> {
+    let mut points = Vec::new();
+    for topo_spec in spec.topologies()? {
+        let xgft = Xgft::new(topo_spec.clone())
+            .map_err(|e| ScenarioError::Invalid(format!("topology: {e}")))?;
+        let traffic = TrafficMatrix::from_pattern(pattern, xgft.num_leaves());
+        let bound = tree_cut_lower_bound(&xgft, &traffic).bound;
+        for (scheme, seed) in scheme_jobs(spec) {
+            let closed_form = scheme
+                .0
+                .compact_scheme(&xgft, seed)
+                .expect("validate() rejects colored under the compact representation");
+            let routes = CompactRoutes::all_pairs(&xgft, closed_form);
+            let loads = DegradedLoads::from_source(&xgft, &routes, &traffic);
+            let mcl = loads.mcl();
+            points.push(CompactFlowPoint {
+                topology: topo_spec.to_string(),
+                num_leaves: xgft.num_leaves(),
+                w_top: topo_spec.w(topo_spec.height()),
+                scheme: scheme.name().to_string(),
+                seed,
+                mcl,
+                network_mcl: loads.network_mcl(&xgft),
+                lower_bound: bound,
+                ratio: if bound > 0.0 {
+                    mcl / bound
+                } else {
+                    f64::INFINITY
+                },
+                routed_demand: loads.routed_demand(),
+                unroutable_demand: loads.unroutable_demand(),
+                route_state_bytes: routes.storage_bytes(),
+            });
+        }
+    }
+    Ok(CompactFlowResult {
+        name: spec.name.clone(),
+        workload: pattern.name().to_string(),
+        points,
+    })
+}
+
 fn run_direct(spec: &ScenarioSpec, pattern: &Pattern) -> Result<DirectResult, ScenarioError> {
     let flows = flow_list(pattern);
     let mut points = Vec::new();
@@ -482,14 +660,17 @@ fn run_direct(spec: &ScenarioSpec, pattern: &Pattern) -> Result<DirectResult, Sc
         let xgft = Xgft::new(topo_spec.clone())
             .map_err(|e| ScenarioError::Invalid(format!("topology: {e}")))?;
         for (scheme, seed) in scheme_jobs(spec) {
-            let table = compile_for(&xgft, scheme, seed, pattern, &flows);
-            let mut sim = NetworkSim::new(&xgft, spec.network.clone());
-            for &(s, d, bytes) in &flows {
-                let path = table.path(s, d).expect("compiled pair");
-                sim.schedule_message_on_path(0, s, d, bytes, path);
-            }
-            let report = sim.run_to_completion();
-            let max_busy = sim.channel_busy_ps().into_iter().max().unwrap_or(0);
+            let (report, busy) = match spec.representation {
+                RepresentationSpec::Compiled => {
+                    let table = compile_for(&xgft, scheme, seed, pattern, &flows);
+                    inject_and_run(&xgft, &spec.network, &flows, &table)
+                }
+                RepresentationSpec::Compact => {
+                    let routes = compact_for(&xgft, scheme, seed, &flows);
+                    inject_and_run(&xgft, &spec.network, &flows, &routes)
+                }
+            };
+            let max_busy = busy.into_iter().max().unwrap_or(0);
             points.push(DirectPoint {
                 topology: topo_spec.to_string(),
                 w_top: topo_spec.w(topo_spec.height()),
@@ -511,6 +692,65 @@ fn run_direct(spec: &ScenarioSpec, pattern: &Pattern) -> Result<DirectResult, Sc
 
 const AGREEMENT_TOLERANCE: f64 = 1e-9;
 
+/// Run the three engines on one route source and compare them
+/// channel-by-channel: `(sims_identical, flow_max_rel_dev, model_mcl_ps)`.
+fn agreement_check<R: RouteSource>(
+    xgft: &Xgft,
+    network: &NetworkConfig,
+    flows: &[(usize, usize, u64)],
+    source: &R,
+) -> (bool, f64, f64) {
+    // Engine 2: direct injection.
+    let (_, netsim_busy) = inject_and_run(xgft, network, flows, source);
+
+    // Engine 3: the same flows as a Send/Recv trace replay.
+    let n = xgft.num_leaves();
+    let mut programs: Vec<Vec<RankEvent>> = vec![vec![]; n];
+    for (tag, &(s, d, bytes)) in flows.iter().enumerate() {
+        programs[s].push(RankEvent::Send {
+            dst: d,
+            bytes,
+            tag: tag as u32,
+        });
+    }
+    for (tag, &(s, d, _)) in flows.iter().enumerate() {
+        programs[d].push(RankEvent::Recv {
+            src: s,
+            tag: tag as u32,
+        });
+    }
+    let trace = Trace::new("agreement", programs);
+    let mut net = RoutedNetwork::with_source(NetworkSim::new(xgft, network.clone()), source);
+    ReplayEngine::new(trace)
+        .run(&mut net)
+        .expect("fully-routed replay cannot deadlock");
+    let tracesim_busy = net.sim().channel_busy_ps();
+
+    // Engine 1: the flow model on the same routes, with demands in
+    // channel-occupancy units so loads == busy exactly.
+    let traffic = TrafficMatrix::from_flows(
+        n,
+        flows
+            .iter()
+            .map(|&(s, d, bytes)| (s, d, occupancy_ps(network, bytes) as f64)),
+    );
+    let model = DegradedLoads::from_source(xgft, source, &traffic);
+
+    let sims_identical = netsim_busy == tracesim_busy;
+    let max_busy = netsim_busy.iter().copied().max().unwrap_or(0) as f64;
+    let flow_max_rel_dev = if max_busy == 0.0 {
+        model.mcl()
+    } else {
+        model
+            .loads()
+            .iter()
+            .zip(&netsim_busy)
+            .map(|(&load, &busy)| (load - busy as f64).abs() / max_busy)
+            .fold(0.0, f64::max)
+    };
+    (sims_identical, flow_max_rel_dev, model.mcl())
+}
+
 fn run_agreement(spec: &ScenarioSpec, pattern: &Pattern) -> Result<AgreementResult, ScenarioError> {
     let flows = flow_list(pattern);
     let mut points = Vec::new();
@@ -528,64 +768,15 @@ fn run_agreement(spec: &ScenarioSpec, pattern: &Pattern) -> Result<AgreementResu
             } else {
                 0
             };
-            let table = compile_for(&xgft, scheme, seed, pattern, &flows);
-
-            // Engine 2: direct injection.
-            let mut sim = NetworkSim::new(&xgft, spec.network.clone());
-            for &(s, d, bytes) in &flows {
-                let path = table.path(s, d).expect("compiled pair");
-                sim.schedule_message_on_path(0, s, d, bytes, path);
-            }
-            sim.run_to_completion();
-            let netsim_busy = sim.channel_busy_ps();
-
-            // Engine 3: the same flows as a Send/Recv trace replay.
-            let n = xgft.num_leaves();
-            let mut programs: Vec<Vec<RankEvent>> = vec![vec![]; n];
-            for (tag, &(s, d, bytes)) in flows.iter().enumerate() {
-                programs[s].push(RankEvent::Send {
-                    dst: d,
-                    bytes,
-                    tag: tag as u32,
-                });
-            }
-            for (tag, &(s, d, _)) in flows.iter().enumerate() {
-                programs[d].push(RankEvent::Recv {
-                    src: s,
-                    tag: tag as u32,
-                });
-            }
-            let trace = Trace::new("agreement", programs);
-            let mut net = RoutedNetwork::with_compiled(
-                NetworkSim::new(&xgft, spec.network.clone()),
-                table.clone(),
-            );
-            ReplayEngine::new(trace)
-                .run(&mut net)
-                .expect("fully-routed replay cannot deadlock");
-            let tracesim_busy = net.sim().channel_busy_ps();
-
-            // Engine 1: the flow model on the same table, with demands in
-            // channel-occupancy units so loads == busy exactly.
-            let traffic = TrafficMatrix::from_flows(
-                n,
-                flows
-                    .iter()
-                    .map(|&(s, d, bytes)| (s, d, occupancy_ps(&spec.network, bytes) as f64)),
-            );
-            let model = DegradedLoads::from_compiled(&xgft, &table, &traffic);
-
-            let sims_identical = netsim_busy == tracesim_busy;
-            let max_busy = netsim_busy.iter().copied().max().unwrap_or(0) as f64;
-            let flow_max_rel_dev = if max_busy == 0.0 {
-                model.mcl()
-            } else {
-                model
-                    .loads()
-                    .iter()
-                    .zip(&netsim_busy)
-                    .map(|(&load, &busy)| (load - busy as f64).abs() / max_busy)
-                    .fold(0.0, f64::max)
+            let (sims_identical, flow_max_rel_dev, model_mcl_ps) = match spec.representation {
+                RepresentationSpec::Compiled => {
+                    let table = compile_for(&xgft, scheme, seed, pattern, &flows);
+                    agreement_check(&xgft, &spec.network, &flows, &table)
+                }
+                RepresentationSpec::Compact => {
+                    let routes = compact_for(&xgft, scheme, seed, &flows);
+                    agreement_check(&xgft, &spec.network, &flows, &routes)
+                }
             };
             points.push(AgreementPoint {
                 topology: topo_spec.to_string(),
@@ -593,7 +784,7 @@ fn run_agreement(spec: &ScenarioSpec, pattern: &Pattern) -> Result<AgreementResu
                 seed,
                 sims_identical,
                 flow_max_rel_dev,
-                model_mcl_ps: model.mcl(),
+                model_mcl_ps,
             });
         }
     }
@@ -744,6 +935,93 @@ mod tests {
         assert!(
             agreement.all_agree,
             "engines diverged: {:#?}",
+            agreement.points
+        );
+    }
+
+    #[test]
+    fn compact_tracesim_matches_the_compiled_sweep_exactly() {
+        let mut spec = base_spec();
+        spec.sweep = SweepSpec::over(vec![4, 2]);
+        spec.seeds = SeedSpec::List { seeds: vec![1, 2] };
+        spec.schemes.push(SchemeSpec(AlgorithmSpec::RandomNcaUp));
+        let compiled = run_scenario(&spec, &RunOptions::default()).unwrap();
+        spec.representation = RepresentationSpec::Compact;
+        let compact = run_scenario(&spec, &RunOptions::default()).unwrap();
+        let (ResultPayload::Sweep(a), ResultPayload::Sweep(b)) =
+            (&compiled.payload, &compact.payload)
+        else {
+            panic!("expected sweep payloads from both representations");
+        };
+        assert_eq!(
+            serde_json::to_string(a).unwrap(),
+            serde_json::to_string(b).unwrap(),
+            "compact representation must reproduce the compiled sweep byte for byte"
+        );
+    }
+
+    #[test]
+    fn compact_flow_reports_exact_loads_and_route_state() {
+        let mut spec = base_spec();
+        spec.engine = EngineSpec::Flow;
+        spec.representation = RepresentationSpec::Compact;
+        spec.schemes.push(SchemeSpec(AlgorithmSpec::RandomNcaDown));
+        spec.seeds = SeedSpec::List { seeds: vec![5] };
+        let result = run_scenario(&spec, &RunOptions::default()).unwrap();
+        let ResultPayload::CompactFlow(flow) = &result.payload else {
+            panic!("expected a compact-flow payload");
+        };
+        // 1 d-mod-k + 1 random seed + 1 r-NCA-d seed.
+        assert_eq!(flow.points.len(), 3);
+        for p in &flow.points {
+            assert_eq!(p.num_leaves, 16);
+            assert!(p.mcl > 0.0);
+            assert!(p.network_mcl <= p.mcl);
+            assert!(p.lower_bound > 0.0);
+            assert!(p.ratio >= 1.0 - 1e-9, "mcl below the cut bound: {p:?}");
+            assert_eq!(p.unroutable_demand, 0.0);
+        }
+        // Closed-form schemes hold no per-pair route state at all; r-NCA
+        // holds only its relabel maps — far below one u32 per (pair, hop).
+        let dmodk = flow.points.iter().find(|p| p.scheme == "d-mod-k").unwrap();
+        assert_eq!(dmodk.route_state_bytes, 0);
+        assert!(flow.points.iter().all(|p| p.route_state_bytes < 1024));
+        assert!(result.render().contains("route-bytes"));
+    }
+
+    #[test]
+    fn compact_netsim_matches_the_compiled_points() {
+        let mut spec = base_spec();
+        spec.engine = EngineSpec::Netsim;
+        spec.seeds = SeedSpec::List { seeds: vec![7] };
+        let compiled = run_scenario(&spec, &RunOptions::default()).unwrap();
+        spec.representation = RepresentationSpec::Compact;
+        let compact = run_scenario(&spec, &RunOptions::default()).unwrap();
+        let (ResultPayload::Direct(a), ResultPayload::Direct(b)) =
+            (&compiled.payload, &compact.payload)
+        else {
+            panic!("expected direct payloads from both representations");
+        };
+        assert_eq!(
+            serde_json::to_string(&a.points).unwrap(),
+            serde_json::to_string(&b.points).unwrap()
+        );
+    }
+
+    #[test]
+    fn compact_agreement_confirms_the_three_way_match() {
+        let mut spec = base_spec();
+        spec.engine = EngineSpec::AllWithAgreement;
+        spec.representation = RepresentationSpec::Compact;
+        spec.schemes.push(SchemeSpec(AlgorithmSpec::RandomNcaUp));
+        let result = run_scenario(&spec, &RunOptions::default()).unwrap();
+        let ResultPayload::Agreement(agreement) = &result.payload else {
+            panic!("expected an agreement payload");
+        };
+        assert_eq!(agreement.points.len(), 3);
+        assert!(
+            agreement.all_agree,
+            "engines diverged on compact routes: {:#?}",
             agreement.points
         );
     }

@@ -396,6 +396,59 @@ impl WorkloadSpec {
     }
 }
 
+/// The route representation the engines inject from.
+///
+/// Serialized by its lowercase name (`"compiled"` / `"compact"`); specs
+/// written before the field existed deserialize to [`Self::Compiled`], the
+/// historical behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RepresentationSpec {
+    /// The flat indexed [`xgft_core::CompiledRouteTable`]: O(1) lookups out
+    /// of dense per-source arrays, O(pairs × path) memory.
+    #[default]
+    Compiled,
+    /// The closed-form [`xgft_core::CompactRoutes`] engine: every hop
+    /// computed from the pair's labels, near-zero route state — the only
+    /// representation that reaches million-leaf machines.
+    Compact,
+}
+
+impl RepresentationSpec {
+    /// The serialized name (`"compiled"` / `"compact"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RepresentationSpec::Compiled => "compiled",
+            RepresentationSpec::Compact => "compact",
+        }
+    }
+
+    /// Parse a serialized name.
+    pub fn parse(name: &str) -> Result<RepresentationSpec, ScenarioError> {
+        match name {
+            "compiled" => Ok(RepresentationSpec::Compiled),
+            "compact" => Ok(RepresentationSpec::Compact),
+            other => Err(invalid(format!(
+                "unknown representation `{other}` (expected \"compiled\" or \"compact\")"
+            ))),
+        }
+    }
+}
+
+impl Serialize for RepresentationSpec {
+    fn to_value(&self) -> Value {
+        Value::Str(self.name().to_string())
+    }
+}
+
+impl Deserialize for RepresentationSpec {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        let name = value
+            .as_str()
+            .ok_or_else(|| serde::Error::custom("expected a representation name string"))?;
+        RepresentationSpec::parse(name).map_err(serde::Error::custom)
+    }
+}
+
 /// The evaluation engine a scenario runs through.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum EngineSpec {
@@ -485,7 +538,23 @@ impl SeedSpec {
 
 /// One fully described experiment. See the module docs for the shape and
 /// `examples/scenarios/` in the repository root for annotated instances.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// ```
+/// use xgft_scenario::{ScenarioSpec, SchemeSpec, TopologySpec, WorkloadSpec};
+///
+/// let spec = ScenarioSpec::basic(
+///     "doc",
+///     TopologySpec::SlimmedTwoLevel { k: 4, w2: 4 },
+///     WorkloadSpec::new("wrf", 16, 32 * 1024),
+///     vec![SchemeSpec::parse("d-mod-k").unwrap()],
+/// );
+/// spec.validate().unwrap();
+/// // Specs round-trip losslessly through JSON (and TOML).
+/// let json = serde_json::to_string(&spec).unwrap();
+/// let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+/// assert_eq!(back, spec);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ScenarioSpec {
     /// Spec schema version; must equal [`SPEC_SCHEMA_VERSION`].
     pub schema_version: u32,
@@ -499,6 +568,8 @@ pub struct ScenarioSpec {
     pub schemes: Vec<SchemeSpec>,
     /// The evaluation engine.
     pub engine: EngineSpec,
+    /// The route representation the engine injects from.
+    pub representation: RepresentationSpec,
     /// The fault model.
     pub faults: FaultSpec,
     /// The topology sweep axis.
@@ -507,6 +578,34 @@ pub struct ScenarioSpec {
     pub seeds: SeedSpec,
     /// Network parameters (links, flits, buffers).
     pub network: NetworkConfig,
+}
+
+/// Hand-rolled so `representation` can default: the derive's `obj_field`
+/// hard-errors on missing fields, which would reject every spec written
+/// before the field existed.
+impl Deserialize for ScenarioSpec {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        fn field<T: Deserialize>(value: &Value, name: &str) -> Result<T, serde::Error> {
+            T::from_value(serde::obj_field(value, name)?)
+        }
+        let representation = match serde::obj_field(value, "representation") {
+            Ok(v) => RepresentationSpec::from_value(v)?,
+            Err(_) => RepresentationSpec::Compiled,
+        };
+        Ok(ScenarioSpec {
+            schema_version: field(value, "schema_version")?,
+            name: field(value, "name")?,
+            topology: field(value, "topology")?,
+            workload: field(value, "workload")?,
+            schemes: field(value, "schemes")?,
+            engine: field(value, "engine")?,
+            representation,
+            faults: field(value, "faults")?,
+            sweep: field(value, "sweep")?,
+            seeds: field(value, "seeds")?,
+            network: field(value, "network")?,
+        })
+    }
 }
 
 impl ScenarioSpec {
@@ -525,6 +624,7 @@ impl ScenarioSpec {
             workload,
             schemes,
             engine: EngineSpec::Tracesim,
+            representation: RepresentationSpec::Compiled,
             faults: FaultSpec::None,
             sweep: SweepSpec::none(),
             seeds: SeedSpec::List {
@@ -660,6 +760,30 @@ impl ScenarioSpec {
                 }
             }
             EngineSpec::Flow | EngineSpec::Nca => {}
+        }
+        if self.representation == RepresentationSpec::Compact {
+            if self.schemes.iter().any(|s| s.0 == AlgorithmSpec::Colored) {
+                return Err(invalid(
+                    "representation = compact has no closed form for the pattern-aware \
+                     colored scheme",
+                ));
+            }
+            if self.faults != FaultSpec::None {
+                return Err(invalid(
+                    "representation = compact does not drive fault campaigns; the compact \
+                     fault-patch overlay is exercised at the engine level (CompactRoutes::patch)",
+                ));
+            }
+            if !matches!(self.seeds, SeedSpec::List { .. }) {
+                return Err(invalid(
+                    "representation = compact requires an explicit SeedSpec::List",
+                ));
+            }
+            if self.engine == EngineSpec::Nca {
+                return Err(invalid(
+                    "the Nca engine reports route distributions and has no representation axis",
+                ));
+            }
         }
         Ok(pattern)
     }
@@ -833,6 +957,67 @@ mod tests {
             };
             assert!(bad.validate().is_err(), "{engine:?} must reject Stream");
         }
+    }
+
+    #[test]
+    fn representation_round_trips_and_defaults_to_compiled() {
+        let mut s = spec();
+        s.representation = RepresentationSpec::Compact;
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"compact\""));
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+
+        // Specs written before the field existed (no `representation` key)
+        // still load, with the historical compiled behaviour.
+        let value = serde::Serialize::to_value(&spec());
+        let trimmed: Vec<(String, serde::Value)> = value
+            .as_object()
+            .unwrap()
+            .iter()
+            .filter(|(k, _)| k != "representation")
+            .cloned()
+            .collect();
+        let back = <ScenarioSpec as serde::Deserialize>::from_value(&serde::Value::Object(trimmed))
+            .unwrap();
+        assert_eq!(back.representation, RepresentationSpec::Compiled);
+        assert_eq!(back, spec());
+
+        assert!(RepresentationSpec::parse("bogus").is_err());
+    }
+
+    #[test]
+    fn compact_representation_validation_rules() {
+        let compact = |mutate: fn(&mut ScenarioSpec)| {
+            let mut s = spec();
+            s.representation = RepresentationSpec::Compact;
+            mutate(&mut s);
+            s
+        };
+        assert!(compact(|_| ()).validate().is_ok());
+
+        let mut flow = compact(|_| ());
+        flow.engine = EngineSpec::Flow;
+        assert!(flow.validate().is_ok());
+
+        let mut colored = compact(|_| ());
+        colored.schemes.push(SchemeSpec(AlgorithmSpec::Colored));
+        assert!(colored.validate().is_err(), "colored has no closed form");
+
+        let mut faulted = compact(|_| ());
+        faulted.faults = FaultSpec::UniformLinks {
+            permille: vec![10],
+            draws_per_point: 2,
+        };
+        faulted.seeds = SeedSpec::Stream {
+            base_seed: 1,
+            seeds_per_point: 2,
+        };
+        assert!(faulted.validate().is_err(), "fault campaigns stay compiled");
+
+        let mut nca = compact(|_| ());
+        nca.engine = EngineSpec::Nca;
+        assert!(nca.validate().is_err(), "Nca has no representation axis");
     }
 
     #[test]

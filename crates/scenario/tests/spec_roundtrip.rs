@@ -10,8 +10,8 @@ use proptest::prelude::*;
 use xgft_analysis::AlgorithmSpec;
 use xgft_netsim::{NetworkConfig, SwitchingMode};
 use xgft_scenario::{
-    toml, EngineSpec, FaultSpec, ScenarioSpec, SchemeSpec, SeedSpec, SweepSpec, TopologySpec,
-    WorkloadSpec, SPEC_SCHEMA_VERSION,
+    toml, EngineSpec, FaultSpec, RepresentationSpec, ScenarioSpec, SchemeSpec, SeedSpec, SweepSpec,
+    TopologySpec, WorkloadSpec, SPEC_SCHEMA_VERSION,
 };
 
 fn topology() -> impl Strategy<Value = TopologySpec> {
@@ -60,6 +60,13 @@ fn schemes() -> impl Strategy<Value = Vec<SchemeSpec>> {
         ],
         1..=6,
     )
+}
+
+fn representation() -> impl Strategy<Value = RepresentationSpec> {
+    prop_oneof![
+        Just(RepresentationSpec::Compiled),
+        Just(RepresentationSpec::Compact),
+    ]
 }
 
 fn engine() -> impl Strategy<Value = EngineSpec> {
@@ -127,14 +134,23 @@ fn scenario() -> impl Strategy<Value = ScenarioSpec> {
         topology(),
         workload(),
         schemes(),
-        engine(),
+        (engine(), representation()),
         faults(),
         proptest::collection::vec(1usize..=16, 0..=6),
         seeds(),
         network(),
     )
         .prop_map(
-            |(topology, workload, schemes, engine, faults, w2_values, seeds, network)| {
+            |(
+                topology,
+                workload,
+                schemes,
+                (engine, representation),
+                faults,
+                w2_values,
+                seeds,
+                network,
+            )| {
                 ScenarioSpec {
                     schema_version: SPEC_SCHEMA_VERSION,
                     // Exercise key escaping too: names carry quotes/unicode.
@@ -143,6 +159,7 @@ fn scenario() -> impl Strategy<Value = ScenarioSpec> {
                     workload,
                     schemes,
                     engine,
+                    representation,
                     faults,
                     sweep: SweepSpec { w2_values },
                     seeds,

@@ -7,7 +7,7 @@
 //! code path — exactly the Dimemas/Venus coupling of the paper.
 
 use std::fmt;
-use xgft_core::{CompiledRouteTable, RouteTable};
+use xgft_core::{CompiledRouteTable, RouteSource, RouteTable};
 use xgft_netsim::sim::Completion;
 use xgft_netsim::{CrossbarSim, MessageId, NetworkSim, SimReport};
 
@@ -93,17 +93,26 @@ impl<N: Network + ?Sized> Network for &mut N {
     }
 }
 
-/// An XGFT network simulator paired with a *compiled* route table: each
-/// injection is a flat-array lookup handing the precomputed dense channel
-/// path straight to the simulator — no hashing, cloning, validation or
+/// An XGFT network simulator paired with a route representation: each
+/// injection asks the [`RouteSource`] for the pair's dense channel path and
+/// hands it straight to the simulator — no hashing, cloning, validation or
 /// route expansion on the hot path.
+///
+/// The default representation is the flat [`CompiledRouteTable`] (a lookup
+/// is two array reads returning a borrowed slice); the closed-form
+/// [`xgft_core::CompactRoutes`] engine computes the path into a reusable
+/// scratch buffer instead, trading a few arithmetic operations per hop for
+/// near-zero route state.
 #[derive(Debug)]
-pub struct RoutedNetwork {
+pub struct RoutedNetwork<R: RouteSource = CompiledRouteTable> {
     sim: NetworkSim,
-    table: CompiledRouteTable,
+    table: R,
+    /// Reusable path buffer for representations that compute rather than
+    /// store (stays empty for the compiled form).
+    scratch: Vec<u32>,
 }
 
-impl RoutedNetwork {
+impl RoutedNetwork<CompiledRouteTable> {
     /// Pair a simulator with a hash-map route table; the table is compiled
     /// to the flat indexed form on construction (the one-off cost the
     /// replay then amortises over every message).
@@ -117,12 +126,26 @@ impl RoutedNetwork {
     /// # Panics
     /// Panics if the table was compiled for a different machine size.
     pub fn with_compiled(sim: NetworkSim, table: CompiledRouteTable) -> Self {
+        Self::with_source(sim, table)
+    }
+}
+
+impl<R: RouteSource> RoutedNetwork<R> {
+    /// Pair a simulator with any route representation.
+    ///
+    /// # Panics
+    /// Panics if the representation was built for a different machine size.
+    pub fn with_source(sim: NetworkSim, table: R) -> Self {
         assert_eq!(
             table.num_leaves(),
             sim.xgft().num_leaves(),
             "route table compiled for a different machine size"
         );
-        RoutedNetwork { sim, table }
+        RoutedNetwork {
+            sim,
+            table,
+            scratch: Vec::new(),
+        }
     }
 
     /// The underlying simulator.
@@ -130,13 +153,13 @@ impl RoutedNetwork {
         &self.sim
     }
 
-    /// The compiled route table in use.
-    pub fn table(&self) -> &CompiledRouteTable {
+    /// The route representation in use.
+    pub fn table(&self) -> &R {
         &self.table
     }
 }
 
-impl Network for RoutedNetwork {
+impl<R: RouteSource> Network for RoutedNetwork<R> {
     fn schedule_message(
         &mut self,
         at_ps: u64,
@@ -144,16 +167,19 @@ impl Network for RoutedNetwork {
         dst: usize,
         bytes: u64,
     ) -> Result<MessageId, NetworkError> {
+        let RoutedNetwork {
+            sim,
+            table,
+            scratch,
+        } = self;
         let path: &[u32] = if src == dst {
             &[]
         } else {
-            self.table
-                .path(src, dst)
+            table
+                .path_in(src, dst, scratch)
                 .ok_or(NetworkError::MissingRoute { src, dst })?
         };
-        Ok(self
-            .sim
-            .schedule_message_on_path(at_ps, src, dst, bytes, path))
+        Ok(sim.schedule_message_on_path(at_ps, src, dst, bytes, path))
     }
 
     fn run_until_next_completion(&mut self) -> Option<Completion> {
@@ -244,6 +270,44 @@ mod tests {
         // The network stays usable after a miss.
         net.schedule_message(0, 0, 1, 4096).unwrap();
         assert!(net.run_until_next_completion().is_some());
+    }
+
+    #[test]
+    fn compact_source_replays_identically_to_compiled() {
+        use xgft_core::{CompactRoutes, CompactScheme, CompiledRouteTable, RandomRouting};
+        let xgft = Xgft::new(XgftSpec::slimmed_two_level(4, 3).unwrap()).unwrap();
+        let compiled = CompiledRouteTable::compile_all_pairs(&xgft, &RandomRouting::new(7));
+        let compact = CompactRoutes::all_pairs(&xgft, CompactScheme::Random { seed: 7 });
+        let mut a = RoutedNetwork::with_compiled(
+            NetworkSim::new(&xgft, NetworkConfig::default()),
+            compiled,
+        );
+        let mut b =
+            RoutedNetwork::with_source(NetworkSim::new(&xgft, NetworkConfig::default()), compact);
+        for (i, (s, d)) in [(0usize, 5usize), (3, 9), (9, 3), (1, 15), (2, 2)]
+            .into_iter()
+            .enumerate()
+        {
+            a.schedule_message(i as u64 * 10, s, d, 4096).unwrap();
+            b.schedule_message(i as u64 * 10, s, d, 4096).unwrap();
+        }
+        loop {
+            match (a.run_until_next_completion(), b.run_until_next_completion()) {
+                (None, None) => break,
+                (ca, cb) => {
+                    let (ca, cb) = (ca.unwrap(), cb.unwrap());
+                    assert_eq!(
+                        (ca.src, ca.dst, ca.completed_at_ps),
+                        (cb.src, cb.dst, cb.completed_at_ps)
+                    );
+                }
+            }
+        }
+        assert_eq!(a.report(), b.report());
+        assert_eq!(a.label(), b.label());
+        // Misses stay typed through the generic path.
+        let err = b.schedule_message(0, 0, 99, 64).unwrap_err();
+        assert_eq!(err, NetworkError::MissingRoute { src: 0, dst: 99 });
     }
 
     #[test]

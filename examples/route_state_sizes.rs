@@ -1,0 +1,97 @@
+//! Measure the route state each representation holds for the same routing
+//! job, at growing machine sizes — the numbers behind the size table in
+//! `docs/DESIGN.md`.
+//!
+//! The job is the cross-switch shift permutation (leaf `s` → `s + k`) on
+//! the slimmed two-level family `XGFT(2; k,k; 1,4)`: one route per leaf,
+//! every route climbing to the top level. Three representations route it:
+//!
+//! * `RouteTable` — `HashMap<(usize, usize), Route>` (bytes estimated from
+//!   entry layout plus heap, since a hash map has no exact byte count);
+//! * `CompiledRouteTable` — flat indexed channel paths (exact, via
+//!   `storage_bytes`); its `(n² + 1)`-entry offsets array is the scaling
+//!   wall, so the million-leaf cell is computed arithmetically rather than
+//!   allocated (it would be ~4 TB);
+//! * `CompactRoutes` — label arithmetic (exact, via `storage_bytes`),
+//!   shown both with the explicit pair domain and as the domain-free
+//!   all-pairs engine.
+//!
+//! Run with `cargo run --release --example route_state_sizes`.
+
+use xgft::routing::{CompactRoutes, CompactScheme, CompiledRouteTable, DModK, RouteTable};
+use xgft::topo::{Route, Xgft, XgftSpec};
+
+/// Estimated heap footprint of a hash-map route table: per-entry key +
+/// `Route` header + the route's port vector, over the map's capacity.
+fn hashmap_bytes(table: &RouteTable) -> usize {
+    let per_entry = std::mem::size_of::<(usize, usize)>() + std::mem::size_of::<Route>();
+    let heap: usize = table
+        .iter()
+        .map(|(_, route)| std::mem::size_of_val(route.up_ports()))
+        .sum();
+    table.len() * per_entry + heap
+}
+
+/// What `CompiledRouteTable::storage_bytes` would report for `pairs` stored
+/// routes of `hops` channels each on an `n`-leaf machine, without paying
+/// the allocation.
+fn compiled_bytes_arithmetic(n: usize, pairs: usize, hops: usize) -> usize {
+    (n * n + 1) * std::mem::size_of::<u32>() + pairs * hops * std::mem::size_of::<u32>()
+}
+
+fn human(bytes: usize) -> String {
+    if bytes >= 1 << 40 {
+        format!("{:.1} TiB", bytes as f64 / (1u64 << 40) as f64)
+    } else if bytes >= 1 << 30 {
+        format!("{:.2} GiB", bytes as f64 / (1u64 << 30) as f64)
+    } else if bytes >= 1 << 20 {
+        format!("{:.1} MiB", bytes as f64 / (1u64 << 20) as f64)
+    } else if bytes >= 1 << 10 {
+        format!("{:.1} KiB", bytes as f64 / 1024.0)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+fn main() {
+    println!(
+        "| leaves | hash map (d-mod-k) | compiled (d-mod-k) | compact, pair domain (d-mod-k) | compact, all pairs (d-mod-k) | compact, all pairs (r-NCA-u) |"
+    );
+    println!("|---|---|---|---|---|---|");
+    for k in [32usize, 128, 1024] {
+        let xgft = Xgft::new(XgftSpec::slimmed_two_level(k, 4).unwrap()).unwrap();
+        let n = xgft.num_leaves();
+        let pairs: Vec<(usize, usize)> = (0..n).map(|s| (s, (s + k) % n)).collect();
+
+        let hashed = RouteTable::build(&xgft, &DModK::new(), pairs.iter().copied());
+        let hashed_bytes = hashmap_bytes(&hashed);
+
+        // The compiled offsets array is quadratic in the leaf count: build
+        // it for real while that is sane, switch to arithmetic above 16k
+        // leaves (the million-leaf table would need terabytes).
+        let (compiled_bytes, compiled_note) = if n <= 16 * 1024 {
+            let compiled = CompiledRouteTable::compile(&xgft, &DModK::new(), pairs.iter().copied());
+            (compiled.storage_bytes(), "")
+        } else {
+            (
+                compiled_bytes_arithmetic(n, pairs.len(), 4),
+                " (arithmetic)",
+            )
+        };
+
+        let domain = CompactRoutes::for_pairs(&xgft, CompactScheme::DModK, pairs.iter().copied());
+        let free = CompactRoutes::all_pairs(&xgft, CompactScheme::DModK);
+        let rnca = CompactRoutes::all_pairs(&xgft, CompactScheme::random_nca_up(&xgft, 1));
+
+        println!(
+            "| {} | {} | {}{} | {} | {} | {} |",
+            n,
+            human(hashed_bytes),
+            human(compiled_bytes),
+            compiled_note,
+            human(domain.storage_bytes()),
+            human(free.storage_bytes()),
+            human(rnca.storage_bytes()),
+        );
+    }
+}

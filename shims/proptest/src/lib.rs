@@ -1,9 +1,10 @@
 //! Offline stand-in for the crates.io `proptest` crate.
 //!
 //! The build container has no network access, so this shim implements the
-//! subset of proptest the workspace's property tests use: the [`Strategy`]
-//! trait with `prop_map` / `prop_flat_map`, integer-range and tuple
-//! strategies, [`collection::vec`], [`Just`], `prop_oneof!`, the `proptest!`
+//! subset of proptest the workspace's property tests use: the
+//! [`strategy::Strategy`] trait with `prop_map` / `prop_flat_map`,
+//! integer-range and tuple strategies, [`collection::vec`],
+//! [`strategy::Just`], `prop_oneof!`, the `proptest!`
 //! test macro and the `prop_assert*` macros.
 //!
 //! Semantics differ from upstream in two deliberate ways: inputs are drawn

@@ -20,8 +20,8 @@ use xgft::analysis::sweep::{AlgorithmSpec, SweepConfig};
 use xgft::netsim::NetworkConfig;
 use xgft::patterns::generators;
 use xgft::scenario::{
-    run_scenario, EngineSpec, FaultSpec, RunOptions, ScenarioSpec, SchemeSpec, SeedSpec, SweepSpec,
-    TopologySpec, WorkloadSpec, SPEC_SCHEMA_VERSION,
+    run_scenario, EngineSpec, FaultSpec, RepresentationSpec, RunOptions, ScenarioSpec, SchemeSpec,
+    SeedSpec, SweepSpec, TopologySpec, WorkloadSpec, SPEC_SCHEMA_VERSION,
 };
 use xgft::topo::XgftSpec;
 
@@ -133,6 +133,7 @@ fn scenario_envelope_is_byte_stable() {
             SchemeSpec(AlgorithmSpec::RandomNcaUp),
         ],
         engine: EngineSpec::Tracesim,
+        representation: RepresentationSpec::Compiled,
         faults: FaultSpec::None,
         sweep: SweepSpec::over(vec![4, 2]),
         seeds: SeedSpec::List { seeds: vec![1, 2] },
