@@ -117,6 +117,7 @@ impl CampaignConfig {
     /// parallel; outcomes are recorded shard by shard and aggregated into
     /// the usual sweep points.
     pub fn run_trace(&self, pattern: &Pattern, trace: &Trace) -> CampaignResult {
+        xgft_obs::span!("analysis.campaign");
         let crossbar_ps = crate::slowdown::run_on_crossbar(trace, &self.network)
             .expect("crossbar replay cannot deadlock")
             .completion_ps;

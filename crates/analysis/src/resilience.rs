@@ -186,6 +186,7 @@ impl ResilienceConfig {
     /// Seeded schemes route differently per `algo_seed`, so their shards
     /// still compile their own tables.
     pub fn run_trace(&self, pattern: &Pattern, trace: &Trace) -> ResilienceResult {
+        xgft_obs::span!("analysis.resilience");
         let crossbar_ps = run_on_crossbar(trace, &self.network)
             .expect("crossbar replay cannot deadlock")
             .completion_ps;

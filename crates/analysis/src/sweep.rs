@@ -185,7 +185,29 @@ pub(crate) fn run_shard(
     let instance = shard.algorithm.instantiate(&xgft, pattern, shard.seed);
     let result = run_on_xgft(trace, &xgft, instance.as_ref(), network)
         .expect("replay cannot deadlock on a valid trace");
+    record_shard(shard, crossbar_ps, result.completion_ps);
     result.completion_ps as f64 / crossbar_ps as f64
+}
+
+/// Count a completed shard (and emit a trace event when a sink is
+/// installed). Rayon shards run on real threads, which is exactly what the
+/// registry's atomics are for.
+pub(crate) fn record_shard(shard: &SweepShard, crossbar_ps: u64, completion_ps: u64) {
+    xgft_obs::global().counter("analysis.shards").incr();
+    if xgft_obs::trace_enabled() {
+        xgft_obs::trace(
+            "shard_completed",
+            &[
+                ("w2", shard.w2.into()),
+                ("algorithm", shard.algorithm.name().into()),
+                ("seed", shard.seed.into()),
+                (
+                    "slowdown",
+                    (completion_ps as f64 / crossbar_ps as f64).into(),
+                ),
+            ],
+        );
+    }
 }
 
 /// Replay one shard through the closed-form [`CompactRoutes`] engine
@@ -207,6 +229,7 @@ pub(crate) fn run_shard_compact(
     let routes = CompactRoutes::for_pairs(&xgft, scheme, trace.communication_pairs());
     let result = run_on_xgft_with_source(trace, &xgft, routes, network)
         .expect("replay cannot deadlock on a valid trace");
+    record_shard(shard, crossbar_ps, result.completion_ps);
     result.completion_ps as f64 / crossbar_ps as f64
 }
 
@@ -370,6 +393,7 @@ impl SweepConfig {
     /// compiled ones), near-zero route state per shard. Panics if the
     /// configuration lists the colored scheme, which has no closed form.
     pub fn run_compact(&self, pattern: &Pattern) -> SweepResult {
+        xgft_obs::span!("analysis.sweep");
         let trace = workloads::trace_from_pattern(pattern, 0);
         let crossbar_ps = run_on_crossbar(&trace, &self.network)
             .expect("crossbar replay cannot deadlock")
@@ -392,6 +416,7 @@ impl SweepConfig {
     /// schemes): one parallel replay per shard, aggregated into per-point
     /// boxplots.
     pub fn run_trace(&self, pattern: &Pattern, trace: &Trace) -> SweepResult {
+        xgft_obs::span!("analysis.sweep");
         let crossbar_ps = run_on_crossbar(trace, &self.network)
             .expect("crossbar replay cannot deadlock")
             .completion_ps;

@@ -212,6 +212,8 @@ impl CompactRoutes {
     }
 
     fn with_domain(xgft: &Xgft, scheme: CompactScheme, domain: PairDomain) -> Self {
+        xgft_obs::span!("core.compact");
+        xgft_obs::global().counter("core.compact.engines").incr();
         CompactRoutes {
             algorithm: scheme.name().to_string(),
             pattern_aware: false,
@@ -308,11 +310,13 @@ impl CompactRoutes {
     /// Panics if the engine, topology and fault set disagree on machine size
     /// or channel numbering.
     pub fn patch(&mut self, xgft: &Xgft, faults: &FaultSet) -> PatchStats {
+        xgft_obs::span!("core.patch");
         self.assert_same_machine(xgft);
         let degraded = DegradedXgft::new(xgft, faults).expect("fault set matches the topology");
         let mut stats = PatchStats::default();
         if faults.is_empty() {
             stats.untouched = self.len();
+            crate::compiled::record_patch(&stats, 0);
             return stats;
         }
         let mut updates: Vec<(u64, PatchEntry)> = Vec::new();
@@ -355,6 +359,7 @@ impl CompactRoutes {
             }
             self.overlay.insert(code, entry);
         }
+        crate::compiled::record_patch(&stats, faults.num_failed_channels());
         stats
     }
 

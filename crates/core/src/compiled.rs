@@ -39,6 +39,33 @@ pub struct PatchStats {
     pub unroutable: usize,
 }
 
+/// Record what a patch did into the global metrics registry, plus a trace
+/// event when a sink is installed. Shared by [`CompiledRouteTable::patch`]
+/// and [`crate::CompactRoutes::patch`].
+pub(crate) fn record_patch(stats: &PatchStats, num_faults: usize) {
+    let metrics = xgft_obs::global();
+    metrics
+        .counter("core.patch.untouched")
+        .add(stats.untouched as u64);
+    metrics
+        .counter("core.patch.rerouted")
+        .add(stats.rerouted as u64);
+    metrics
+        .counter("core.patch.unroutable")
+        .add(stats.unroutable as u64);
+    if xgft_obs::trace_enabled() {
+        xgft_obs::trace(
+            "patch_applied",
+            &[
+                ("faults", num_faults.into()),
+                ("untouched", stats.untouched.into()),
+                ("rerouted", stats.rerouted.into()),
+                ("unroutable", stats.unroutable.into()),
+            ],
+        );
+    }
+}
+
 /// Routes for a set of ordered pairs, flattened into dense indexed storage.
 ///
 /// For every stored pair `(s, d)` the full channel path (ascent then
@@ -103,6 +130,7 @@ impl CompiledRouteTable {
         algo: &A,
         pairs: impl IntoIterator<Item = (usize, usize)>,
     ) -> Self {
+        xgft_obs::span!("core.compile");
         let n = xgft.num_leaves();
         let mut picked: Vec<(usize, Route)> = pairs
             .into_iter()
@@ -120,6 +148,7 @@ impl CompiledRouteTable {
 
     /// Compile routes for every ordered pair of distinct leaves.
     pub fn compile_all_pairs<A: RoutingAlgorithm + ?Sized>(xgft: &Xgft, algo: &A) -> Self {
+        xgft_obs::span!("core.compile");
         let n = xgft.num_leaves();
         let mut picked = Vec::with_capacity(n * (n - 1));
         for s in 0..n {
@@ -145,6 +174,7 @@ impl CompiledRouteTable {
         algo: &A,
         pairs: impl IntoIterator<Item = (usize, usize)>,
     ) -> Self {
+        xgft_obs::span!("core.compile_degraded");
         let degraded = DegradedXgft::new(xgft, faults).expect("fault set matches the topology");
         let n = xgft.num_leaves();
         let mut picked: Vec<(usize, Route)> = pairs
@@ -186,6 +216,7 @@ impl CompiledRouteTable {
     /// Panics if the table, topology and fault set disagree on machine size
     /// or channel numbering.
     pub fn patch(&mut self, xgft: &Xgft, faults: &FaultSet) -> PatchStats {
+        xgft_obs::span!("core.patch");
         let degraded = DegradedXgft::new(xgft, faults).expect("fault set matches the topology");
         assert_eq!(
             self.num_leaves,
@@ -200,6 +231,7 @@ impl CompiledRouteTable {
         let mut stats = PatchStats::default();
         if faults.is_empty() {
             stats.untouched = self.routes;
+            record_patch(&stats, 0);
             return stats;
         }
         let n = self.num_leaves;
@@ -262,6 +294,7 @@ impl CompiledRouteTable {
         self.offsets = new_offsets;
         self.hops = new_hops;
         self.routes -= stats.unroutable;
+        record_patch(&stats, faults.num_failed_channels());
         stats
     }
 
@@ -313,7 +346,7 @@ impl CompiledRouteTable {
             hops.extend(path.iter().map(|&c| c as u32));
         }
         offsets[cursor..=n * n].fill(hops.len() as u32);
-        CompiledRouteTable {
+        let table = CompiledRouteTable {
             algorithm: algorithm.into(),
             pattern_aware,
             num_leaves: n,
@@ -321,7 +354,29 @@ impl CompiledRouteTable {
             hops,
             channels: xgft.channels().clone(),
             routes: picked.len(),
+        };
+        let metrics = xgft_obs::global();
+        metrics
+            .counter("core.compile.routes")
+            .add(table.routes as u64);
+        metrics
+            .counter("core.compile.hops")
+            .add(table.hops.len() as u64);
+        metrics
+            .gauge("core.route_state_bytes")
+            .set_max(table.storage_bytes() as u64);
+        if xgft_obs::trace_enabled() {
+            xgft_obs::trace(
+                "compile_finished",
+                &[
+                    ("algorithm", table.algorithm.as_str().into()),
+                    ("num_leaves", table.num_leaves.into()),
+                    ("routes", table.routes.into()),
+                    ("storage_bytes", table.storage_bytes().into()),
+                ],
+            );
         }
+        table
     }
 
     /// Decode back into a hash-map [`RouteTable`] (the reverse half of the

@@ -53,6 +53,7 @@ impl DegradedLoads {
     /// Panics if the representation and topology disagree on the machine
     /// size, or the traffic matrix references leaves outside the machine.
     pub fn from_source<R: RouteSource>(xgft: &Xgft, table: &R, traffic: &TrafficMatrix) -> Self {
+        xgft_obs::span!("flow.loads");
         assert_eq!(
             table.num_leaves(),
             xgft.num_leaves(),

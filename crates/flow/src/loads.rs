@@ -120,6 +120,7 @@ impl ExpectedLoads {
         algo: &A,
         traffic: &TrafficMatrix,
     ) -> Self {
+        xgft_obs::span!("flow.loads");
         assert_eq!(
             traffic.num_leaves(),
             xgft.num_leaves(),

@@ -225,6 +225,7 @@ impl FlowSweepConfig {
     /// matrix and cut bound depend only on the spec, so they are built once
     /// per spec (in parallel) and shared across that spec's scheme jobs.
     pub fn run(&self) -> FlowSweepResult {
+        xgft_obs::span!("flow.sweep");
         let traffic = &self.traffic;
         let prepared: Vec<(Xgft, crate::traffic::TrafficMatrix, f64)> = self
             .specs
@@ -259,6 +260,9 @@ impl FlowSweepConfig {
                 }
             })
             .collect();
+        xgft_obs::global()
+            .counter("flow.points")
+            .add(points.len() as u64);
         FlowSweepResult {
             traffic: traffic.name(),
             points,

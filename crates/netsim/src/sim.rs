@@ -415,9 +415,33 @@ impl NetworkSim {
     /// Run until every scheduled message has been delivered and produce the
     /// final report.
     pub fn run_to_completion(&mut self) -> SimReport {
+        xgft_obs::span!("netsim.run");
+        let events_before = self.events_processed;
+        let records_before = self.records.len();
+        let dropped_before = self.dropped_messages;
         while self.step() {}
         self.completions.clear();
-        self.report()
+        let report = self.report();
+        // Bulk-record this run's deltas after the event loop (never inside
+        // it): repeated runs on one simulator only count new work.
+        let metrics = xgft_obs::global();
+        metrics
+            .counter("netsim.events")
+            .add(self.events_processed - events_before);
+        metrics
+            .counter("netsim.delivered")
+            .add((self.records.len() - records_before) as u64);
+        metrics
+            .counter("netsim.dropped")
+            .add((self.dropped_messages - dropped_before) as u64);
+        metrics
+            .gauge("netsim.queue_depth")
+            .set_max(report.max_queue_depth as u64);
+        let latency = metrics.histogram("netsim.delivery_latency_ps");
+        for record in &self.records[records_before..] {
+            latency.record(record.latency_ps());
+        }
+        report
     }
 
     /// Accumulated busy (transmitting) time of every directed channel so
@@ -487,6 +511,16 @@ impl NetworkSim {
             return; // idempotent: the first failure wins
         }
         state.failed = Some((self.now_ps, policy));
+        if xgft_obs::trace_enabled() {
+            xgft_obs::trace(
+                "channel_failed",
+                &[
+                    ("channel", channel.into()),
+                    ("at_ps", self.now_ps.into()),
+                    ("policy", format!("{policy:?}").into()),
+                ],
+            );
+        }
         if policy == FailurePolicy::Drop {
             let flushed: Vec<Segment> = self.channels[channel].waiting.drain(..).collect();
             for segment in flushed {

@@ -71,6 +71,38 @@ impl SimReport {
                 / self.messages.len() as f64
         }
     }
+
+    /// The `q`-quantile of message latency in picoseconds (nearest-rank
+    /// over the exact per-message latencies; 0 when nothing was delivered).
+    pub fn latency_quantile_ps(&self, q: f64) -> u64 {
+        if self.messages.is_empty() {
+            return 0;
+        }
+        let mut latencies: Vec<u64> = self.messages.iter().map(|m| m.latency_ps()).collect();
+        latencies.sort_unstable();
+        let rank = (q.clamp(0.0, 1.0) * latencies.len() as f64).ceil() as usize;
+        latencies[rank.max(1) - 1]
+    }
+
+    /// Median message latency in picoseconds.
+    pub fn p50_latency_ps(&self) -> u64 {
+        self.latency_quantile_ps(0.50)
+    }
+
+    /// 99th-percentile message latency in picoseconds.
+    pub fn p99_latency_ps(&self) -> u64 {
+        self.latency_quantile_ps(0.99)
+    }
+
+    /// Largest message latency in picoseconds (0 when nothing was
+    /// delivered).
+    pub fn max_latency_ps(&self) -> u64 {
+        self.messages
+            .iter()
+            .map(|m| m.latency_ps())
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 #[cfg(test)]
@@ -115,5 +147,40 @@ mod tests {
             events_processed: 0,
         };
         assert_eq!(report.mean_latency_ps(), 0.0);
+        assert_eq!(report.p50_latency_ps(), 0);
+        assert_eq!(report.p99_latency_ps(), 0);
+        assert_eq!(report.max_latency_ps(), 0);
+    }
+
+    #[test]
+    fn latency_percentiles_use_nearest_rank() {
+        // 100 messages with latencies 1000, 2000, ..., 100_000 ps,
+        // deliberately out of order.
+        let mut messages: Vec<MessageRecord> = (1..=100u64)
+            .map(|i| MessageRecord {
+                id: MessageId(i),
+                src: 0,
+                dst: 1,
+                bytes: 1,
+                injected_at_ps: 0,
+                completed_at_ps: i * 1000,
+            })
+            .collect();
+        messages.reverse();
+        let report = SimReport {
+            completed_messages: messages.len(),
+            dropped_messages: 0,
+            total_bytes: 100,
+            makespan_ps: 100_000,
+            messages,
+            max_queue_depth: 1,
+            max_channel_utilization: 0.1,
+            events_processed: 1,
+        };
+        assert_eq!(report.p50_latency_ps(), 50_000);
+        assert_eq!(report.p99_latency_ps(), 99_000);
+        assert_eq!(report.max_latency_ps(), 100_000);
+        assert_eq!(report.latency_quantile_ps(0.0), 1_000);
+        assert_eq!(report.latency_quantile_ps(1.0), 100_000);
     }
 }

@@ -1,0 +1,70 @@
+//! # xgft-obs — instrumentation for the XGFT routing stack
+//!
+//! A zero-external-dependency observability layer (atomics and the
+//! workspace's offline shims only, matching the no-registry constraint):
+//!
+//! * [`MetricsRegistry`] — named [`Counter`]s, [`Gauge`]s and log2-bucket
+//!   [`Histogram`]s behind lock-free atomic cells. Every layer of the stack
+//!   records into the process-wide [`global()`] registry at operation
+//!   boundaries (a compile, a patch, a simulator run), never inside event
+//!   loops, so the hot paths stay hot.
+//! * [`span!`] / [`span()`] — scoped wall-clock timers: the guard records
+//!   `<name>.ns` and `<name>.calls` counters when it drops, which is how
+//!   per-stage wall-clocks reach a run's [`Telemetry`] section.
+//! * [`TraceSink`] — an optional JSONL sink for structured events (compile
+//!   start/finish, patch applied, shard completed, channel failed,
+//!   agreement check passed). Disabled it costs one relaxed atomic load per
+//!   site; installed (e.g. via `XGFT_TRACE=run.jsonl xgft run …`) every
+//!   event becomes one JSON line.
+//! * [`Telemetry`] — the delta of two [`MetricsSnapshot`]s plus a total
+//!   wall-clock, split into stage timings and counters. `run_scenario`
+//!   attaches it to `ScenarioResult` *outside* the byte-pinned
+//!   deterministic payload, so golden fixtures never see a timing.
+//!
+//! Determinism contract: metrics and traces are observations *about* a run,
+//! never inputs *to* one. Nothing in this crate feeds back into routing,
+//! simulation or seed derivation, and the instrumented layers produce
+//! byte-identical results with telemetry on or off.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod registry;
+mod sink;
+mod span;
+mod telemetry;
+
+pub use registry::{
+    Counter, CounterSample, Gauge, GaugeSample, Histogram, HistogramBucket, HistogramSample,
+    MetricsRegistry, MetricsSnapshot, NUM_HISTOGRAM_BUCKETS,
+};
+pub use sink::{clear_trace_sink, install_trace_sink, trace, trace_enabled, FieldValue, TraceSink};
+pub use span::{span, SpanGuard};
+pub use telemetry::{StageTiming, Telemetry};
+
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+
+/// The process-wide registry every instrumented layer records into.
+///
+/// Consumers that want per-run numbers take a [`MetricsSnapshot`] before
+/// and after the run and diff them (see [`MetricsSnapshot::delta_since`]);
+/// the registry itself accumulates for the lifetime of the process.
+pub fn global() -> &'static MetricsRegistry {
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_registry_is_shared_and_accumulates() {
+        let name = "obs.test.global_counter";
+        let before = global().counter(name).get();
+        global().counter(name).add(3);
+        global().counter(name).add(4);
+        assert_eq!(global().counter(name).get(), before + 7);
+    }
+}

@@ -1,0 +1,74 @@
+//! Scoped wall-clock spans.
+//!
+//! A span measures how long a stage took and records it as two counters in
+//! the [`global`](crate::global) registry: `<name>.ns` (accumulated
+//! wall-clock nanoseconds) and `<name>.calls` (number of completed spans).
+//! Those pairs are what [`crate::Telemetry`] later renders as per-stage
+//! wall-clocks.
+
+use crate::registry::Counter;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A running span; records into its counters when dropped.
+#[derive(Debug)]
+pub struct SpanGuard {
+    ns: Arc<Counter>,
+    calls: Arc<Counter>,
+    start: Instant,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed().as_nanos();
+        self.ns.add(u64::try_from(elapsed).unwrap_or(u64::MAX));
+        self.calls.incr();
+    }
+}
+
+/// Start a scoped timer for `name` against the global registry. Bind the
+/// guard (`let _span = span("core.compile");`) so it lives to the end of
+/// the stage; see also the [`span!`](crate::span!) macro.
+pub fn span(name: &str) -> SpanGuard {
+    let registry = crate::global();
+    SpanGuard {
+        ns: registry.counter(&format!("{name}.ns")),
+        calls: registry.counter(&format!("{name}.calls")),
+        start: Instant::now(),
+    }
+}
+
+/// Time the rest of the enclosing scope as stage `$name`:
+///
+/// ```
+/// fn compile_stage() {
+///     xgft_obs::span!("doc.compile");
+///     // ... the work being timed ...
+/// } // guard drops here; doc.compile.ns / doc.compile.calls advance
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        let _xgft_obs_span_guard = $crate::span($name);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_accumulate_ns_and_calls() {
+        let name = "obs.test.span_stage";
+        {
+            let _g = span(name);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        {
+            span!(name);
+        }
+        let snap = crate::global().snapshot();
+        assert_eq!(snap.counter(&format!("{name}.calls")), Some(2));
+        assert!(snap.counter(&format!("{name}.ns")).unwrap() >= 2_000_000);
+    }
+}

@@ -1,0 +1,212 @@
+//! Per-run telemetry: a metrics-delta window rendered as stage timings.
+//!
+//! `run_scenario` takes a [`MetricsSnapshot`](crate::MetricsSnapshot) before
+//! and after a run, diffs them, and folds the result into a [`Telemetry`]
+//! value attached to the scenario result *outside* the byte-pinned
+//! deterministic payload. The `.ns`/`.calls` counter pairs that
+//! [`span`](crate::span) guards accumulate become [`StageTiming`] entries;
+//! every other counter, gauge and histogram rides along unchanged.
+
+use crate::registry::{CounterSample, GaugeSample, HistogramSample, MetricsSnapshot};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Wall-clock spent in one instrumented stage during the telemetry window.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Stage name (the span name, e.g. `core.compile`).
+    pub stage: String,
+    /// Accumulated wall-clock nanoseconds across all calls.
+    pub wall_ns: u64,
+    /// Number of completed spans.
+    pub calls: u64,
+}
+
+/// Everything observed about one run: total wall-clock plus the metrics
+/// delta, with span counters folded into per-stage timings.
+///
+/// Timings are machine- and load-dependent by nature, which is exactly why
+/// this lives outside the deterministic payload: two runs of the same spec
+/// produce byte-identical payloads and *different* telemetry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Telemetry {
+    /// End-to-end wall-clock of the run in nanoseconds.
+    pub wall_ns: u64,
+    /// Per-stage wall-clocks, sorted by stage name.
+    pub stages: Vec<StageTiming>,
+    /// Counters that advanced during the window (span pairs excluded).
+    pub counters: Vec<CounterSample>,
+    /// Gauge levels at the end of the window (process-lifetime for
+    /// high-water gauges).
+    pub gauges: Vec<GaugeSample>,
+    /// Histograms that recorded samples during the window.
+    pub histograms: Vec<HistogramSample>,
+}
+
+impl Telemetry {
+    /// Fold a metrics window into telemetry. `delta` should come from
+    /// [`MetricsSnapshot::delta_since`] over the run's boundaries.
+    pub fn from_window(wall_ns: u64, delta: MetricsSnapshot) -> Self {
+        let mut stages = Vec::new();
+        let mut counters = Vec::new();
+        for c in &delta.counters {
+            if let Some(stage) = c.name.strip_suffix(".ns") {
+                stages.push(StageTiming {
+                    stage: stage.to_string(),
+                    wall_ns: c.value,
+                    calls: delta.counter(&format!("{stage}.calls")).unwrap_or(0),
+                });
+            } else if let Some(stage) = c.name.strip_suffix(".calls") {
+                // A stage whose accumulated time rounded to 0 ns still
+                // happened; keep it visible rather than dropping it.
+                if delta.counter(&format!("{stage}.ns")).is_none() {
+                    stages.push(StageTiming {
+                        stage: stage.to_string(),
+                        wall_ns: 0,
+                        calls: c.value,
+                    });
+                }
+            } else {
+                counters.push(c.clone());
+            }
+        }
+        Telemetry {
+            wall_ns,
+            stages,
+            counters,
+            gauges: delta.gauges,
+            histograms: delta.histograms,
+        }
+    }
+
+    /// The timing for `stage`, if it ran during the window.
+    pub fn stage(&self, name: &str) -> Option<&StageTiming> {
+        self.stages.iter().find(|s| s.stage == name)
+    }
+
+    /// The counter delta for `name`, if it advanced during the window.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// A human-readable multi-line summary (for stderr alongside the JSON
+    /// result on stdout).
+    pub fn render_summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "telemetry: total {}", human_ns(self.wall_ns));
+        for s in &self.stages {
+            let _ = writeln!(
+                out,
+                "  stage {:<24} {:>12}  x{}",
+                s.stage,
+                human_ns(s.wall_ns),
+                s.calls
+            );
+        }
+        for c in &self.counters {
+            let _ = writeln!(out, "  count {:<24} {:>12}", c.name, c.value);
+        }
+        for g in &self.gauges {
+            let _ = writeln!(out, "  gauge {:<24} {:>12}", g.name, g.value);
+        }
+        for h in &self.histograms {
+            let _ = writeln!(
+                out,
+                "  hist  {:<24} n={} mean={:.0} p50>={} p99>={} max={}",
+                h.name,
+                h.count,
+                h.mean(),
+                h.quantile_floor(0.50),
+                h.quantile_floor(0.99),
+                h.max
+            );
+        }
+        out
+    }
+}
+
+/// Format nanoseconds with a readable unit.
+fn human_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_folds_span_pairs_into_stages() {
+        let reg = crate::MetricsRegistry::new();
+        reg.counter("core.compile.ns").add(5_000);
+        reg.counter("core.compile.calls").add(2);
+        reg.counter("core.compile.routes").add(240);
+        reg.gauge("core.route_state_bytes").set_max(4096);
+        reg.histogram("netsim.delivery_latency_ps").record(1500);
+        let t = Telemetry::from_window(
+            9_999,
+            reg.snapshot().delta_since(&MetricsSnapshot::default()),
+        );
+        assert_eq!(t.wall_ns, 9_999);
+        let stage = t.stage("core.compile").unwrap();
+        assert_eq!(stage.wall_ns, 5_000);
+        assert_eq!(stage.calls, 2);
+        assert_eq!(t.counter("core.compile.routes"), Some(240));
+        assert!(t.counter("core.compile.ns").is_none(), "folded into stage");
+        assert!(
+            t.counter("core.compile.calls").is_none(),
+            "folded into stage"
+        );
+        assert_eq!(t.gauges.len(), 1);
+        assert_eq!(t.histograms.len(), 1);
+        let summary = t.render_summary();
+        assert!(summary.contains("core.compile"), "{summary}");
+        assert!(summary.contains("9.999us"), "{summary}");
+    }
+
+    #[test]
+    fn zero_ns_stage_survives_via_calls_counter() {
+        let reg = crate::MetricsRegistry::new();
+        reg.counter("fast.calls").add(3);
+        let t = Telemetry::from_window(1, reg.snapshot().delta_since(&MetricsSnapshot::default()));
+        let stage = t.stage("fast").unwrap();
+        assert_eq!(stage.calls, 3);
+        assert_eq!(stage.wall_ns, 0);
+    }
+
+    #[test]
+    fn telemetry_roundtrips_through_json() {
+        let t = Telemetry {
+            wall_ns: 123,
+            stages: vec![StageTiming {
+                stage: "s".to_string(),
+                wall_ns: 7,
+                calls: 1,
+            }],
+            counters: vec![],
+            gauges: vec![],
+            histograms: vec![],
+        };
+        let json = serde_json::to_string(&t).unwrap();
+        let parsed: Telemetry = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn human_ns_units() {
+        assert_eq!(human_ns(12), "12ns");
+        assert_eq!(human_ns(1_500), "1.500us");
+        assert_eq!(human_ns(2_000_000), "2.000ms");
+        assert_eq!(human_ns(3_000_000_000), "3.000s");
+    }
+}

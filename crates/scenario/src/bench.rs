@@ -1,0 +1,526 @@
+//! The `xgft bench` performance trajectory.
+//!
+//! Fixed, seed-pinned probes over every layer's hot path — route compile,
+//! incremental patch, analytical flow MCL, event-driven netsim, a tracesim
+//! campaign and the compact million-leaf engine — each written as a
+//! versioned `BENCH_<area>.json` file. Committing those files once per PR
+//! turns the repository history into a per-PR performance trajectory: a
+//! regression shows up as a diff, not as an anecdote.
+//!
+//! Two rules keep the trajectory honest:
+//!
+//! * **Timings never gate.** Wall-clocks are machine- and load-dependent,
+//!   so the delta report is informative only; CI fails solely on schema or
+//!   shape errors (see [`validate_bench_file`]).
+//! * **Checks pin behaviour.** Every probe carries deterministic check
+//!   counters (routes built, makespan, events processed) computed from the
+//!   probe's fixed seeds. A check drift means the *work* changed, not just
+//!   its speed — the delta report flags it loudly.
+
+use crate::spec::ScenarioError;
+use serde::{Deserialize, Serialize, Value};
+use std::time::Instant;
+use xgft_analysis::{AlgorithmSpec, CampaignConfig};
+use xgft_core::{CompactRoutes, CompactScheme, CompiledRouteTable, DModK};
+use xgft_flow::{FlowScheme, FlowSweepConfig, TrafficSpec};
+use xgft_netsim::{NetworkConfig, NetworkSim};
+use xgft_patterns::generators;
+use xgft_topo::{FaultSet, Xgft};
+
+/// The bench file schema version this crate emits.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// Every bench area, in the order `xgft bench` runs them.
+pub const ALL_AREAS: &[&str] = &[
+    "compile", "patch", "flow_mcl", "netsim", "campaign", "compact",
+];
+
+/// One deterministic check counter of a probe (work done, not time spent).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BenchCheck {
+    /// Check name (e.g. `routes`, `makespan_ps`).
+    pub name: String,
+    /// Check value; identical across runs of the same code on any machine.
+    pub value: u64,
+}
+
+/// One timed probe of a bench area.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchProbe {
+    /// Probe name within its area.
+    pub name: String,
+    /// Fixed parameters, rendered (`k=32 scheme=d-mod-k`) so baselines with
+    /// different parameters are never compared.
+    pub params: String,
+    /// Number of timed repetitions.
+    pub reps: u32,
+    /// Median wall-clock over the repetitions (ns).
+    pub median_wall_ns: u64,
+    /// Fastest repetition (ns) — the least noisy point.
+    pub min_wall_ns: u64,
+    /// Deterministic check counters from the last repetition.
+    pub checks: Vec<BenchCheck>,
+}
+
+/// One versioned `BENCH_<area>.json` file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchFile {
+    /// Bench schema version ([`BENCH_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Area name (one of [`ALL_AREAS`]).
+    pub area: String,
+    /// True when produced under `--quick` (smaller fixed parameters; quick
+    /// and full baselines are distinct trajectories).
+    pub quick: bool,
+    /// The area's probes.
+    pub probes: Vec<BenchProbe>,
+}
+
+/// The canonical file name of an area's baseline.
+pub fn bench_file_name(area: &str) -> String {
+    format!("BENCH_{area}.json")
+}
+
+/// Time `work` `reps` times; returns `(median_ns, min_ns, checks)` with the
+/// checks taken from the last repetition (they are deterministic, so any
+/// repetition would do).
+fn time_reps<F>(reps: u32, mut work: F) -> (u64, u64, Vec<BenchCheck>)
+where
+    F: FnMut() -> Vec<(&'static str, u64)>,
+{
+    let mut walls = Vec::with_capacity(reps as usize);
+    let mut checks = Vec::new();
+    for _ in 0..reps {
+        let start = Instant::now();
+        let observed = work();
+        walls.push(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        checks = observed;
+    }
+    walls.sort_unstable();
+    let median = walls[walls.len() / 2];
+    let checks = checks
+        .into_iter()
+        .map(|(name, value)| BenchCheck {
+            name: name.to_string(),
+            value,
+        })
+        .collect();
+    (median, walls[0], checks)
+}
+
+fn probe(name: &str, params: String, reps: u32, timed: (u64, u64, Vec<BenchCheck>)) -> BenchProbe {
+    BenchProbe {
+        name: name.to_string(),
+        params,
+        reps,
+        median_wall_ns: timed.0,
+        min_wall_ns: timed.1,
+        checks: timed.2,
+    }
+}
+
+/// Run one bench area and return its file. `quick` shrinks the fixed
+/// parameters to CI scale; quick and full runs are separate baselines.
+pub fn bench_area(area: &str, quick: bool) -> Result<BenchFile, String> {
+    let reps: u32 = if quick { 3 } else { 5 };
+    let probes = match area {
+        "compile" => bench_compile(quick, reps),
+        "patch" => bench_patch(quick, reps),
+        "flow_mcl" => bench_flow_mcl(quick, reps),
+        "netsim" => bench_netsim(quick, reps),
+        "campaign" => bench_campaign(quick, reps),
+        "compact" => bench_compact(quick, reps),
+        other => {
+            return Err(format!(
+                "unknown bench area `{other}` — known: {ALL_AREAS:?}"
+            ))
+        }
+    };
+    Ok(BenchFile {
+        schema_version: BENCH_SCHEMA_VERSION,
+        area: area.to_string(),
+        quick,
+        probes,
+    })
+}
+
+/// All-pairs d-mod-k compile on a k-ary 2-tree: the table-build hot path.
+fn bench_compile(quick: bool, reps: u32) -> Vec<BenchProbe> {
+    let k = if quick { 16 } else { 32 };
+    let xgft = Xgft::k_ary_n_tree(k, 2);
+    let timed = time_reps(reps, || {
+        let table = CompiledRouteTable::compile_all_pairs(&xgft, &DModK::new());
+        vec![
+            ("routes", table.len() as u64),
+            ("storage_bytes", table.storage_bytes() as u64),
+        ]
+    });
+    vec![probe(
+        "compile_all_pairs",
+        format!("k={k} scheme=d-mod-k"),
+        reps,
+        timed,
+    )]
+}
+
+/// Incremental patch against 1% uniform link faults (seed-pinned draw).
+fn bench_patch(quick: bool, reps: u32) -> Vec<BenchProbe> {
+    let k = if quick { 16 } else { 32 };
+    let xgft = Xgft::k_ary_n_tree(k, 2);
+    let pristine = CompiledRouteTable::compile_all_pairs(&xgft, &DModK::new());
+    let faults = FaultSet::uniform_links(&xgft, 0.01, 7);
+    let timed = time_reps(reps, || {
+        let mut table = pristine.clone();
+        let stats = table.patch(&xgft, &faults);
+        vec![
+            ("untouched", stats.untouched as u64),
+            ("rerouted", stats.rerouted as u64),
+            ("unroutable", stats.unroutable as u64),
+        ]
+    });
+    vec![probe(
+        "patch_uniform_1pct",
+        format!("k={k} scheme=d-mod-k rate=1% seed=7"),
+        reps,
+        timed,
+    )]
+}
+
+/// The analytical MCL sweep over the slimming family under uniform traffic.
+fn bench_flow_mcl(quick: bool, reps: u32) -> Vec<BenchProbe> {
+    let k = if quick { 32 } else { 128 };
+    let w2_values = [k, k / 2, 1];
+    let config = FlowSweepConfig::slimming_family(
+        k,
+        &w2_values,
+        vec![FlowScheme::DModK, FlowScheme::SModK, FlowScheme::RNcaUp],
+        TrafficSpec::Uniform,
+    );
+    let timed = time_reps(reps, || {
+        let result = config.run();
+        // Scale the (exact, closed-form) ratios into a stable integer so
+        // behaviour drift in the model shows up as a check drift.
+        let ratio_sum: f64 = result.points.iter().map(|p| p.ratio).sum();
+        vec![
+            ("points", result.points.len() as u64),
+            ("ratio_sum_ppm", (ratio_sum * 1e6).round() as u64),
+        ]
+    });
+    vec![probe(
+        "slimming_family_uniform",
+        format!("k={k} w2={w2_values:?} schemes=3"),
+        reps,
+        timed,
+    )]
+}
+
+/// Direct injection of a shift permutation into the event-driven simulator.
+fn bench_netsim(quick: bool, reps: u32) -> Vec<BenchProbe> {
+    let k = if quick { 8 } else { 16 };
+    let xgft = Xgft::k_ary_n_tree(k, 2);
+    let n = xgft.num_leaves();
+    let pattern = generators::shift(n, k, 64 * 1024);
+    let flows: Vec<(usize, usize, u64)> = pattern
+        .combined()
+        .network_flows()
+        .map(|f| (f.src, f.dst, f.bytes))
+        .collect();
+    let table =
+        CompiledRouteTable::compile(&xgft, &DModK::new(), flows.iter().map(|&(s, d, _)| (s, d)));
+    let timed = time_reps(reps, || {
+        let mut sim = NetworkSim::new(&xgft, NetworkConfig::default());
+        for &(s, d, bytes) in &flows {
+            let path = table.path(s, d).expect("routed pair");
+            sim.schedule_message_on_path(0, s, d, bytes, path);
+        }
+        let report = sim.run_to_completion();
+        vec![
+            ("makespan_ps", report.makespan_ps),
+            ("delivered", report.completed_messages as u64),
+            ("events", report.events_processed),
+        ]
+    });
+    vec![probe(
+        "shift_direct_injection",
+        format!("k={k} leaves={n} msg=64KiB scheme=d-mod-k"),
+        reps,
+        timed,
+    )]
+}
+
+/// A seed campaign through the tracesim machinery (rayon shards included).
+fn bench_campaign(quick: bool, reps: u32) -> Vec<BenchProbe> {
+    let k = if quick { 4 } else { 8 };
+    let pattern = generators::wrf_mesh_exchange(k, k, 16 * 1024);
+    let config = CampaignConfig {
+        name: "bench".to_string(),
+        k,
+        w2_values: vec![k, k / 2],
+        algorithms: vec![AlgorithmSpec::DModK, AlgorithmSpec::Random],
+        seeds_per_point: 2,
+        base_seed: 2009,
+        network: NetworkConfig::default(),
+    };
+    let timed = time_reps(reps, || {
+        let result = config.run(&pattern);
+        vec![
+            ("shards", result.shards.len() as u64),
+            ("crossbar_ps", result.crossbar_ps),
+        ]
+    });
+    vec![probe(
+        "wrf_seed_campaign",
+        format!("k={k} w2=[{},{}] seeds/point=2 base=2009", k, k / 2),
+        reps,
+        timed,
+    )]
+}
+
+/// The compact closed-form engine at a scale no table can represent:
+/// build the engine and answer a pinned sample of pairs.
+fn bench_compact(quick: bool, reps: u32) -> Vec<BenchProbe> {
+    let k = if quick { 256 } else { 1024 };
+    let xgft = Xgft::k_ary_n_tree(k, 2);
+    let n = xgft.num_leaves();
+    let samples: u64 = 10_000;
+    let stride = ((n as u64 * n as u64) / samples).max(1);
+    let timed = time_reps(reps, || {
+        let routes = CompactRoutes::all_pairs(&xgft, CompactScheme::DModK);
+        let mut scratch = Vec::new();
+        let mut hops: u64 = 0;
+        let mut answered: u64 = 0;
+        let mut code: u64 = 1;
+        while code < n as u64 * n as u64 {
+            let (s, d) = ((code / n as u64) as usize, (code % n as u64) as usize);
+            if routes.path_into(s, d, &mut scratch) {
+                hops += scratch.len() as u64;
+                answered += 1;
+            }
+            code += stride;
+        }
+        vec![
+            ("answered", answered),
+            ("hops", hops),
+            ("storage_bytes", routes.storage_bytes() as u64),
+        ]
+    });
+    vec![probe(
+        "million_leaf_sample",
+        format!("k={k} leaves={n} scheme=d-mod-k samples={samples}"),
+        reps,
+        timed,
+    )]
+}
+
+/// Captures the parsed [`Value`] tree verbatim (the shim's `Value` does not
+/// implement `Deserialize` itself).
+struct RawValue(Value);
+
+impl Deserialize for RawValue {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        Ok(RawValue(value.clone()))
+    }
+}
+
+/// Parse and schema-validate one bench file's JSON text. This is the gate
+/// CI fails on: wrong shape is an error, slow numbers never are.
+pub fn validate_bench_file(text: &str) -> Result<BenchFile, String> {
+    let RawValue(value) =
+        serde_json::from_str::<RawValue>(text).map_err(|e| format!("not JSON: {e}"))?;
+    validate_bench_value(&value)?;
+    serde_json::from_str(text).map_err(|e| format!("undecodable bench file: {e}"))
+}
+
+/// Structural schema check of a bench [`Value`] tree, with field-precise
+/// errors (the decoded struct alone would accept e.g. a negative version).
+pub fn validate_bench_value(value: &Value) -> Result<(), String> {
+    let obj = value
+        .as_object()
+        .ok_or("bench file must be a JSON object")?;
+    let field = |name: &str| -> Result<&Value, String> {
+        obj.iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or(format!("missing field `{name}`"))
+    };
+    match field("schema_version")? {
+        Value::UInt(v) if *v == BENCH_SCHEMA_VERSION as u64 => {}
+        other => {
+            return Err(format!(
+                "schema_version must be {BENCH_SCHEMA_VERSION}, got {other:?}"
+            ))
+        }
+    }
+    let Value::Str(area) = field("area")? else {
+        return Err("`area` must be a string".to_string());
+    };
+    if !ALL_AREAS.contains(&area.as_str()) {
+        return Err(format!("unknown area `{area}` — known: {ALL_AREAS:?}"));
+    }
+    let Value::Bool(_) = field("quick")? else {
+        return Err("`quick` must be a boolean".to_string());
+    };
+    let Value::Array(probes) = field("probes")? else {
+        return Err("`probes` must be an array".to_string());
+    };
+    if probes.is_empty() {
+        return Err("`probes` must not be empty".to_string());
+    }
+    for (i, p) in probes.iter().enumerate() {
+        let obj = p
+            .as_object()
+            .ok_or(format!("probes[{i}] must be an object"))?;
+        for key in ["name", "params"] {
+            match obj.iter().find(|(k, _)| k == key) {
+                Some((_, Value::Str(_))) => {}
+                _ => return Err(format!("probes[{i}].{key} must be a string")),
+            }
+        }
+        for key in ["reps", "median_wall_ns", "min_wall_ns"] {
+            match obj.iter().find(|(k, _)| k == key) {
+                Some((_, Value::UInt(_))) => {}
+                _ => return Err(format!("probes[{i}].{key} must be a non-negative integer")),
+            }
+        }
+        match obj.iter().find(|(k, _)| k == "checks") {
+            Some((_, Value::Array(checks))) => {
+                for (j, c) in checks.iter().enumerate() {
+                    let ok = c.as_object().is_some_and(|entries| {
+                        entries
+                            .iter()
+                            .any(|(k, v)| k == "name" && matches!(v, Value::Str(_)))
+                            && entries
+                                .iter()
+                                .any(|(k, v)| k == "value" && matches!(v, Value::UInt(_)))
+                    });
+                    if !ok {
+                        return Err(format!(
+                            "probes[{i}].checks[{j}] must be {{name: string, value: uint}}"
+                        ));
+                    }
+                }
+            }
+            _ => return Err(format!("probes[{i}].checks must be an array")),
+        }
+    }
+    Ok(())
+}
+
+/// Render the delta of a new bench file against its committed baseline.
+/// Timing moves are reported as percentages (informative); check drifts
+/// are flagged as behaviour changes.
+pub fn delta_report(baseline: &BenchFile, new: &BenchFile) -> String {
+    let mut out = String::new();
+    if baseline.quick != new.quick {
+        out.push_str(&format!(
+            "  {}: baseline is {} but this run is {} — timings not comparable\n",
+            new.area,
+            if baseline.quick { "--quick" } else { "full" },
+            if new.quick { "--quick" } else { "full" },
+        ));
+        return out;
+    }
+    for p in &new.probes {
+        let Some(old) = baseline
+            .probes
+            .iter()
+            .find(|o| o.name == p.name && o.params == p.params)
+        else {
+            out.push_str(&format!(
+                "  {}/{}: new probe (no baseline)\n",
+                new.area, p.name
+            ));
+            continue;
+        };
+        let pct = if old.median_wall_ns == 0 {
+            0.0
+        } else {
+            (p.median_wall_ns as f64 - old.median_wall_ns as f64) / old.median_wall_ns as f64
+                * 100.0
+        };
+        out.push_str(&format!(
+            "  {}/{}: median {} -> {} ns ({:+.1}%)\n",
+            new.area, p.name, old.median_wall_ns, p.median_wall_ns, pct
+        ));
+        for check in &p.checks {
+            match old.checks.iter().find(|c| c.name == check.name) {
+                Some(before) if before.value != check.value => out.push_str(&format!(
+                    "    BEHAVIOUR DRIFT {}: {} -> {}\n",
+                    check.name, before.value, check.value
+                )),
+                None => out.push_str(&format!("    new check {}={}\n", check.name, check.value)),
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Map a bench error into the scenario error space (usage class).
+pub fn bench_error(msg: String) -> ScenarioError {
+    ScenarioError::Invalid(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_produces_schema_valid_files_for_all_areas() {
+        for &area in ALL_AREAS {
+            if area == "compact" || area == "campaign" {
+                // Too slow for a debug-profile unit test; both run
+                // end-to-end whenever `xgft bench` writes the baselines.
+                continue;
+            }
+            let file = bench_area(area, true).unwrap();
+            assert_eq!(file.area, area);
+            assert!(file.quick);
+            let json = serde_json::to_string_pretty(&file).unwrap();
+            let parsed = validate_bench_file(&json).unwrap();
+            assert_eq!(parsed, file);
+            for p in &file.probes {
+                assert!(p.reps >= 3);
+                assert!(p.min_wall_ns <= p.median_wall_ns);
+                assert!(!p.checks.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn bench_checks_are_deterministic_across_runs() {
+        let a = bench_area("compile", true).unwrap();
+        let b = bench_area("compile", true).unwrap();
+        assert_eq!(a.probes[0].checks, b.probes[0].checks);
+    }
+
+    #[test]
+    fn unknown_area_is_rejected() {
+        assert!(bench_area("warp_drive", true).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_shape_errors() {
+        let good = serde_json::to_string(&bench_area("compile", true).unwrap()).unwrap();
+        assert!(validate_bench_file(&good).is_ok());
+        assert!(validate_bench_file("[]").is_err());
+        assert!(validate_bench_file("{\"schema_version\": 99}").is_err());
+        let wrong_version = good.replace("\"schema_version\":1", "\"schema_version\":2");
+        assert!(validate_bench_file(&wrong_version).is_err());
+        let bad_area = good.replace("\"compile\"", "\"warp_drive\"");
+        assert!(validate_bench_file(&bad_area).is_err());
+    }
+
+    #[test]
+    fn delta_report_flags_check_drift_but_not_timing() {
+        let baseline = bench_area("compile", true).unwrap();
+        let mut new = baseline.clone();
+        new.probes[0].median_wall_ns = baseline.probes[0].median_wall_ns.saturating_mul(3) + 10;
+        let report = delta_report(&baseline, &new);
+        assert!(report.contains("median"), "{report}");
+        assert!(!report.contains("BEHAVIOUR DRIFT"), "{report}");
+        new.probes[0].checks[0].value += 1;
+        let report = delta_report(&baseline, &new);
+        assert!(report.contains("BEHAVIOUR DRIFT"), "{report}");
+    }
+}

@@ -31,7 +31,13 @@ usage: xgft <command> [flags]
 commands:
   run <spec.json|spec.toml>  run a declarative scenario file
                              (--quick bounds seeds/sweep, --json emits the
-                             versioned result envelope on stdout)
+                             versioned result envelope on stdout,
+                             --telemetry adds stage wall-clocks and counters
+                             to the result and a summary on stderr)
+  bench                      run the fixed performance probes and write
+                             versioned BENCH_<area>.json files
+                             (--quick for CI scale, --dir DIR for the output
+                             directory, --areas a,b to restrict, --json)
   list                       list the built-in scenarios (--json for tooling)
   <name>                     run a built-in scenario by registry name
                              (see `xgft list`; accepts the shared flag set:
@@ -39,7 +45,27 @@ commands:
                              --json --analytic --k K --base-seed S
                              --workload NAME)
   help                       show this text
+
+environment:
+  XGFT_TRACE=<path>          append structured JSONL trace events (compiles,
+                             patches, shards, failures) to <path>
 ";
+
+/// Install the JSONL trace sink when `XGFT_TRACE` names a path. Called once
+/// per CLI entry; a bad path is reported but never fatal.
+fn install_trace_from_env() {
+    if let Ok(path) = std::env::var("XGFT_TRACE") {
+        if path.is_empty() {
+            return;
+        }
+        match xgft_obs::TraceSink::to_path(&path) {
+            Ok(sink) => {
+                xgft_obs::install_trace_sink(sink);
+            }
+            Err(e) => eprintln!("warning: cannot open XGFT_TRACE=`{path}`: {e}"),
+        }
+    }
+}
 
 /// Entry point over explicit arguments; returns the process exit code.
 pub fn main_with_args(argv: Vec<String>) -> i32 {
@@ -49,6 +75,7 @@ pub fn main_with_args(argv: Vec<String>) -> i32 {
         return 2;
     };
     let rest: Vec<String> = iter.collect();
+    install_trace_from_env();
     match command.as_str() {
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
@@ -56,6 +83,7 @@ pub fn main_with_args(argv: Vec<String>) -> i32 {
         }
         "list" => run_list(&rest),
         "run" => run_spec_file(&rest),
+        "bench" => run_bench_cmd(&rest),
         name => run_named(name, rest),
     }
 }
@@ -157,6 +185,7 @@ fn run_spec_file(rest: &[String]) -> i32 {
     for flag in rest {
         match flag.as_str() {
             "--quick" => options.quick = true,
+            "--telemetry" => options.telemetry = true,
             "--json" => json = true,
             other if other.starts_with('-') => {
                 eprintln!("run: unknown flag `{other}`");
@@ -193,6 +222,9 @@ fn run_spec_file(rest: &[String]) -> i32 {
     }
     match run_scenario(&spec, &options) {
         Ok(result) => {
+            if let Some(telemetry) = &result.telemetry {
+                eprint!("{}", telemetry.render_summary());
+            }
             let output = EntryOutput {
                 stdout: result.render(),
                 json: Some(serde_json::to_string_pretty(&result).expect("serialisable result")),
@@ -206,6 +238,111 @@ fn run_spec_file(rest: &[String]) -> i32 {
             2
         }
     }
+}
+
+/// The `xgft bench` subcommand: run the fixed probes, write one
+/// `BENCH_<area>.json` per area into `--dir` (default `.`), validate what
+/// was written, and report the delta against any committed baseline.
+/// Timing moves never fail the command; schema/shape errors do (exit 1).
+fn run_bench_cmd(rest: &[String]) -> i32 {
+    let mut quick = false;
+    let mut json = false;
+    let mut dir = ".".to_string();
+    let mut areas: Option<Vec<String>> = None;
+    let mut iter = rest.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--quick" => quick = true,
+            "--json" => json = true,
+            "--dir" => match iter.next() {
+                Some(value) => dir = value.clone(),
+                None => {
+                    eprintln!("bench: `--dir` expects a directory");
+                    return 2;
+                }
+            },
+            "--areas" => match iter.next() {
+                Some(value) => {
+                    areas = Some(value.split(',').map(|a| a.trim().to_string()).collect())
+                }
+                None => {
+                    eprintln!("bench: `--areas` expects a comma-separated list");
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!("bench: unknown flag `{other}`");
+                return 2;
+            }
+        }
+    }
+    let selected: Vec<String> = match areas {
+        Some(list) => {
+            for area in &list {
+                if !crate::bench::ALL_AREAS.contains(&area.as_str()) {
+                    eprintln!(
+                        "bench: unknown area `{area}` — known: {:?}",
+                        crate::bench::ALL_AREAS
+                    );
+                    return 2;
+                }
+            }
+            list
+        }
+        None => crate::bench::ALL_AREAS
+            .iter()
+            .map(|a| a.to_string())
+            .collect(),
+    };
+    let mut report = String::new();
+    let mut written = Vec::new();
+    for area in &selected {
+        let file = match crate::bench::bench_area(area, quick) {
+            Ok(file) => file,
+            Err(msg) => {
+                eprintln!("bench: {msg}");
+                return 1;
+            }
+        };
+        let path = std::path::Path::new(&dir).join(crate::bench::bench_file_name(area));
+        let baseline = match std::fs::read_to_string(&path) {
+            Ok(old_text) => match crate::bench::validate_bench_file(&old_text) {
+                Ok(old) => Some(old),
+                Err(msg) => {
+                    report.push_str(&format!(
+                        "  {area}: existing baseline invalid ({msg}) — replacing\n"
+                    ));
+                    None
+                }
+            },
+            Err(_) => None,
+        };
+        let text = serde_json::to_string_pretty(&file).expect("serialisable bench file");
+        // Re-validate the exact bytes we are about to commit: this is the
+        // schema gate CI relies on.
+        if let Err(msg) = crate::bench::validate_bench_file(&text) {
+            eprintln!("bench: produced an invalid `{}`: {msg}", path.display());
+            return 1;
+        }
+        if let Err(e) = std::fs::write(&path, text.as_bytes()) {
+            eprintln!("bench: cannot write `{}`: {e}", path.display());
+            return 1;
+        }
+        report.push_str(&format!("wrote {}\n", path.display()));
+        match baseline {
+            Some(old) => report.push_str(&crate::bench::delta_report(&old, &file)),
+            None => report.push_str(&format!("  {area}: no baseline — first trajectory point\n")),
+        }
+        written.push(file);
+    }
+    if json {
+        eprint!("{report}");
+        let value = Value::Array(written.iter().map(serde::Serialize::to_value).collect());
+        println!("{}", render_value(&value));
+    } else {
+        print!("{report}");
+    }
+    0
 }
 
 /// Load a scenario from a JSON or TOML file (decided by extension; files

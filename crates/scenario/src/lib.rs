@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 
 pub mod args;
+pub mod bench;
 pub mod cli;
 pub mod registry;
 pub mod runner;
@@ -34,6 +35,10 @@ pub mod spec;
 pub mod toml;
 
 pub use args::ExperimentArgs;
+pub use bench::{
+    bench_area, bench_file_name, delta_report, validate_bench_file, BenchCheck, BenchFile,
+    BenchProbe, ALL_AREAS, BENCH_SCHEMA_VERSION,
+};
 pub use registry::{registry, RegistryEntry};
 pub use runner::{run_scenario, ResultPayload, RunOptions, ScenarioResult, RESULT_SCHEMA_VERSION};
 pub use spec::{

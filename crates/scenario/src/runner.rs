@@ -47,6 +47,11 @@ pub const RESULT_SCHEMA_VERSION: u32 = 1;
 pub struct RunOptions {
     /// Apply [`ScenarioSpec::quickened`] before running (the CI preset).
     pub quick: bool,
+    /// Attach a [`xgft_obs::Telemetry`] section (per-stage wall-clocks, counters,
+    /// peak route-state bytes) to the result. Telemetry is an observation
+    /// about the run and lives outside the deterministic payload: the
+    /// payload is byte-identical with this flag on or off.
+    pub telemetry: bool,
 }
 
 /// One point of a direct-injection (`Netsim` engine) run.
@@ -68,6 +73,12 @@ pub struct DirectPoint {
     pub max_busy_ps: u64,
     /// Busy time of the most loaded channel divided by the makespan.
     pub max_utilization: f64,
+    /// Median delivery latency (ps), nearest-rank over delivered messages.
+    pub p50_latency_ps: u64,
+    /// 99th-percentile delivery latency (ps).
+    pub p99_latency_ps: u64,
+    /// Largest delivery latency (ps).
+    pub max_latency_ps: u64,
 }
 
 /// The result of a direct-injection run: all flows of the workload
@@ -86,13 +97,31 @@ impl DirectResult {
     /// Text table: one row per point.
     pub fn render_table(&self) -> String {
         let mut out = format!(
-            "# {} — direct injection of {} (makespan / max channel busy, ps)\n{:>24} {:>10} {:>12} {:>14} {:>14} {:>6}\n",
-            self.name, self.workload, "topology", "scheme", "seed", "makespan", "max-busy", "util"
+            "# {} — direct injection of {} (makespan / max channel busy / latency, ps)\n{:>24} {:>10} {:>12} {:>14} {:>14} {:>6} {:>12} {:>12} {:>12}\n",
+            self.name,
+            self.workload,
+            "topology",
+            "scheme",
+            "seed",
+            "makespan",
+            "max-busy",
+            "util",
+            "p50-lat",
+            "p99-lat",
+            "max-lat"
         );
         for p in &self.points {
             out.push_str(&format!(
-                "{:>24} {:>10} {:>12} {:>14} {:>14} {:>6.3}\n",
-                p.topology, p.scheme, p.seed, p.makespan_ps, p.max_busy_ps, p.max_utilization
+                "{:>24} {:>10} {:>12} {:>14} {:>14} {:>6.3} {:>12} {:>12} {:>12}\n",
+                p.topology,
+                p.scheme,
+                p.seed,
+                p.makespan_ps,
+                p.max_busy_ps,
+                p.max_utilization,
+                p.p50_latency_ps,
+                p.p99_latency_ps,
+                p.max_latency_ps
             ));
         }
         out
@@ -300,8 +329,9 @@ impl ResultPayload {
 }
 
 /// The versioned envelope every scenario run returns: schema version,
-/// provenance (the exact spec that ran) and the engine payload.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// provenance (the exact spec that ran) and the engine payload, plus an
+/// optional telemetry section when the run was instrumented.
+#[derive(Debug, Clone)]
 pub struct ScenarioResult {
     /// Result schema version ([`RESULT_SCHEMA_VERSION`]).
     pub schema_version: u32,
@@ -311,6 +341,48 @@ pub struct ScenarioResult {
     pub spec: ScenarioSpec,
     /// The engine payload.
     pub payload: ResultPayload,
+    /// Per-run observability (stage wall-clocks, counters, gauges,
+    /// histograms), present only under [`RunOptions::telemetry`]. Strictly
+    /// outside the deterministic payload: two runs of the same spec have
+    /// byte-identical payloads and different telemetry.
+    pub telemetry: Option<xgft_obs::Telemetry>,
+}
+
+/// Hand-written (not derived) so the `telemetry` key is *omitted* when
+/// absent: envelopes from uninstrumented runs stay byte-identical to the
+/// pre-telemetry schema, which the golden fixtures pin.
+impl Serialize for ScenarioResult {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            (
+                "schema_version".to_string(),
+                Serialize::to_value(&self.schema_version),
+            ),
+            ("scenario".to_string(), Serialize::to_value(&self.scenario)),
+            ("spec".to_string(), self.spec.to_value()),
+            ("payload".to_string(), self.payload.to_value()),
+        ];
+        if let Some(telemetry) = &self.telemetry {
+            fields.push(("telemetry".to_string(), telemetry.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for ScenarioResult {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let telemetry = match serde::obj_field(value, "telemetry") {
+            Ok(v) => Some(xgft_obs::Telemetry::from_value(v)?),
+            Err(_) => None,
+        };
+        Ok(ScenarioResult {
+            schema_version: Deserialize::from_value(serde::obj_field(value, "schema_version")?)?,
+            scenario: Deserialize::from_value(serde::obj_field(value, "scenario")?)?,
+            spec: Deserialize::from_value(serde::obj_field(value, "spec")?)?,
+            payload: Deserialize::from_value(serde::obj_field(value, "payload")?)?,
+            telemetry,
+        })
+    }
 }
 
 impl ScenarioResult {
@@ -393,6 +465,11 @@ pub fn run_scenario(
     } else {
         spec.clone()
     };
+    // Snapshot the registry before any work so the telemetry window covers
+    // exactly this run (the registry itself is process-lifetime).
+    let window_start = options.telemetry.then(|| xgft_obs::global().snapshot());
+    let wall_start = std::time::Instant::now();
+    let run_span = xgft_obs::span("scenario.run");
     // Validation instantiates the workload while checking it; reuse that
     // pattern instead of materialising a second copy.
     let pattern = spec.validated_pattern()?;
@@ -491,11 +568,20 @@ pub fn run_scenario(
             ResultPayload::Agreement(run_agreement(&spec, &pattern)?)
         }
     };
+    // Close the run span before diffing so scenario.run itself lands in
+    // the window.
+    drop(run_span);
+    let telemetry = window_start.map(|before| {
+        let wall_ns = u64::try_from(wall_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let delta = xgft_obs::global().snapshot().delta_since(&before);
+        xgft_obs::Telemetry::from_window(wall_ns, delta)
+    });
     Ok(ScenarioResult {
         schema_version: RESULT_SCHEMA_VERSION,
         scenario: spec.name.clone(),
         spec,
         payload,
+        telemetry,
     })
 }
 
@@ -680,6 +766,9 @@ fn run_direct(spec: &ScenarioSpec, pattern: &Pattern) -> Result<DirectResult, Sc
                 makespan_ps: report.makespan_ps,
                 max_busy_ps: max_busy,
                 max_utilization: report.max_channel_utilization,
+                p50_latency_ps: report.p50_latency_ps(),
+                p99_latency_ps: report.p99_latency_ps(),
+                max_latency_ps: report.max_latency_ps(),
             });
         }
     }
@@ -791,6 +880,15 @@ fn run_agreement(spec: &ScenarioSpec, pattern: &Pattern) -> Result<AgreementResu
     let all_agree = points
         .iter()
         .all(|p| p.sims_identical && p.flow_max_rel_dev <= AGREEMENT_TOLERANCE);
+    if xgft_obs::trace_enabled() {
+        xgft_obs::trace(
+            "agreement_checked",
+            &[
+                ("points", points.len().into()),
+                ("all_agree", all_agree.into()),
+            ],
+        );
+    }
     Ok(AgreementResult {
         name: spec.name.clone(),
         workload: pattern.name().to_string(),
@@ -1032,13 +1130,79 @@ mod tests {
         spec.seeds = SeedSpec::List {
             seeds: (1..=10).collect(),
         };
-        let result = run_scenario(&spec, &RunOptions { quick: true }).unwrap();
+        let result = run_scenario(
+            &spec,
+            &RunOptions {
+                quick: true,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
         let ResultPayload::Sweep(sweep) = &result.payload else {
             panic!("expected a sweep payload");
         };
         assert_eq!(sweep.point(4, "random").unwrap().samples.len(), 3);
         // The envelope records the spec that actually ran.
         assert_eq!(result.spec.seeds.as_list().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn telemetry_rides_outside_the_deterministic_payload() {
+        let mut spec = base_spec();
+        spec.seeds = SeedSpec::List { seeds: vec![1] };
+        let with = run_scenario(
+            &spec,
+            &RunOptions {
+                quick: false,
+                telemetry: true,
+            },
+        )
+        .unwrap();
+        let without = run_scenario(&spec, &RunOptions::default()).unwrap();
+
+        let telemetry = with.telemetry.as_ref().expect("telemetry was requested");
+        assert!(telemetry.wall_ns > 0);
+        assert!(telemetry.stage("scenario.run").is_some());
+        assert!(telemetry.stage("core.compile").is_some());
+        assert!(without.telemetry.is_none());
+
+        // Instrumentation observes the run, it never alters it.
+        assert_eq!(
+            serde_json::to_string(&with.payload).unwrap(),
+            serde_json::to_string(&without.payload).unwrap(),
+        );
+        // The envelope omits the key entirely when telemetry is off, so
+        // pre-telemetry golden envelopes stay byte-identical.
+        let bare = serde_json::to_string(&without).unwrap();
+        assert!(!bare.contains("\"telemetry\""), "{bare}");
+        let instrumented = serde_json::to_string(&with).unwrap();
+        assert!(instrumented.contains("\"telemetry\""));
+
+        // And the instrumented envelope round-trips.
+        let parsed: ScenarioResult = serde_json::from_str(&instrumented).unwrap();
+        let reparsed_stage = parsed.telemetry.expect("telemetry survives the round trip");
+        assert_eq!(
+            reparsed_stage.stage("scenario.run"),
+            telemetry.stage("scenario.run")
+        );
+    }
+
+    #[test]
+    fn direct_points_report_latency_percentiles() {
+        let mut spec = base_spec();
+        spec.engine = EngineSpec::Netsim;
+        spec.seeds = SeedSpec::List { seeds: vec![7] };
+        let result = run_scenario(&spec, &RunOptions::default()).unwrap();
+        let ResultPayload::Direct(direct) = &result.payload else {
+            panic!("expected a direct payload");
+        };
+        for p in &direct.points {
+            assert!(p.p50_latency_ps > 0);
+            assert!(p.p50_latency_ps <= p.p99_latency_ps);
+            assert!(p.p99_latency_ps <= p.max_latency_ps);
+            assert!(p.max_latency_ps <= p.makespan_ps);
+        }
+        assert!(result.render().contains("p99-lat"));
     }
 
     #[test]

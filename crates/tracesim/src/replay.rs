@@ -99,6 +99,7 @@ impl ReplayEngine {
 
     /// Replay the trace on `network` and return the timing result.
     pub fn run<N: Network>(&self, mut network: N) -> Result<ReplayResult, ReplayError> {
+        xgft_obs::span!("tracesim.replay");
         self.trace.validate().map_err(ReplayError::InvalidTrace)?;
         let n = self.trace.num_ranks();
         let mut ranks: Vec<RankState> = (0..n)

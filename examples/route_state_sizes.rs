@@ -16,8 +16,12 @@
 //!   shown both with the explicit pair domain and as the domain-free
 //!   all-pairs engine.
 //!
-//! Run with `cargo run --release --example route_state_sizes`.
+//! Run with `cargo run --release --example route_state_sizes`; pass
+//! `--json` for a machine-readable record per machine size (one JSON
+//! object per line, exact bytes, no humanised units) so the numbers can
+//! feed the `BENCH_*.json` trajectory instead of being print-only.
 
+use serde::Value;
 use xgft::routing::{CompactRoutes, CompactScheme, CompiledRouteTable, DModK, RouteTable};
 use xgft::topo::{Route, Xgft, XgftSpec};
 
@@ -53,11 +57,52 @@ fn human(bytes: usize) -> String {
     }
 }
 
+/// One measured machine size, ready for either rendering.
+struct SizeRow {
+    leaves: usize,
+    hashmap_bytes: usize,
+    compiled_bytes: usize,
+    compiled_arithmetic: bool,
+    compact_domain_bytes: usize,
+    compact_all_pairs_bytes: usize,
+    compact_rnca_bytes: usize,
+}
+
+impl SizeRow {
+    fn to_json(&self) -> Value {
+        let field = |v: usize| Value::UInt(v as u64);
+        Value::Object(vec![
+            ("leaves".to_string(), field(self.leaves)),
+            ("hashmap_bytes".to_string(), field(self.hashmap_bytes)),
+            ("compiled_bytes".to_string(), field(self.compiled_bytes)),
+            (
+                "compiled_arithmetic".to_string(),
+                Value::Bool(self.compiled_arithmetic),
+            ),
+            (
+                "compact_domain_bytes".to_string(),
+                field(self.compact_domain_bytes),
+            ),
+            (
+                "compact_all_pairs_bytes".to_string(),
+                field(self.compact_all_pairs_bytes),
+            ),
+            (
+                "compact_rnca_bytes".to_string(),
+                field(self.compact_rnca_bytes),
+            ),
+        ])
+    }
+}
+
 fn main() {
-    println!(
-        "| leaves | hash map (d-mod-k) | compiled (d-mod-k) | compact, pair domain (d-mod-k) | compact, all pairs (d-mod-k) | compact, all pairs (r-NCA-u) |"
-    );
-    println!("|---|---|---|---|---|---|");
+    let json = std::env::args().any(|a| a == "--json");
+    if !json {
+        println!(
+            "| leaves | hash map (d-mod-k) | compiled (d-mod-k) | compact, pair domain (d-mod-k) | compact, all pairs (d-mod-k) | compact, all pairs (r-NCA-u) |"
+        );
+        println!("|---|---|---|---|---|---|");
+    }
     for k in [32usize, 128, 1024] {
         let xgft = Xgft::new(XgftSpec::slimmed_two_level(k, 4).unwrap()).unwrap();
         let n = xgft.num_leaves();
@@ -83,15 +128,37 @@ fn main() {
         let free = CompactRoutes::all_pairs(&xgft, CompactScheme::DModK);
         let rnca = CompactRoutes::all_pairs(&xgft, CompactScheme::random_nca_up(&xgft, 1));
 
-        println!(
-            "| {} | {} | {}{} | {} | {} | {} |",
-            n,
-            human(hashed_bytes),
-            human(compiled_bytes),
-            compiled_note,
-            human(domain.storage_bytes()),
-            human(free.storage_bytes()),
-            human(rnca.storage_bytes()),
-        );
+        let row = SizeRow {
+            leaves: n,
+            hashmap_bytes: hashed_bytes,
+            compiled_bytes,
+            compiled_arithmetic: !compiled_note.is_empty(),
+            compact_domain_bytes: domain.storage_bytes(),
+            compact_all_pairs_bytes: free.storage_bytes(),
+            compact_rnca_bytes: rnca.storage_bytes(),
+        };
+        if json {
+            struct Raw(Value);
+            impl serde::Serialize for Raw {
+                fn to_value(&self) -> Value {
+                    self.0.clone()
+                }
+            }
+            println!(
+                "{}",
+                serde_json::to_string(&Raw(row.to_json())).expect("serialisable row")
+            );
+        } else {
+            println!(
+                "| {} | {} | {}{} | {} | {} | {} |",
+                row.leaves,
+                human(row.hashmap_bytes),
+                human(row.compiled_bytes),
+                compiled_note,
+                human(row.compact_domain_bytes),
+                human(row.compact_all_pairs_bytes),
+                human(row.compact_rnca_bytes),
+            );
+        }
     }
 }

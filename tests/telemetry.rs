@@ -1,0 +1,73 @@
+//! Telemetry must never perturb results: the same spec run with telemetry
+//! on and off yields a byte-identical deterministic `payload`, and the
+//! telemetry section lives strictly outside it (the bare envelope does not
+//! even contain the key, which is what keeps the golden fixtures stable).
+
+use serde::Value;
+use xgft::analysis::AlgorithmSpec;
+use xgft::netsim::NetworkConfig;
+use xgft::scenario::{
+    run_scenario, EngineSpec, FaultSpec, RepresentationSpec, RunOptions, ScenarioSpec, SchemeSpec,
+    SeedSpec, SweepSpec, TopologySpec, WorkloadSpec, SPEC_SCHEMA_VERSION,
+};
+
+fn spec() -> ScenarioSpec {
+    ScenarioSpec {
+        schema_version: SPEC_SCHEMA_VERSION,
+        name: "telemetry-integration".to_string(),
+        topology: TopologySpec::SlimmedTwoLevel { k: 4, w2: 2 },
+        workload: WorkloadSpec::new("wrf", 16, 16 * 1024),
+        schemes: vec![
+            SchemeSpec(AlgorithmSpec::DModK),
+            SchemeSpec(AlgorithmSpec::Random),
+        ],
+        engine: EngineSpec::Tracesim,
+        representation: RepresentationSpec::Compiled,
+        faults: FaultSpec::None,
+        sweep: SweepSpec::over(vec![2]),
+        seeds: SeedSpec::List { seeds: vec![1, 2] },
+        network: NetworkConfig::default(),
+    }
+}
+
+fn payload_json(result: &xgft::scenario::ScenarioResult) -> String {
+    struct Raw(Value);
+    impl serde::Serialize for Raw {
+        fn to_value(&self) -> Value {
+            self.0.clone()
+        }
+    }
+    serde_json::to_string_pretty(&Raw(serde::Serialize::to_value(&result.payload)))
+        .expect("serialisable payload")
+}
+
+#[test]
+fn telemetry_window_does_not_perturb_the_deterministic_payload() {
+    let spec = spec();
+    let bare = run_scenario(&spec, &RunOptions::default()).expect("valid scenario");
+    let instrumented = run_scenario(
+        &spec,
+        &RunOptions {
+            telemetry: true,
+            ..RunOptions::default()
+        },
+    )
+    .expect("valid scenario");
+
+    // Byte-identical payload with the instrumentation window on.
+    assert_eq!(payload_json(&bare), payload_json(&instrumented));
+
+    // The window itself observed the run: wall-clock plus per-stage timers.
+    let telemetry = instrumented.telemetry.as_ref().expect("telemetry window");
+    assert!(telemetry.wall_ns > 0);
+    assert!(telemetry.stage("scenario.run").is_some());
+    assert!(telemetry.stage("core.compile").is_some());
+
+    // The envelope keeps telemetry strictly outside the pinned payload: a
+    // bare run's JSON does not even carry the key, so golden fixtures that
+    // pin whole envelopes never see it.
+    let bare_json = serde_json::to_string_pretty(&bare).expect("serialisable");
+    let instrumented_json = serde_json::to_string_pretty(&instrumented).expect("serialisable");
+    assert!(!bare_json.contains("\"telemetry\""));
+    assert!(instrumented_json.contains("\"telemetry\""));
+}
