@@ -1,0 +1,146 @@
+//! Batched injection: a whole traffic matrix lowered into one pre-sorted
+//! event batch.
+//!
+//! The scenario and campaign layers inject thousands of messages whose
+//! paths come from a `RouteSource` (compiled table or compact engine).
+//! Scheduling them one [`crate::NetworkSim::schedule_message_on_path`] call
+//! at a time works, but every caller repeats the same lowering loop and
+//! the simulator sees the messages in whatever order the caller iterated.
+//! An [`InjectionBatch`] makes the lowering a first-class object: callers
+//! append `(time, src, dst, bytes, path)` entries — the paths are copied
+//! once into a shared `u32` arena, never per-message allocations — and
+//! [`crate::NetworkSim::schedule_batch`] admits the whole batch in one
+//! call, in ascending-time order (stable for ties), bulk-filling the
+//! message slab and seeding the calendar queue with the per-message
+//! injection events.
+//!
+//! **Determinism contract:** `schedule_batch` is *bit-identical* to
+//! calling `schedule_message_on_path` yourself for the same entries in
+//! ascending `at_ps` order (ties in push order): same slab slots, same
+//! event sequence numbers, same report — the regression tests pin this.
+
+/// One batched message: times, endpoints and a path span into the batch
+/// arena.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BatchEntry {
+    pub at_ps: u64,
+    pub src: u32,
+    pub dst: u32,
+    pub bytes: u64,
+    path_start: u32,
+    path_len: u16,
+}
+
+/// A pre-lowered set of messages to inject in one call (see module docs).
+#[derive(Debug, Clone, Default)]
+pub struct InjectionBatch {
+    entries: Vec<BatchEntry>,
+    /// Concatenated per-entry paths (dense channel indices).
+    arena: Vec<u32>,
+}
+
+impl InjectionBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty batch with room for `messages` entries totalling `hops`
+    /// path hops.
+    pub fn with_capacity(messages: usize, hops: usize) -> Self {
+        InjectionBatch {
+            entries: Vec::with_capacity(messages),
+            arena: Vec::with_capacity(hops),
+        }
+    }
+
+    /// Append a message. An empty path means a local copy (`src == dst`);
+    /// the pair/path consistency is checked at scheduling time, exactly as
+    /// [`crate::NetworkSim::schedule_message_on_path`] checks it.
+    pub fn push(&mut self, at_ps: u64, src: usize, dst: usize, bytes: u64, path: &[u32]) {
+        assert!(
+            path.len() <= u16::MAX as usize,
+            "paths longer than {} hops are unsupported",
+            u16::MAX
+        );
+        let start = self.arena.len();
+        assert!(
+            start + path.len() <= u32::MAX as usize,
+            "batch path arena exhausted"
+        );
+        self.arena.extend_from_slice(path);
+        self.entries.push(BatchEntry {
+            at_ps,
+            src: src as u32,
+            dst: dst as u32,
+            bytes,
+            path_start: start as u32,
+            path_len: path.len() as u16,
+        });
+    }
+
+    /// Number of messages in the batch.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the batch holds no messages.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total path hops across all entries (sizing hint for the slab arena).
+    pub fn total_hops(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// The admission order: entry indices ascending by `at_ps`, stable for
+    /// ties (push order).
+    pub(crate) fn time_order(&self) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..self.entries.len() as u32).collect();
+        order.sort_by_key(|&i| self.entries[i as usize].at_ps);
+        order
+    }
+
+    #[inline]
+    pub(crate) fn entry(&self, index: usize) -> BatchEntry {
+        self.entries[index]
+    }
+
+    #[inline]
+    pub(crate) fn path(&self, index: usize) -> &[u32] {
+        let e = &self.entries[index];
+        let start = e.path_start as usize;
+        &self.arena[start..start + e.path_len as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_accumulates_entries_and_paths() {
+        let mut batch = InjectionBatch::with_capacity(3, 8);
+        batch.push(0, 0, 5, 4096, &[1, 2, 3]);
+        batch.push(100, 3, 3, 512, &[]);
+        batch.push(50, 2, 7, 1024, &[4, 5]);
+        assert_eq!(batch.len(), 3);
+        assert!(!batch.is_empty());
+        assert_eq!(batch.total_hops(), 5);
+        assert_eq!(batch.path(0), &[1, 2, 3]);
+        assert_eq!(batch.path(1), &[] as &[u32]);
+        assert_eq!(batch.path(2), &[4, 5]);
+        assert_eq!(batch.entry(2).bytes, 1024);
+    }
+
+    #[test]
+    fn time_order_is_stable_on_ties() {
+        let mut batch = InjectionBatch::new();
+        batch.push(50, 0, 1, 1, &[0]);
+        batch.push(0, 1, 2, 1, &[0]);
+        batch.push(50, 2, 3, 1, &[0]);
+        batch.push(0, 3, 4, 1, &[0]);
+        assert_eq!(batch.time_order(), vec![1, 3, 0, 2]);
+    }
+}

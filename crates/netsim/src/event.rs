@@ -1,38 +1,77 @@
 //! The discrete-event queue.
 //!
 //! Events are ordered by (time, sequence number) so simulations are fully
-//! deterministic: ties are broken by insertion order, never by heap
+//! deterministic: ties are broken by insertion order, never by container
 //! internals.
+//!
+//! ## Calendar queue
+//!
+//! The queue is a calendar/bucket queue (Brown, CACM 1988) specialised for
+//! the simulator's workload: picosecond timestamps that advance
+//! monotonically, with most new events landing either at the very instant
+//! being processed or a few segment-serialization times ahead of the
+//! cursor. Pending events live in one of three lanes:
+//!
+//! * `now_fifo` — events pushed at exactly the last-popped timestamp.
+//!   Handlers schedule a large share of their follow-ups at the instant
+//!   being processed (credit returns, adapter pokes); those bypass all
+//!   ordering machinery, because FIFO order *is* (time, seq) order when
+//!   every entry shares one timestamp.
+//! * `current` — events of the *day* being drained (time is divided into
+//!   days of `2^WIDTH_SHIFT` ps), kept as a `Vec` sorted (time, seq)
+//!   descending so the earliest event is an O(1) `Vec::pop` from the back.
+//!   The vec is filled by one bulk move + sort per day; the rare
+//!   strictly-future same-day push pays a single sorted insert.
+//! * `buckets` — unsorted future days in a power-of-two ring indexed by
+//!   `day & mask`, each bucket tracking the minimum timestamp it holds.
+//!   A future-day push is an O(1) `Vec::push` plus a min update.
+//!
+//! When `now_fifo` and `current` both drain, the cursor advances to the
+//! next populated day — found by probing bucket minima one O(1) check per
+//! candidate day, with an O(buckets) global-min fallback when every pending
+//! event is more than one ring revolution ahead — and that day's events
+//! move into `current`.
+//!
+//! **Determinism.** The `now_fifo` lane only holds events at the current
+//! instant with maximal sequence numbers; every pending event with
+//! `day(t) <= cursor` is in `current`, and everything in the buckets has a
+//! strictly later day. The front of the three lanes is therefore always the
+//! global (time, seq) minimum: the pop sequence is exactly (time, seq)
+//! ascending — byte-identical to the `BinaryHeap`-backed queue this
+//! replaced, which the property tests below pin, and independent of bucket
+//! width, ring size and growth schedule.
 
 use crate::message::Segment;
 use crate::sim::FailurePolicy;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::VecDeque;
 
 /// The kinds of events the simulator processes.
+///
+/// Channel and adapter ids are stored as `u32` (the topology layer caps
+/// channel counts far below that) so the whole enum packs into 32 bytes:
+/// queue inserts memmove a slice of these, and the event rate is high
+/// enough that payload width is measurable on the bench probes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) enum Event {
     /// The source adapter of `src` should try to hand its next segment to
     /// the injection channel.
-    AdapterTryInject { src: usize },
+    AdapterTryInject { src: u32 },
     /// A segment has finished its transmission over `channel` and now sits
     /// in the downstream input buffer.
-    SegmentArrived { segment: Segment, channel: usize },
+    SegmentArrived { segment: Segment, channel: u32 },
     /// A segment that arrived earlier has crossed the switch and is ready to
     /// be queued for its next hop.
     SegmentReadyForNextHop { segment: Segment },
     /// A downstream buffer slot of `channel` has been vacated; the channel
     /// should re-examine its waiting queue.
-    CreditReturn { channel: usize },
+    CreditReturn { channel: u32 },
     /// The directed channel `channel` fails at this instant; pending and
     /// future traffic on it is handled per `policy`.
-    ChannelFail {
-        channel: usize,
-        policy: FailurePolicy,
-    },
+    ChannelFail { channel: u32, policy: FailurePolicy },
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct QueuedEvent {
     time_ps: u64,
     seq: u64,
@@ -62,52 +101,271 @@ impl PartialOrd for QueuedEvent {
     }
 }
 
-/// A deterministic discrete-event queue.
+/// Width of one calendar day: `2^16` ps = 65.536 ns, about 1/62 of a
+/// default-config segment serialization (4.096 µs). Small enough that the
+/// current-day agenda stays tiny (cheap per-day sort), large enough that
+/// populated days are dense under contention. Correctness never depends on
+/// this tuning.
+const WIDTH_SHIFT: u32 = 16;
+
+/// Initial bucket-ring size (power of two).
+const INITIAL_BUCKETS: usize = 64;
+
+/// Grow the ring when future events exceed this per-bucket average.
+const GROW_LOAD: usize = 16;
+
+/// Never grow the ring beyond this many buckets.
+const MAX_BUCKETS: usize = 1 << 16;
+
+/// One ring slot: its events plus their exact minimum timestamp, kept in
+/// one struct so the push hot path touches a single cache line for both.
 #[derive(Debug, Default)]
+struct Bucket {
+    /// Exact minimum timestamp held (`u64::MAX` when empty).
+    min_ps: u64,
+    events: Vec<QueuedEvent>,
+}
+
+impl Bucket {
+    fn empty() -> Self {
+        Bucket {
+            min_ps: u64::MAX,
+            events: Vec::new(),
+        }
+    }
+}
+
+/// A deterministic discrete-event queue (calendar queue; see module docs).
+#[derive(Debug)]
 pub(crate) struct EventQueue {
-    heap: BinaryHeap<QueuedEvent>,
+    /// Events pushed at exactly the last-popped timestamp (`now_ps`), in
+    /// push order. Handlers schedule a large share of their follow-ups at
+    /// the very instant being processed (credit returns, adapter pokes);
+    /// those skip the heap entirely. FIFO order *is* (time, seq) order
+    /// here: every entry shares one timestamp and sequence numbers are
+    /// monotonic.
+    now_fifo: VecDeque<Event>,
+    /// The timestamp of the last popped event — the time every `now_fifo`
+    /// entry carries.
+    now_ps: u64,
+    /// Events of the cursor day (and any pushed at or before it), sorted
+    /// by (time, seq) *descending* so the earliest event is at the back:
+    /// the common case fills this in one bulk move + sort per day
+    /// (`advance_day`) and drains it with O(1) pops, with no per-element
+    /// heap sifting. The rare same-day future push pays one sorted insert.
+    current: Vec<QueuedEvent>,
+    /// Unsorted future events, ring-indexed by `day & mask`.
+    buckets: Vec<Bucket>,
+    /// `buckets.len() - 1`; the ring size is a power of two.
+    mask: u64,
+    /// The day the cursor points at: `time >> WIDTH_SHIFT` of the draining
+    /// front.
+    day: u64,
+    /// Number of events in the buckets (excludes `current`).
+    future_len: usize,
+    /// Total pending events (`now_fifo` + `current` + buckets), maintained
+    /// incrementally so the per-push high-water update is one compare.
+    live: usize,
     next_seq: u64,
+    high_water: usize,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl EventQueue {
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            now_fifo: VecDeque::new(),
+            now_ps: 0,
+            current: Vec::new(),
+            buckets: (0..INITIAL_BUCKETS).map(|_| Bucket::empty()).collect(),
+            mask: (INITIAL_BUCKETS - 1) as u64,
+            day: 0,
+            future_len: 0,
+            live: 0,
             next_seq: 0,
+            high_water: 0,
         }
     }
 
     /// Schedule `event` at absolute time `time_ps`.
     pub fn push(&mut self, time_ps: u64, event: Event) {
+        self.live += 1;
+        if self.live > self.high_water {
+            self.high_water = self.live;
+        }
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(QueuedEvent {
+        if time_ps == self.now_ps {
+            // An at-now event ranks after every pending equal-time event
+            // (all pushed earlier, so with smaller sequence numbers) and
+            // before anything strictly later: the FIFO lane needs no heap.
+            self.now_fifo.push_back(event);
+            return;
+        }
+        let queued = QueuedEvent {
             time_ps,
             seq,
             event,
-        });
+        };
+        if time_ps >> WIDTH_SHIFT <= self.day {
+            // Sorted insert. The new event carries the largest sequence
+            // number, so among equal timestamps it sorts last-to-pop,
+            // i.e. closest to the front of the descending vec.
+            let at = self.current.partition_point(|e| e.time_ps > time_ps);
+            self.current.insert(at, queued);
+        } else {
+            if self.future_len >= self.buckets.len() * GROW_LOAD && self.buckets.len() < MAX_BUCKETS
+            {
+                self.grow();
+            }
+            let b = ((time_ps >> WIDTH_SHIFT) & self.mask) as usize;
+            let bucket = &mut self.buckets[b];
+            bucket.min_ps = bucket.min_ps.min(time_ps);
+            if bucket.events.capacity() == 0 {
+                // Skip the 1 → 2 → 4 … growth staircase a fresh simulator
+                // would otherwise climb in every bucket.
+                bucket.events.reserve(16);
+            }
+            bucket.events.push(queued);
+            self.future_len += 1;
+        }
     }
 
     /// Pop the earliest event, if any.
     pub fn pop(&mut self) -> Option<(u64, Event)> {
-        self.heap.pop().map(|q| (q.time_ps, q.event))
+        if !self.now_fifo.is_empty() {
+            // Equal-time heap events were pushed earlier and pop first;
+            // everything else in the heap (and all bucketed events) is
+            // strictly later than the FIFO lane's shared timestamp.
+            match self.current.last() {
+                Some(q) if q.time_ps == self.now_ps => {}
+                _ => {
+                    let event = self.now_fifo.pop_front().expect("non-empty");
+                    self.live -= 1;
+                    return Some((self.now_ps, event));
+                }
+            }
+        } else if self.current.is_empty() {
+            if self.future_len == 0 {
+                return None;
+            }
+            self.advance_day();
+        }
+        self.current.pop().map(|q| {
+            self.live -= 1;
+            self.now_ps = q.time_ps;
+            (q.time_ps, q.event)
+        })
     }
 
     /// Peek at the time of the earliest event.
     #[allow(dead_code)]
     pub fn next_time(&self) -> Option<u64> {
-        self.heap.peek().map(|q| q.time_ps)
+        if !self.now_fifo.is_empty() {
+            return Some(self.now_ps);
+        }
+        if let Some(q) = self.current.last() {
+            return Some(q.time_ps);
+        }
+        self.buckets
+            .iter()
+            .map(|b| b.min_ps)
+            .min()
+            .filter(|&m| m != u64::MAX)
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.live == 0
     }
 
     /// Number of pending events.
-    #[allow(dead_code)]
+    #[cfg(test)]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        debug_assert_eq!(
+            self.live,
+            self.now_fifo.len() + self.current.len() + self.future_len
+        );
+        self.live
+    }
+
+    /// Largest number of simultaneously pending events observed so far.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Move the cursor to the earliest populated day and pull its events
+    /// into the current-day heap. Requires `future_len > 0`.
+    fn advance_day(&mut self) {
+        debug_assert!(self.current.is_empty() && self.future_len > 0);
+        let ring = self.buckets.len() as u64;
+        let mut target = None;
+        for d in (self.day + 1..).take(ring as usize) {
+            let m = self.buckets[(d & self.mask) as usize].min_ps;
+            if m != u64::MAX && m >> WIDTH_SHIFT == d {
+                target = Some(d);
+                break;
+            }
+        }
+        // Scanning one full ring revolution found nothing: every pending
+        // event is at least `ring` days ahead. Jump straight to the global
+        // minimum (the per-bucket minima are exact).
+        let target = target.unwrap_or_else(|| {
+            self.buckets
+                .iter()
+                .map(|b| b.min_ps)
+                .min()
+                .expect("future events pending")
+                >> WIDTH_SHIFT
+        });
+        self.day = target;
+        let b = (target & self.mask) as usize;
+        let bucket = &mut self.buckets[b];
+        let mut min_rest = u64::MAX;
+        let mut write = 0;
+        for read in 0..bucket.events.len() {
+            let e = &bucket.events[read];
+            if e.time_ps >> WIDTH_SHIFT == target {
+                self.current.push(bucket.events[read].clone());
+                self.future_len -= 1;
+            } else {
+                min_rest = min_rest.min(e.time_ps);
+                bucket.events.swap(write, read);
+                write += 1;
+            }
+        }
+        bucket.events.truncate(write);
+        bucket.min_ps = min_rest;
+        // One contiguous sort per day replaces per-element heap sifting.
+        // The in-order extraction above leaves `current` in seq order;
+        // reversing it and then stable-sorting on time alone (descending)
+        // yields exactly (time, seq) descending — pops come off the back
+        // in (time, seq) ascending order, with a cheap u64-only compare.
+        self.current.reverse();
+        self.current.sort_by_key(|e| std::cmp::Reverse(e.time_ps));
+        debug_assert!(!self.current.is_empty(), "target day must hold events");
+    }
+
+    /// Double the bucket ring and redistribute the future events.
+    fn grow(&mut self) {
+        let new_size = self.buckets.len() * 2;
+        let mut buckets: Vec<Bucket> = (0..new_size).map(|_| Bucket::empty()).collect();
+        let mask = (new_size - 1) as u64;
+        for old in self.buckets.drain(..) {
+            for q in old.events {
+                let b = ((q.time_ps >> WIDTH_SHIFT) & mask) as usize;
+                let bucket = &mut buckets[b];
+                bucket.min_ps = bucket.min_ps.min(q.time_ps);
+                bucket.events.push(q);
+            }
+        }
+        self.buckets = buckets;
+        self.mask = mask;
     }
 }
 
@@ -134,7 +392,7 @@ mod tests {
         q.push(5, Event::CreditReturn { channel: 10 });
         q.push(5, Event::CreditReturn { channel: 20 });
         q.push(5, Event::CreditReturn { channel: 30 });
-        let order: Vec<usize> = std::iter::from_fn(|| {
+        let order: Vec<u32> = std::iter::from_fn(|| {
             q.pop().map(|(_, e)| match e {
                 Event::CreditReturn { channel } => channel,
                 _ => unreachable!(),
@@ -142,5 +400,194 @@ mod tests {
         })
         .collect();
         assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn far_future_events_cross_bucket_revolutions() {
+        // Events farther apart than one full ring revolution exercise the
+        // global-min fallback of the day advance.
+        let mut q = EventQueue::new();
+        let day = 1u64 << WIDTH_SHIFT;
+        let times = [
+            0,
+            3 * day,
+            (INITIAL_BUCKETS as u64 + 5) * day,
+            10 * (MAX_BUCKETS as u64) * day + 17,
+        ];
+        for &t in times.iter().rev() {
+            q.push(t, Event::CreditReturn { channel: 0 });
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        let mut sorted = times.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(order, sorted);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_pending_events() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.high_water(), 0);
+        for t in 0..10u64 {
+            q.push(t * 1000, Event::CreditReturn { channel: 0 });
+        }
+        assert_eq!(q.high_water(), 10);
+        for _ in 0..5 {
+            q.pop();
+        }
+        q.push(99_000, Event::CreditReturn { channel: 1 });
+        assert_eq!(q.high_water(), 10, "high-water never decays");
+    }
+
+    #[test]
+    fn growth_torture_stays_sorted() {
+        // Push far more events than the initial ring holds (forcing several
+        // growth steps) at pseudo-random times with deliberate ties, then
+        // pop everything and check the (time, seq) order exactly.
+        let mut q = EventQueue::new();
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut times = Vec::new();
+        for _ in 0..10_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let t = (state >> 33) % 50_000_000;
+            times.push(t);
+            q.push(t, Event::CreditReturn { channel: 0 });
+        }
+        assert_eq!(q.len(), times.len());
+        let popped: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable(); // stable ties are checked by the proptest below
+        assert_eq!(popped, sorted);
+        assert_eq!(q.high_water(), times.len());
+    }
+}
+
+#[cfg(test)]
+mod pop_order_properties {
+    use super::*;
+    use crate::message::{MessageId, Segment};
+    use proptest::prelude::*;
+    use std::collections::BinaryHeap;
+
+    /// The queue this module replaced: a plain `BinaryHeap` over the same
+    /// (time, seq) order. The property below pins the calendar queue's pop
+    /// sequence byte-identical to it.
+    #[derive(Default)]
+    struct ReferenceQueue {
+        heap: BinaryHeap<QueuedEvent>,
+        next_seq: u64,
+    }
+
+    impl ReferenceQueue {
+        fn push(&mut self, time_ps: u64, event: Event) {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.heap.push(QueuedEvent {
+                time_ps,
+                seq,
+                event,
+            });
+        }
+
+        fn pop(&mut self) -> Option<(u64, Event)> {
+            self.heap.pop().map(|q| (q.time_ps, q.event))
+        }
+    }
+
+    /// One scripted operation against both queues.
+    #[derive(Debug, Clone)]
+    enum Op {
+        /// Push at `now + dt` (dt = step × unit, units chosen so pushes land
+        /// on the cursor day, nearby days, and far future alike).
+        Push { dt: u64, kind: u8 },
+        /// Pop one event and advance `now` to its time.
+        Pop,
+    }
+
+    fn push_op() -> impl Strategy<Value = Op> {
+        (0u64..4, 0u64..5, 0u8..8).prop_map(|(step, unit, kind)| {
+            // Units: ties (0), sub-day, day-scale, segment-scale and
+            // multi-revolution jumps.
+            let unit = [0, 1_000, 70_000, 4_096_000, 5_000_000_000][unit as usize];
+            Op::Push {
+                dt: step * unit,
+                kind,
+            }
+        })
+    }
+
+    fn ops() -> impl Strategy<Value = Vec<Op>> {
+        // Two push arms to one pop arm: queues should usually be non-empty.
+        prop::collection::vec(prop_oneof![push_op(), push_op(), Just(Op::Pop)], 0..120)
+    }
+
+    /// Build a distinguishable event for `kind` (every variant, both failure
+    /// policies) so payload mix-ups cannot hide behind identical payloads.
+    fn event_for(kind: u8, salt: usize) -> Event {
+        let mut segment = Segment::new(MessageId(salt as u64), salt as u64 % 7, 1024, salt % 3);
+        if !salt.is_multiple_of(2) {
+            segment.set_holds_buffer_of(salt);
+        }
+        let id = salt as u32;
+        match kind % 6 {
+            0 => Event::AdapterTryInject { src: id },
+            1 => Event::SegmentArrived {
+                segment,
+                channel: id,
+            },
+            2 => Event::SegmentReadyForNextHop { segment },
+            3 => Event::CreditReturn { channel: id },
+            4 => Event::ChannelFail {
+                channel: id,
+                policy: FailurePolicy::CompleteInFlight,
+            },
+            // The mid-run `fail_channel` path: Drop-policy failures pushed
+            // between ordinary traffic events.
+            _ => Event::ChannelFail {
+                channel: id,
+                policy: FailurePolicy::Drop,
+            },
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The calendar queue's pop sequence is byte-identical to the
+        /// reference `BinaryHeap` under random interleaved push/pop,
+        /// including same-timestamp ties and mid-run ChannelFail pushes.
+        #[test]
+        fn calendar_pops_match_reference_heap(script in ops()) {
+            let mut calendar = EventQueue::new();
+            let mut reference = ReferenceQueue::default();
+            let mut now = 0u64;
+            for (salt, op) in script.into_iter().enumerate() {
+                match op {
+                    Op::Push { dt, kind } => {
+                        let event = event_for(kind, salt);
+                        calendar.push(now + dt, event.clone());
+                        reference.push(now + dt, event);
+                    }
+                    Op::Pop => {
+                        let got = calendar.pop();
+                        let want = reference.pop();
+                        prop_assert_eq!(&got, &want);
+                        if let Some((t, _)) = got {
+                            now = t; // simulators never travel back in time
+                        }
+                    }
+                }
+                prop_assert_eq!(calendar.len(), reference.heap.len());
+            }
+            // Drain both: the tails must agree too.
+            loop {
+                let got = calendar.pop();
+                let want = reference.pop();
+                prop_assert_eq!(&got, &want);
+                if got.is_none() {
+                    break;
+                }
+            }
+            prop_assert!(calendar.is_empty());
+        }
     }
 }

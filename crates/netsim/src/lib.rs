@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod config;
 pub mod crossbar;
 pub mod event;
@@ -58,6 +59,7 @@ pub mod message;
 pub mod sim;
 pub mod stats;
 
+pub use batch::InjectionBatch;
 pub use config::{NetworkConfig, SwitchingMode};
 pub use crossbar::{crossbar_config, crossbar_xgft, CrossbarSim};
 pub use message::{MessageId, MessageStatus};

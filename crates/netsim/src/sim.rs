@@ -17,9 +17,10 @@
 //! release every buffer credit they hold (so unrelated flows keep moving),
 //! never complete, and are counted in [`SimReport::dropped_messages`].
 
+use crate::batch::InjectionBatch;
 use crate::config::{NetworkConfig, SwitchingMode};
 use crate::event::{Event, EventQueue};
-use crate::message::{MessageId, MessageState, MessageStatus, Segment};
+use crate::message::{MessageId, MessageSlab, MessageStatus, Segment};
 use crate::stats::{MessageRecord, SimReport};
 use std::collections::VecDeque;
 use xgft_topo::{Route, Xgft};
@@ -89,20 +90,23 @@ pub struct NetworkSim {
     queue: EventQueue,
     channels: Vec<ChannelState>,
     adapters: Vec<AdapterState>,
-    /// Message slab keyed by [`MessageId::slot`]: every hot-path access is a
-    /// vector index instead of a hash lookup. Slots of drained (finished and
-    /// consumed) messages are recycled through `free_slots`, which bounds
-    /// memory on long campaigns; each recycling bumps the slot's entry in
-    /// `generations`, so a stale id can never alias the new occupant.
-    messages: Vec<Option<MessageState>>,
-    /// Current generation of every slot (see [`MessageId`]).
-    generations: Vec<u32>,
-    free_slots: Vec<usize>,
-    live_messages: usize,
+    /// Struct-of-arrays message store keyed by [`MessageId::slot`] (see
+    /// [`MessageSlab`]): every hot-path access is a column index, drained
+    /// slots are recycled under bumped generations so stale ids never alias
+    /// a slot's next occupant.
+    messages: MessageSlab,
     dropped_messages: usize,
     completions: VecDeque<Completion>,
     records: Vec<MessageRecord>,
     events_processed: u64,
+    /// Serialization time of one full segment — cached because `try_start`
+    /// pays it once per segment per hop and `NetworkConfig::serialization_ps`
+    /// does float math.
+    seg_full_ps: u64,
+    /// Serialization time of one flit (the cut-through eligibility term).
+    flit_ps: u64,
+    /// Switch traversal latency in picoseconds.
+    switch_ps: u64,
 }
 
 impl NetworkSim {
@@ -121,6 +125,9 @@ impl NetworkSim {
             num_channels
         ];
         let adapters = vec![AdapterState::default(); xgft.num_leaves()];
+        let seg_full_ps = config.segment_serialization_ps();
+        let flit_ps = config.serialization_ps(config.flit_bytes);
+        let switch_ps = config.switch_latency_ps();
         NetworkSim {
             xgft: xgft.clone(),
             config,
@@ -128,14 +135,14 @@ impl NetworkSim {
             queue: EventQueue::new(),
             channels,
             adapters,
-            messages: Vec::new(),
-            generations: Vec::new(),
-            free_slots: Vec::new(),
-            live_messages: 0,
+            messages: MessageSlab::new(),
             dropped_messages: 0,
             completions: VecDeque::new(),
             records: Vec::new(),
             events_processed: 0,
+            seg_full_ps,
+            flit_ps,
+            switch_ps,
         }
     }
 
@@ -156,7 +163,19 @@ impl NetworkSim {
 
     /// Number of live (not yet drained) messages the simulator tracks.
     pub fn num_messages(&self) -> usize {
-        self.live_messages
+        self.messages.live_count()
+    }
+
+    /// Serialization time of a segment of `bytes` bytes — the cached
+    /// full-segment constant on the hot path (every segment except possibly
+    /// a message's last is full-sized), the float fallback otherwise.
+    #[inline]
+    fn serialization(&self, bytes: u64) -> u64 {
+        if bytes == self.config.segment_bytes {
+            self.seg_full_ps
+        } else {
+            self.config.serialization_ps(bytes)
+        }
     }
 
     /// Status of a message. Returns `None` once the message has been
@@ -165,43 +184,10 @@ impl NetworkSim {
     /// [`NetworkSim::schedule_message`] the stale id keeps resolving to
     /// `None` instead of aliasing the new occupant.
     pub fn message_status(&self, id: MessageId) -> Option<MessageStatus> {
-        let slot = id.slot();
-        if self.generations.get(slot).copied() != Some(id.generation()) {
+        if !self.messages.id_is_current(id) {
             return None;
         }
-        self.messages[slot].as_ref().map(|m| m.status())
-    }
-
-    /// The live state behind an id — hot-path accessor.
-    #[inline]
-    fn msg(&self, id: MessageId) -> &MessageState {
-        debug_assert_eq!(self.generations[id.slot()], id.generation());
-        self.messages[id.slot()].as_ref().expect("live message")
-    }
-
-    /// Mutable form of [`NetworkSim::msg`].
-    #[inline]
-    fn msg_mut(&mut self, id: MessageId) -> &mut MessageState {
-        debug_assert_eq!(self.generations[id.slot()], id.generation());
-        self.messages[id.slot()].as_mut().expect("live message")
-    }
-
-    /// Claim a slot for a new message: recycled if one is free, fresh
-    /// otherwise. The returned id packs the slot with its current
-    /// generation.
-    fn alloc_slot(&mut self, state: impl FnOnce(MessageId) -> MessageState) -> MessageId {
-        let slot = match self.free_slots.pop() {
-            Some(slot) => slot,
-            None => {
-                self.messages.push(None);
-                self.generations.push(0);
-                self.messages.len() - 1
-            }
-        };
-        let id = MessageId::new(slot as u32, self.generations[slot]);
-        self.messages[slot] = Some(state(id));
-        self.live_messages += 1;
-        id
+        Some(self.messages.status(id.slot()))
     }
 
     /// Recycle the slots of finished (delivered or dropped) messages whose
@@ -213,23 +199,7 @@ impl NetworkSim {
     pub fn drain_delivered(&mut self) -> usize {
         let mut pending: Vec<u64> = self.completions.iter().map(|c| c.id.0).collect();
         pending.sort_unstable();
-        let mut drained = 0;
-        for slot in 0..self.messages.len() {
-            let finished = self.messages[slot]
-                .as_ref()
-                .filter(|m| m.completed_at_ps.is_some() || m.dropped_at_ps.is_some())
-                .map(|m| m.id);
-            if let Some(id) = finished {
-                if pending.binary_search(&id.0).is_err() {
-                    self.messages[slot] = None;
-                    self.generations[slot] = self.generations[slot].wrapping_add(1);
-                    self.free_slots.push(slot);
-                    self.live_messages -= 1;
-                    drained += 1;
-                }
-            }
-        }
-        drained
+        self.messages.drain_finished(&pending)
     }
 
     /// True when no events are pending and no completions are waiting to be
@@ -252,8 +222,13 @@ impl NetworkSim {
             at_ps,
             self.now_ps
         );
-        self.queue
-            .push(at_ps, Event::ChannelFail { channel, policy });
+        self.queue.push(
+            at_ps,
+            Event::ChannelFail {
+                channel: channel as u32,
+                policy,
+            },
+        );
     }
 
     /// True once `channel` has failed (at or before the current time).
@@ -285,7 +260,7 @@ impl NetworkSim {
         route: Route,
     ) -> MessageId {
         if src == dst {
-            return self.schedule_on_channels(at_ps, src, dst, bytes, vec![]);
+            return self.schedule_on_channels(at_ps, src, dst, bytes, &[]);
         }
         self.xgft
             .validate_route(src, dst, &route)
@@ -294,13 +269,14 @@ impl NetworkSim {
             .xgft
             .route_channels(src, dst, &route)
             .expect("valid route expands to a path");
-        self.schedule_on_channels(at_ps, src, dst, bytes, path)
+        let path: Vec<u32> = path.into_iter().map(|c| c as u32).collect();
+        self.schedule_on_channels(at_ps, src, dst, bytes, &path)
     }
 
     /// Schedule a message whose dense channel path has been precomputed by a
     /// `xgft_core::CompiledRouteTable`-style build step — the hot injection
     /// entry: no route validation, no label arithmetic, just one copy of the
-    /// path into the message slab. The path must come from
+    /// path into the slab's shared arena. The path must come from
     /// `Xgft::route_channels` for `(src, dst)` on this topology (debug builds
     /// check the channel indices are in range).
     ///
@@ -325,19 +301,48 @@ impl NetworkSim {
             path.iter().all(|&c| (c as usize) < num_channels),
             "path contains out-of-range channel indices"
         );
-        let path: Vec<usize> = path.iter().map(|&c| c as usize).collect();
         self.schedule_on_channels(at_ps, src, dst, bytes, path)
     }
 
-    /// Common scheduling tail shared by the route and precompiled-path entry
-    /// points. An empty path means a local copy (`src == dst`).
+    /// Admit a whole pre-lowered [`InjectionBatch`] in ascending-`at_ps`
+    /// order (stable for ties) and return the per-entry ids *in the batch's
+    /// push order*. Bit-identical to calling
+    /// [`NetworkSim::schedule_message_on_path`] yourself in that time order:
+    /// same slab slots, same event sequence numbers, same report — batching
+    /// saves the per-call route lowering, not determinism.
+    ///
+    /// # Panics
+    /// Panics under the same conditions as `schedule_message_on_path` for
+    /// any entry.
+    pub fn schedule_batch(&mut self, batch: &InjectionBatch) -> Vec<MessageId> {
+        let order = batch.time_order();
+        let mut ids = vec![MessageId(0); batch.len()];
+        for &i in &order {
+            let i = i as usize;
+            let e = batch.entry(i);
+            ids[i] = self.schedule_message_on_path(
+                e.at_ps,
+                e.src as usize,
+                e.dst as usize,
+                e.bytes,
+                batch.path(i),
+            );
+        }
+        xgft_obs::global()
+            .counter("netsim.batch_messages")
+            .add(batch.len() as u64);
+        ids
+    }
+
+    /// Common scheduling tail shared by the route, precompiled-path and
+    /// batch entry points. An empty path means a local copy (`src == dst`).
     fn schedule_on_channels(
         &mut self,
         at_ps: u64,
         src: usize,
         dst: usize,
         bytes: u64,
-        path: Vec<usize>,
+        path: &[u32],
     ) -> MessageId {
         assert!(bytes > 0, "messages must carry at least one byte");
         assert!(
@@ -349,19 +354,9 @@ impl NetworkSim {
 
         if path.is_empty() {
             // Local copy: completes immediately without entering the network.
-            let id = self.alloc_slot(|id| MessageState {
-                id,
-                src,
-                dst,
-                bytes,
-                path: vec![],
-                injected_at_ps: at_ps,
-                segments_injected: 0,
-                segments_delivered: 0,
-                total_segments: 0,
-                completed_at_ps: Some(at_ps),
-                dropped_at_ps: None,
-            });
+            let id = self
+                .messages
+                .alloc(src, dst, bytes, at_ps, 0, &[], Some(at_ps));
             self.completions.push_back(Completion {
                 id,
                 src,
@@ -381,21 +376,12 @@ impl NetworkSim {
         }
 
         let total_segments = self.config.num_segments(bytes);
-        let id = self.alloc_slot(|id| MessageState {
-            id,
-            src,
-            dst,
-            bytes,
-            path,
-            injected_at_ps: at_ps,
-            segments_injected: 0,
-            segments_delivered: 0,
-            total_segments,
-            completed_at_ps: None,
-            dropped_at_ps: None,
-        });
+        let id = self
+            .messages
+            .alloc(src, dst, bytes, at_ps, total_segments, path, None);
         self.adapters[src].active.push_back(id);
-        self.queue.push(at_ps, Event::AdapterTryInject { src });
+        self.queue
+            .push(at_ps, Event::AdapterTryInject { src: src as u32 });
         id
     }
 
@@ -437,6 +423,9 @@ impl NetworkSim {
         metrics
             .gauge("netsim.queue_depth")
             .set_max(report.max_queue_depth as u64);
+        metrics
+            .gauge("netsim.event_queue_hwm")
+            .set_max(report.event_queue_hwm as u64);
         let latency = metrics.histogram("netsim.delivery_latency_ps");
         for record in &self.records[records_before..] {
             latency.record(record.latency_ps());
@@ -477,6 +466,7 @@ impl NetworkSim {
                 max_busy as f64 / makespan as f64
             },
             events_processed: self.events_processed,
+            event_queue_hwm: self.queue.high_water(),
         }
     }
 
@@ -489,14 +479,16 @@ impl NetworkSim {
         self.now_ps = time;
         self.events_processed += 1;
         match event {
-            Event::AdapterTryInject { src } => self.adapter_try_inject(src),
-            Event::SegmentArrived { segment, channel } => self.segment_arrived(segment, channel),
+            Event::AdapterTryInject { src } => self.adapter_try_inject(src as usize),
+            Event::SegmentArrived { segment, channel } => {
+                self.segment_arrived(segment, channel as usize)
+            }
             Event::SegmentReadyForNextHop { segment } => self.segment_ready(segment),
             Event::CreditReturn { channel } => {
-                self.channels[channel].credits += 1;
-                self.try_start(channel);
+                self.channels[channel as usize].credits += 1;
+                self.try_start(channel as usize);
             }
-            Event::ChannelFail { channel, policy } => self.channel_fail(channel, policy),
+            Event::ChannelFail { channel, policy } => self.channel_fail(channel as usize, policy),
         }
         true
     }
@@ -533,25 +525,25 @@ impl NetworkSim {
     /// let its source adapter move on, mark its message dropped and stop
     /// injecting the message's remaining segments.
     fn drop_segment(&mut self, segment: Segment) {
-        if let Some(prev) = segment.holds_buffer_of {
-            self.queue
-                .push(self.now_ps, Event::CreditReturn { channel: prev });
+        if let Some(prev) = segment.holds_buffer_of() {
+            self.queue.push(
+                self.now_ps,
+                Event::CreditReturn {
+                    channel: prev as u32,
+                },
+            );
         }
         let id = segment.message;
+        let slot = id.slot();
         let now_ps = self.now_ps;
-        let (src, first_drop) = {
-            let msg = self.msg_mut(id);
-            let first = msg.dropped_at_ps.is_none();
-            if first {
-                msg.dropped_at_ps = Some(now_ps);
-            }
-            (msg.src, first)
-        };
+        let first_drop = self.messages.mark_dropped(slot, now_ps);
+        let src = self.messages.src(slot);
         if segment.hop == 0 {
             // The segment sat in the injection queue; free the adapter's
             // round-robin slot so its other messages keep flowing.
             self.adapters[src].segment_enqueued = false;
-            self.queue.push(now_ps, Event::AdapterTryInject { src });
+            self.queue
+                .push(now_ps, Event::AdapterTryInject { src: src as u32 });
         }
         if first_drop {
             self.dropped_messages += 1;
@@ -568,21 +560,13 @@ impl NetworkSim {
         let Some(id) = self.adapters[src].active.pop_front() else {
             return;
         };
-        let (segment, injection_channel, fully_injected) = {
-            let msg = self.messages[id.slot()].as_mut().expect("live message");
-            let index = msg.segments_injected;
-            let bytes = self.config.segment_size(msg.bytes, index);
-            msg.segments_injected += 1;
-            let segment = Segment {
-                message: id,
-                index,
-                bytes,
-                hop: 0,
-                holds_buffer_of: None,
-            };
-            (segment, msg.path[0], msg.fully_injected())
-        };
-        if !fully_injected {
+        let slot = id.slot();
+        debug_assert!(self.messages.id_is_current(id));
+        let index = self.messages.next_segment_index(slot);
+        let bytes = self.config.segment_size(self.messages.bytes(slot), index);
+        let segment = Segment::new(id, index, bytes, 0);
+        let injection_channel = self.messages.path_channel(slot, 0);
+        if !self.messages.fully_injected(slot) {
             // Round-robin: this message goes to the back of the adapter queue.
             self.adapters[src].active.push_back(id);
         }
@@ -596,13 +580,23 @@ impl NetworkSim {
     fn enqueue_segment(&mut self, segment: Segment, channel: usize) {
         if let Some((failed_at, policy)) = self.channels[channel].failed {
             let drains = policy == FailurePolicy::CompleteInFlight
-                && self.msg(segment.message).injected_at_ps < failed_at;
+                && self.messages.injected_at_ps(segment.message.slot()) < failed_at;
             if !drains {
                 self.drop_segment(segment);
                 return;
             }
         }
         let ch = &mut self.channels[channel];
+        if ch.credits > 0 && ch.waiting.is_empty() {
+            // Fast path: the segment would be pushed and immediately popped
+            // by `try_start` — skip the queue round-trip. Accounting is
+            // identical: the pass-through segment still registers as a
+            // momentary queue depth of one.
+            ch.credits -= 1;
+            ch.max_queue = ch.max_queue.max(1);
+            self.start_transmission(segment, channel);
+            return;
+        }
         ch.waiting.push_back(segment);
         ch.max_queue = ch.max_queue.max(ch.waiting.len());
         self.try_start(channel);
@@ -611,112 +605,115 @@ impl NetworkSim {
     /// Start as many waiting transmissions on `channel` as credits allow.
     fn try_start(&mut self, channel: usize) {
         loop {
-            let (segment, start, finish) = {
+            let segment = {
                 let ch = &mut self.channels[channel];
                 if ch.waiting.is_empty() || ch.credits == 0 {
                     return;
                 }
-                let segment = ch.waiting.pop_front().expect("non-empty");
                 ch.credits -= 1;
-                let serialization = self.config.serialization_ps(segment.bytes);
-                let start = self.now_ps.max(ch.free_at_ps);
-                let finish = start + serialization;
-                ch.free_at_ps = finish;
-                ch.busy_ps += serialization;
-                (segment, start, finish)
+                ch.waiting.pop_front().expect("non-empty")
             };
+            self.start_transmission(segment, channel);
+        }
+    }
 
-            // The slot the segment held on its previous channel frees when it
-            // starts moving onto this one.
-            if let Some(prev) = segment.holds_buffer_of {
-                self.queue
-                    .push(start, Event::CreditReturn { channel: prev });
-            }
-            // The source adapter can decide its next round-robin segment as
-            // soon as this one starts occupying the injection link.
-            if segment.hop == 0 {
-                let src = self.msg(segment.message).src;
-                self.adapters[src].segment_enqueued = false;
-                self.queue.push(start, Event::AdapterTryInject { src });
-            }
+    /// Put `segment` on the wire of `channel`: the caller has already taken
+    /// a credit for it.
+    fn start_transmission(&mut self, segment: Segment, channel: usize) {
+        let serialization = self.serialization(segment.bytes as u64);
+        let (start, finish) = {
+            let ch = &mut self.channels[channel];
+            let start = self.now_ps.max(ch.free_at_ps);
+            let finish = start + serialization;
+            ch.free_at_ps = finish;
+            ch.busy_ps += serialization;
+            (start, finish)
+        };
 
-            let msg = self.msg(segment.message);
-            let is_last_hop = segment.hop + 1 == msg.path.len();
-            let mut moved = segment;
-            moved.holds_buffer_of = Some(channel);
+        // The slot the segment held on its previous channel frees when it
+        // starts moving onto this one.
+        if let Some(prev) = segment.holds_buffer_of() {
+            self.queue.push(
+                start,
+                Event::CreditReturn {
+                    channel: prev as u32,
+                },
+            );
+        }
+        // The source adapter can decide its next round-robin segment as
+        // soon as this one starts occupying the injection link.
+        if segment.hop == 0 {
+            let src = self.messages.src(segment.message.slot());
+            self.adapters[src].segment_enqueued = false;
+            self.queue
+                .push(start, Event::AdapterTryInject { src: src as u32 });
+        }
 
-            if is_last_hop {
-                self.queue.push(
-                    finish,
-                    Event::SegmentArrived {
-                        segment: moved,
-                        channel,
-                    },
-                );
-            } else {
-                moved.hop += 1;
-                let eligible = match self.config.switching {
-                    SwitchingMode::StoreAndForward => finish + self.config.switch_latency_ps(),
-                    SwitchingMode::CutThrough => {
-                        start
-                            + self.config.serialization_ps(self.config.flit_bytes)
-                            + self.config.switch_latency_ps()
-                    }
-                };
-                self.queue
-                    .push(eligible, Event::SegmentReadyForNextHop { segment: moved });
-            }
+        let is_last_hop =
+            segment.hop as usize + 1 == self.messages.path_hops(segment.message.slot());
+        let mut moved = segment;
+        moved.set_holds_buffer_of(channel);
+
+        if is_last_hop {
+            self.queue.push(
+                finish,
+                Event::SegmentArrived {
+                    segment: moved,
+                    channel: channel as u32,
+                },
+            );
+        } else {
+            moved.hop += 1;
+            let eligible = match self.config.switching {
+                SwitchingMode::StoreAndForward => finish + self.switch_ps,
+                SwitchingMode::CutThrough => start + self.flit_ps + self.switch_ps,
+            };
+            self.queue
+                .push(eligible, Event::SegmentReadyForNextHop { segment: moved });
         }
     }
 
     /// A segment has crossed its switch and is ready for the next channel of
     /// its path.
     fn segment_ready(&mut self, segment: Segment) {
-        let next_channel = {
-            let msg = self.msg(segment.message);
-            msg.path[segment.hop]
-        };
+        let next_channel = self
+            .messages
+            .path_channel(segment.message.slot(), segment.hop as usize);
         self.enqueue_segment(segment, next_channel);
     }
 
     /// A segment has fully arrived at the destination adapter.
     fn segment_arrived(&mut self, segment: Segment, channel: usize) {
         // The destination adapter drains its ejection buffer immediately.
-        self.queue
-            .push(self.now_ps, Event::CreditReturn { channel });
+        self.queue.push(
+            self.now_ps,
+            Event::CreditReturn {
+                channel: channel as u32,
+            },
+        );
+        let slot = segment.message.slot();
         let now_ps = self.now_ps;
-        let (completed, record) = {
-            let msg = self.msg_mut(segment.message);
-            msg.segments_delivered += 1;
-            debug_assert!(msg.segments_delivered <= msg.total_segments);
-            if msg.segments_delivered == msg.total_segments && msg.dropped_at_ps.is_none() {
-                msg.completed_at_ps = Some(now_ps);
-                (
-                    Some(Completion {
-                        id: msg.id,
-                        src: msg.src,
-                        dst: msg.dst,
-                        bytes: msg.bytes,
-                        completed_at_ps: now_ps,
-                    }),
-                    Some(MessageRecord {
-                        id: msg.id,
-                        src: msg.src,
-                        dst: msg.dst,
-                        bytes: msg.bytes,
-                        injected_at_ps: msg.injected_at_ps,
-                        completed_at_ps: now_ps,
-                    }),
-                )
-            } else {
-                (None, None)
-            }
-        };
-        if let Some(c) = completed {
-            self.completions.push_back(c);
-        }
-        if let Some(r) = record {
-            self.records.push(r);
+        let last = self.messages.deliver_segment(slot);
+        if last && self.messages.dropped_at(slot).is_none() {
+            self.messages.set_completed(slot, now_ps);
+            let (src, dst) = (self.messages.src(slot), self.messages.dst(slot));
+            let bytes = self.messages.bytes(slot);
+            let injected_at_ps = self.messages.injected_at_ps(slot);
+            self.completions.push_back(Completion {
+                id: segment.message,
+                src,
+                dst,
+                bytes,
+                completed_at_ps: now_ps,
+            });
+            self.records.push(MessageRecord {
+                id: segment.message,
+                src,
+                dst,
+                bytes,
+                injected_at_ps,
+                completed_at_ps: now_ps,
+            });
         }
     }
 }
@@ -908,6 +905,7 @@ mod tests {
         assert!(report.max_channel_utilization <= 1.0);
         assert!(report.events_processed > 0);
         assert!(report.max_queue_depth >= 1);
+        assert!(report.event_queue_hwm >= 1);
         assert!(report.mean_latency_ps() > 0.0);
     }
 
@@ -957,6 +955,54 @@ mod tests {
         let c = local.run_until_next_completion().unwrap();
         assert_eq!(c.id, id);
         assert_eq!(c.completed_at_ps, 100);
+    }
+
+    /// The batch entry is a pure re-ordering shim over
+    /// `schedule_message_on_path`: same ids, same report, even when the
+    /// entries are pushed out of time order.
+    #[test]
+    fn batched_injection_matches_per_message_injection_exactly() {
+        let xgft = k_ary(4, 2);
+        let flows: Vec<(u64, usize, usize)> = vec![
+            (2_000, 0, 5),
+            (0, 1, 6),
+            (2_000, 2, 7),
+            (0, 3, 3), // local copy rides along
+            (1_000, 8, 13),
+        ];
+        let path_of = |src: usize, dst: usize| -> Vec<u32> {
+            if src == dst {
+                return vec![];
+            }
+            xgft.route_channels(src, dst, &Route::new(vec![0, src % 4]))
+                .unwrap()
+                .into_iter()
+                .map(|c| c as u32)
+                .collect()
+        };
+
+        // Reference: schedule one at a time in ascending (at_ps, push) order.
+        let mut by_hand = NetworkSim::new(&xgft, cfg());
+        let mut order: Vec<usize> = (0..flows.len()).collect();
+        order.sort_by_key(|&i| flows[i].0);
+        let mut hand_ids = vec![MessageId(0); flows.len()];
+        for &i in &order {
+            let (at, src, dst) = flows[i];
+            hand_ids[i] =
+                by_hand.schedule_message_on_path(at, src, dst, 32 * 1024, &path_of(src, dst));
+        }
+        let a = by_hand.run_to_completion();
+
+        let mut batched = NetworkSim::new(&xgft, cfg());
+        let mut batch = InjectionBatch::new();
+        for &(at, src, dst) in &flows {
+            batch.push(at, src, dst, 32 * 1024, &path_of(src, dst));
+        }
+        let batch_ids = batched.schedule_batch(&batch);
+        let b = batched.run_to_completion();
+
+        assert_eq!(batch_ids, hand_ids, "ids come back in push order");
+        assert_eq!(a, b, "batched injection must be bit-identical");
     }
 
     #[test]

@@ -46,6 +46,9 @@ pub struct SimReport {
     pub max_channel_utilization: f64,
     /// Number of simulation events processed.
     pub events_processed: u64,
+    /// Largest number of events pending in the event queue at any point
+    /// (calendar-queue high-water mark).
+    pub event_queue_hwm: usize,
 }
 
 impl SimReport {
@@ -129,6 +132,7 @@ mod tests {
             max_queue_depth: 3,
             max_channel_utilization: 0.5,
             events_processed: 10,
+            event_queue_hwm: 4,
         };
         assert!((report.makespan_ms() - 2.0).abs() < 1e-9);
         assert!((report.mean_latency_ps() - 4_000.0).abs() < 1e-9);
@@ -145,6 +149,7 @@ mod tests {
             max_queue_depth: 0,
             max_channel_utilization: 0.0,
             events_processed: 0,
+            event_queue_hwm: 0,
         };
         assert_eq!(report.mean_latency_ps(), 0.0);
         assert_eq!(report.p50_latency_ps(), 0);
@@ -176,6 +181,7 @@ mod tests {
             max_queue_depth: 1,
             max_channel_utilization: 0.1,
             events_processed: 1,
+            event_queue_hwm: 1,
         };
         assert_eq!(report.p50_latency_ps(), 50_000);
         assert_eq!(report.p99_latency_ps(), 99_000);

@@ -23,7 +23,7 @@ use std::time::Instant;
 use xgft_analysis::{AlgorithmSpec, CampaignConfig};
 use xgft_core::{CompactRoutes, CompactScheme, CompiledRouteTable, DModK};
 use xgft_flow::{FlowScheme, FlowSweepConfig, TrafficSpec};
-use xgft_netsim::{NetworkConfig, NetworkSim};
+use xgft_netsim::{InjectionBatch, NetworkConfig, NetworkSim};
 use xgft_patterns::generators;
 use xgft_topo::{FaultSet, Xgft};
 
@@ -83,13 +83,16 @@ pub fn bench_file_name(area: &str) -> String {
 
 /// Time `work` `reps` times; returns `(median_ns, min_ns, checks)` with the
 /// checks taken from the last repetition (they are deterministic, so any
-/// repetition would do).
+/// repetition would do). One untimed warm-up invocation runs first so the
+/// recorded repetitions measure steady state, not first-touch page faults
+/// and allocator growth — with few repetitions a cold first run otherwise
+/// dominates the median.
 fn time_reps<F>(reps: u32, mut work: F) -> (u64, u64, Vec<BenchCheck>)
 where
     F: FnMut() -> Vec<(&'static str, u64)>,
 {
     let mut walls = Vec::with_capacity(reps as usize);
-    let mut checks = Vec::new();
+    let mut checks = work();
     for _ in 0..reps {
         let start = Instant::now();
         let observed = work();
@@ -214,7 +217,12 @@ fn bench_flow_mcl(quick: bool, reps: u32) -> Vec<BenchProbe> {
     )]
 }
 
-/// Direct injection of a shift permutation into the event-driven simulator.
+/// Direct injection of a shift permutation into the event-driven simulator,
+/// measured through both injection paths. The two probes must report
+/// *identical* check counters (same makespan, deliveries and event count) —
+/// a drift between them means the batched path changed behaviour, which the
+/// fuzz differential forbids. Dividing the `events` check by the wall-clock
+/// gives the event throughput the trajectory tracks.
 fn bench_netsim(quick: bool, reps: u32) -> Vec<BenchProbe> {
     let k = if quick { 8 } else { 16 };
     let xgft = Xgft::k_ary_n_tree(k, 2);
@@ -227,7 +235,9 @@ fn bench_netsim(quick: bool, reps: u32) -> Vec<BenchProbe> {
         .collect();
     let table =
         CompiledRouteTable::compile(&xgft, &DModK::new(), flows.iter().map(|&(s, d, _)| (s, d)));
-    let timed = time_reps(reps, || {
+    let params = format!("k={k} leaves={n} msg=64KiB scheme=d-mod-k");
+
+    let per_message = time_reps(reps, || {
         let mut sim = NetworkSim::new(&xgft, NetworkConfig::default());
         for &(s, d, bytes) in &flows {
             let path = table.path(s, d).expect("routed pair");
@@ -240,12 +250,29 @@ fn bench_netsim(quick: bool, reps: u32) -> Vec<BenchProbe> {
             ("events", report.events_processed),
         ]
     });
-    vec![probe(
-        "shift_direct_injection",
-        format!("k={k} leaves={n} msg=64KiB scheme=d-mod-k"),
-        reps,
-        timed,
-    )]
+
+    // Batched path: lowering into the batch is part of the timed work, so
+    // the probe prices the full injection cost, not just the event loop.
+    let batched = time_reps(reps, || {
+        let mut batch = InjectionBatch::with_capacity(flows.len(), 0);
+        for &(s, d, bytes) in &flows {
+            batch.push(0, s, d, bytes, table.path(s, d).expect("routed pair"));
+        }
+        let mut sim = NetworkSim::new(&xgft, NetworkConfig::default());
+        sim.schedule_batch(&batch);
+        let report = sim.run_to_completion();
+        vec![
+            ("makespan_ps", report.makespan_ps),
+            ("delivered", report.completed_messages as u64),
+            ("events", report.events_processed),
+            ("event_queue_hwm", report.event_queue_hwm as u64),
+        ]
+    });
+
+    vec![
+        probe("shift_direct_injection", params.clone(), reps, per_message),
+        probe("shift_batched_injection", params, reps, batched),
+    ]
 }
 
 /// A seed campaign through the tracesim machinery (rayon shards included).
@@ -492,6 +519,42 @@ mod tests {
         let a = bench_area("compile", true).unwrap();
         let b = bench_area("compile", true).unwrap();
         assert_eq!(a.probes[0].checks, b.probes[0].checks);
+    }
+
+    #[test]
+    fn netsim_check_counters_are_identical_across_injection_paths() {
+        // The batched-injection probe must do exactly the same simulated
+        // work as the per-message probe: same makespan, same deliveries,
+        // same number of processed events. This pins the accounting
+        // (`events_processed`, queue high-water) through the batched path
+        // against the committed quick baseline.
+        let file = bench_area("netsim", true).unwrap();
+        let direct = file
+            .probes
+            .iter()
+            .find(|p| p.name == "shift_direct_injection")
+            .unwrap();
+        let batched = file
+            .probes
+            .iter()
+            .find(|p| p.name == "shift_batched_injection")
+            .unwrap();
+        let check =
+            |p: &BenchProbe, name: &str| p.checks.iter().find(|c| c.name == name).unwrap().value;
+        for name in ["makespan_ps", "delivered", "events"] {
+            assert_eq!(
+                check(direct, name),
+                check(batched, name),
+                "check `{name}` drifted between injection paths"
+            );
+        }
+        // The committed quick-baseline values (k=8, 64-leaf shift, 64 KiB,
+        // d-mod-k): any change here must be deliberate and documented in
+        // BENCH_netsim.json.
+        assert_eq!(check(direct, "makespan_ps"), 274_732_000);
+        assert_eq!(check(direct, "delivered"), 64);
+        assert_eq!(check(direct, "events"), 36_928);
+        assert!(check(batched, "event_queue_hwm") > 0);
     }
 
     #[test]

@@ -24,6 +24,7 @@ use crate::spec::{
     EngineSpec, FaultSpec, RepresentationSpec, ScenarioError, ScenarioSpec, SchemeSpec, SeedSpec,
     TopologySpec,
 };
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use xgft_analysis::experiments::fig4::{self, Fig4Result};
 use xgft_analysis::{
@@ -34,7 +35,7 @@ use xgft_flow::{
     tree_cut_lower_bound, DegradedLoads, FlowSweepConfig, FlowSweepResult, TrafficMatrix,
     TrafficSpec,
 };
-use xgft_netsim::{NetworkConfig, NetworkSim, SimReport};
+use xgft_netsim::{InjectionBatch, NetworkConfig, NetworkSim, SimReport};
 use xgft_patterns::Pattern;
 use xgft_topo::Xgft;
 use xgft_tracesim::{RankEvent, ReplayEngine, RoutedNetwork, Trace};
@@ -670,8 +671,23 @@ fn flow_list(pattern: &Pattern) -> Vec<(usize, usize, u64)> {
         .collect()
 }
 
+/// Lower a whole traffic matrix through `source` into one pre-sorted
+/// [`InjectionBatch`] (every flow at t = 0).
+fn lower_batch<R: RouteSource>(flows: &[(usize, usize, u64)], source: &R) -> InjectionBatch {
+    let mut batch = InjectionBatch::with_capacity(flows.len(), 0);
+    let mut scratch = Vec::new();
+    for &(s, d, bytes) in flows {
+        let path = source.path_in(s, d, &mut scratch).expect("routed pair");
+        batch.push(0, s, d, bytes, path);
+    }
+    batch
+}
+
 /// Inject every flow at t = 0 through `source` and run the event-driven
-/// simulator to completion. Shared by both route representations.
+/// simulator to completion. Shared by both route representations. The
+/// matrix is lowered into one [`InjectionBatch`] and admitted in a single
+/// `schedule_batch` call — bit-identical to the historical per-message
+/// `schedule_message_on_path` loop (pinned by a runner test).
 fn inject_and_run<R: RouteSource>(
     xgft: &Xgft,
     network: &NetworkConfig,
@@ -679,11 +695,7 @@ fn inject_and_run<R: RouteSource>(
     source: &R,
 ) -> (SimReport, Vec<u64>) {
     let mut sim = NetworkSim::new(xgft, network.clone());
-    let mut scratch = Vec::new();
-    for &(s, d, bytes) in flows {
-        let path = source.path_in(s, d, &mut scratch).expect("routed pair");
-        sim.schedule_message_on_path(0, s, d, bytes, path);
-    }
+    sim.schedule_batch(&lower_batch(flows, source));
     let report = sim.run_to_completion();
     let busy = sim.channel_busy_ps();
     (report, busy)
@@ -741,23 +753,41 @@ fn run_compact_flow(
 
 fn run_direct(spec: &ScenarioSpec, pattern: &Pattern) -> Result<DirectResult, ScenarioError> {
     let flows = flow_list(pattern);
-    let mut points = Vec::new();
+    // Hoist topology builds out of the shards, then fan the full
+    // (topology × scheme × seed) cross product over rayon. Each shard is
+    // self-contained (its own simulator) and the shards are collected in
+    // job order, so the points are byte-identical at any thread count.
+    let mut topologies = Vec::new();
     for topo_spec in spec.topologies()? {
         let xgft = Xgft::new(topo_spec.clone())
             .map_err(|e| ScenarioError::Invalid(format!("topology: {e}")))?;
-        for (scheme, seed) in scheme_jobs(spec) {
+        topologies.push((topo_spec, xgft));
+    }
+    let jobs: Vec<(usize, SchemeSpec, u64)> = topologies
+        .iter()
+        .enumerate()
+        .flat_map(|(t, _)| {
+            scheme_jobs(spec)
+                .into_iter()
+                .map(move |(s, seed)| (t, s, seed))
+        })
+        .collect();
+    let points: Vec<DirectPoint> = jobs
+        .par_iter()
+        .map(|&(t, scheme, seed)| {
+            let (topo_spec, xgft) = &topologies[t];
             let (report, busy) = match spec.representation {
                 RepresentationSpec::Compiled => {
-                    let table = compile_for(&xgft, scheme, seed, pattern, &flows);
-                    inject_and_run(&xgft, &spec.network, &flows, &table)
+                    let table = compile_for(xgft, scheme, seed, pattern, &flows);
+                    inject_and_run(xgft, &spec.network, &flows, &table)
                 }
                 RepresentationSpec::Compact => {
-                    let routes = compact_for(&xgft, scheme, seed, &flows);
-                    inject_and_run(&xgft, &spec.network, &flows, &routes)
+                    let routes = compact_for(xgft, scheme, seed, &flows);
+                    inject_and_run(xgft, &spec.network, &flows, &routes)
                 }
             };
             let max_busy = busy.into_iter().max().unwrap_or(0);
-            points.push(DirectPoint {
+            DirectPoint {
                 topology: topo_spec.to_string(),
                 w_top: topo_spec.w(topo_spec.height()),
                 scheme: scheme.name().to_string(),
@@ -769,9 +799,9 @@ fn run_direct(spec: &ScenarioSpec, pattern: &Pattern) -> Result<DirectResult, Sc
                 p50_latency_ps: report.p50_latency_ps(),
                 p99_latency_ps: report.p99_latency_ps(),
                 max_latency_ps: report.max_latency_ps(),
-            });
-        }
-    }
+            }
+        })
+        .collect();
     Ok(DirectResult {
         name: spec.name.clone(),
         workload: pattern.name().to_string(),
@@ -842,11 +872,24 @@ fn agreement_check<R: RouteSource>(
 
 fn run_agreement(spec: &ScenarioSpec, pattern: &Pattern) -> Result<AgreementResult, ScenarioError> {
     let flows = flow_list(pattern);
-    let mut points = Vec::new();
+    // Same sharding shape as `run_direct`: topologies built once up front,
+    // one rayon shard per (topology, scheme), points collected in job order
+    // so the payload is identical at any thread count.
+    let mut topologies = Vec::new();
     for topo_spec in spec.topologies()? {
         let xgft = Xgft::new(topo_spec.clone())
             .map_err(|e| ScenarioError::Invalid(format!("topology: {e}")))?;
-        for &scheme in &spec.schemes {
+        topologies.push((topo_spec, xgft));
+    }
+    let jobs: Vec<(usize, SchemeSpec)> = topologies
+        .iter()
+        .enumerate()
+        .flat_map(|(t, _)| spec.schemes.iter().map(move |&s| (t, s)))
+        .collect();
+    let points: Vec<AgreementPoint> = jobs
+        .par_iter()
+        .map(|&(t, scheme)| {
+            let (topo_spec, xgft) = &topologies[t];
             // One representative instance per scheme: the agreement claim
             // is per-instance (exact), so one seed suffices.
             let seed = if scheme.0.is_seeded() {
@@ -859,24 +902,24 @@ fn run_agreement(spec: &ScenarioSpec, pattern: &Pattern) -> Result<AgreementResu
             };
             let (sims_identical, flow_max_rel_dev, model_mcl_ps) = match spec.representation {
                 RepresentationSpec::Compiled => {
-                    let table = compile_for(&xgft, scheme, seed, pattern, &flows);
-                    agreement_check(&xgft, &spec.network, &flows, &table)
+                    let table = compile_for(xgft, scheme, seed, pattern, &flows);
+                    agreement_check(xgft, &spec.network, &flows, &table)
                 }
                 RepresentationSpec::Compact => {
-                    let routes = compact_for(&xgft, scheme, seed, &flows);
-                    agreement_check(&xgft, &spec.network, &flows, &routes)
+                    let routes = compact_for(xgft, scheme, seed, &flows);
+                    agreement_check(xgft, &spec.network, &flows, &routes)
                 }
             };
-            points.push(AgreementPoint {
+            AgreementPoint {
                 topology: topo_spec.to_string(),
                 scheme: scheme.name().to_string(),
                 seed,
                 sims_identical,
                 flow_max_rel_dev,
                 model_mcl_ps,
-            });
-        }
-    }
+            }
+        })
+        .collect();
     let all_agree = points
         .iter()
         .all(|p| p.sims_identical && p.flow_max_rel_dev <= AGREEMENT_TOLERANCE);

@@ -1,0 +1,81 @@
+//! The sharded netsim scenario engines must be thread-count-deterministic:
+//! `run_direct` and `run_agreement` fan their (topology × scheme × seed)
+//! cross products over rayon, but every shard is a self-contained
+//! simulator and the parallel map preserves job order, so the
+//! `ScenarioResult` payload is byte-identical whatever the worker count
+//! (`RAYON_NUM_THREADS=1` vs the default vs oversubscribed) — mirroring
+//! the existing sweep/campaign determinism tests.
+
+use rayon::ThreadPoolBuilder;
+use xgft_analysis::AlgorithmSpec;
+use xgft_scenario::{
+    run_scenario, EngineSpec, ResultPayload, RunOptions, ScenarioSpec, SchemeSpec, SeedSpec,
+    SweepSpec, TopologySpec, WorkloadSpec,
+};
+
+fn netsim_spec(engine: EngineSpec) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::basic(
+        "sharding-determinism",
+        TopologySpec::SlimmedTwoLevel { k: 4, w2: 4 },
+        WorkloadSpec::new("shift", 16, 16 * 1024).with_param("offset", 5.0),
+        vec![
+            SchemeSpec(AlgorithmSpec::DModK),
+            SchemeSpec(AlgorithmSpec::SModK),
+            SchemeSpec(AlgorithmSpec::Random),
+            SchemeSpec(AlgorithmSpec::RandomNcaDown),
+        ],
+    );
+    spec.engine = engine;
+    // 3 topologies x 4 schemes (x 2 seeds for the seeded ones under
+    // Netsim): enough shards for any interleaving to show.
+    spec.sweep = SweepSpec::over(vec![4, 2, 1]);
+    spec.seeds = SeedSpec::List { seeds: vec![7, 21] };
+    spec
+}
+
+fn payload_json(spec: &ScenarioSpec) -> String {
+    let result = run_scenario(spec, &RunOptions::default()).unwrap();
+    match &result.payload {
+        ResultPayload::Direct(direct) => {
+            assert!(!direct.points.is_empty());
+            serde_json::to_string(direct).unwrap()
+        }
+        ResultPayload::Agreement(agreement) => {
+            assert!(agreement.all_agree, "engines must agree on every shard");
+            serde_json::to_string(agreement).unwrap()
+        }
+        other => panic!("unexpected payload shape: {other:?}"),
+    }
+}
+
+fn assert_thread_count_invariant(spec: ScenarioSpec) {
+    // One worker (what RAYON_NUM_THREADS=1 pins the global pool to).
+    let single = ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap()
+        .install(|| payload_json(&spec));
+    // The default (machine) parallelism.
+    let parallel = payload_json(&spec);
+    // An oversubscribed pool, for good measure.
+    let wide = ThreadPoolBuilder::new()
+        .num_threads(7)
+        .build()
+        .unwrap()
+        .install(|| payload_json(&spec));
+    assert_eq!(
+        single, parallel,
+        "1 worker vs default must give byte-identical scenario payloads"
+    );
+    assert_eq!(parallel, wide);
+}
+
+#[test]
+fn direct_netsim_points_are_identical_for_any_worker_count() {
+    assert_thread_count_invariant(netsim_spec(EngineSpec::Netsim));
+}
+
+#[test]
+fn agreement_points_are_identical_for_any_worker_count() {
+    assert_thread_count_invariant(netsim_spec(EngineSpec::AllWithAgreement));
+}
