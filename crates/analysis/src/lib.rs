@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 
 pub mod campaign;
+pub mod chaos;
 pub mod experiments;
 pub mod resilience;
 pub mod slowdown;
@@ -36,6 +37,10 @@ pub mod stats;
 pub mod sweep;
 
 pub use campaign::{shard_seed, CampaignConfig, CampaignResult, ShardOutcome};
+pub use chaos::{
+    chaos_algo_seed, chaos_seed, ChaosConfig, ChaosIncident, ChaosResult, ChaosShard,
+    ChaosShardOutcome, IncidentKind, IncidentSummary, SlaEpoch, CHAOS_SCHEMA_VERSION,
+};
 pub use resilience::{
     resilience_seed, ResilienceConfig, ResilienceOutcome, ResiliencePoint, ResilienceResult,
     ResilienceShard, ALGO_STREAM, FAULT_STREAM,

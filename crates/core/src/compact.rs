@@ -301,8 +301,9 @@ impl CompactRoutes {
     /// machine size — where the compiled patch rewrites its dense arrays.
     ///
     /// Same one-way contract as the compiled form: faults accumulate, misses
-    /// never heal, and repair/churn is modelled by re-patching a pristine
-    /// clone. Patching a pristine engine is byte-identical (via
+    /// never heal, and repair/churn restarts from the pristine closed form
+    /// via [`CompactRoutes::repatch`]. Patching a pristine engine is
+    /// byte-identical (via
     /// [`CompactRoutes::to_compiled`]) to
     /// [`CompiledRouteTable::compile_degraded`] on the same pairs.
     ///
@@ -361,6 +362,24 @@ impl CompactRoutes {
         }
         crate::compiled::record_patch(&stats, faults.num_failed_channels());
         stats
+    }
+
+    /// The repair direction of overlay patching: discard every overlay
+    /// entry (the engine reverts to its pristine closed form for free — no
+    /// pristine copy is needed, unlike [`CompiledRouteTable::repatch`]) and
+    /// patch against `faults` in one step. Because [`CompactRoutes::patch`]
+    /// is one-way, fault *churn* must restart from the pristine closed
+    /// form; `repatch` is that restart, byte-identical (via
+    /// [`CompactRoutes::to_compiled`]) to
+    /// [`CompiledRouteTable::compile_degraded`] on the same pairs.
+    ///
+    /// # Panics
+    /// Panics if the engine, topology and fault set disagree on machine
+    /// size or channel numbering.
+    pub fn repatch(&mut self, xgft: &Xgft, faults: &FaultSet) -> PatchStats {
+        self.overlay.clear();
+        self.unroutable = 0;
+        self.patch(xgft, faults)
     }
 
     /// Compute the dense channel path of `(s, d)` into `out`. Returns

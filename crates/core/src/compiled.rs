@@ -209,8 +209,9 @@ impl CompiledRouteTable {
     /// when the new fault set is a superset of the earlier one — misses
     /// never heal (an empty run stays an empty run even if its channels
     /// come back), and kept routes keep the detours chosen under the
-    /// earlier faults. To model repair or fault *churn*, recompile from the
-    /// pristine table (clone it first) rather than patching forward.
+    /// earlier faults. To model repair or fault *churn*, restart from the
+    /// pristine routes with [`CompiledRouteTable::repatch`] rather than
+    /// patching forward.
     ///
     /// # Panics
     /// Panics if the table, topology and fault set disagree on machine size
@@ -296,6 +297,27 @@ impl CompiledRouteTable {
         self.routes -= stats.unroutable;
         record_patch(&stats, faults.num_failed_channels());
         stats
+    }
+
+    /// The repair direction of incremental patching: restore this table to
+    /// `pristine` (reusing this table's allocations) and patch against
+    /// `faults` in one step. Because [`CompiledRouteTable::patch`] is
+    /// one-way — misses never heal and kept routes keep their old detours —
+    /// fault *churn* (repairs, or any fault set that is not a superset of
+    /// the previous one) must restart from the pristine routes; `repatch`
+    /// is that restart without a recompile, and its result is byte-identical
+    /// to [`CompiledRouteTable::compile_degraded`] on the same pairs.
+    ///
+    /// Epoch-wise timeline drivers (the chaos lab) call this once per epoch
+    /// whose cumulative fault set changed, holding one pristine table per
+    /// scheme and one working table per shard.
+    ///
+    /// # Panics
+    /// Panics if the pristine table, topology and fault set disagree on
+    /// machine size or channel numbering.
+    pub fn repatch(&mut self, pristine: &Self, xgft: &Xgft, faults: &FaultSet) -> PatchStats {
+        self.clone_from(pristine);
+        self.patch(xgft, faults)
     }
 
     /// Compile an existing hash-map table (the forward half of the lossless

@@ -69,6 +69,9 @@ pub(crate) enum Event {
     /// The directed channel `channel` fails at this instant; pending and
     /// future traffic on it is handled per `policy`.
     ChannelFail { channel: u32, policy: FailurePolicy },
+    /// The directed channel `channel` comes back into service at this
+    /// instant; traffic enqueued from now on flows normally again.
+    ChannelRepair { channel: u32 },
 }
 
 #[derive(Debug, Clone)]
@@ -528,7 +531,7 @@ mod pop_order_properties {
             segment.set_holds_buffer_of(salt);
         }
         let id = salt as u32;
-        match kind % 6 {
+        match kind % 7 {
             0 => Event::AdapterTryInject { src: id },
             1 => Event::SegmentArrived {
                 segment,
@@ -542,10 +545,12 @@ mod pop_order_properties {
             },
             // The mid-run `fail_channel` path: Drop-policy failures pushed
             // between ordinary traffic events.
-            _ => Event::ChannelFail {
+            5 => Event::ChannelFail {
                 channel: id,
                 policy: FailurePolicy::Drop,
             },
+            // The mid-run `repair_channel` path.
+            _ => Event::ChannelRepair { channel: id },
         }
     }
 

@@ -3,8 +3,9 @@
 //! Every iteration draws a random small XGFT, a random routing scheme, a
 //! random workload (pattern-generator or raw random flow set, random
 //! message size — deliberately including non-segment-multiple sizes) and
-//! optionally a random fault set, then prices the routed traffic through
-//! three independent engines and two injection paths:
+//! optionally a random fault set (uniform links, a switch kill or a
+//! correlated cable cut), then prices the routed traffic through three
+//! independent engines and two injection paths:
 //!
 //! 1. **netsim, per-message** — `schedule_message_on_path` flow by flow;
 //! 2. **netsim, batched** — the same matrix through one
@@ -18,6 +19,16 @@
 //!    analytical loads must equal the simulated busy times to float
 //!    round-off (1e-9 relative), channel by channel.
 //!
+//! Degraded iterations additionally fire the drawn fault set's channels
+//! as **mid-run `fail_channel` events**: the patched routes avoid those
+//! channels, so the failures must interleave with traffic in the event
+//! core without perturbing any engine's outcome. A further drop/repair
+//! sub-case fails a channel the traffic *does* cross (`Drop` policy),
+//! repairs it mid-run and injects follow-up messages over the healed
+//! path — tracesim and the flow model cannot price in-flight drops, so
+//! that case pins the narrower per-message ≡ batched invariant plus
+//! delivered/dropped conservation.
+//!
 //! The loop is seeded from a fixed constant through the workspace's
 //! canonical SplitMix64, so every run (and every CI run) replays the same
 //! instance stream; a failure message names the iteration seed, which is
@@ -29,7 +40,7 @@ use xgft_core::{
     CompiledRouteTable, DModK, RandomNcaDown, RandomNcaUp, RandomRouting, RoutingAlgorithm, SModK,
 };
 use xgft_flow::{DegradedLoads, TrafficMatrix};
-use xgft_netsim::{InjectionBatch, NetworkConfig, NetworkSim, SimReport};
+use xgft_netsim::{FailurePolicy, InjectionBatch, NetworkConfig, NetworkSim, SimReport};
 use xgft_patterns::generators;
 use xgft_topo::fault::splitmix64;
 use xgft_topo::{FaultSet, Xgft, XgftSpec};
@@ -159,13 +170,19 @@ fn random_flows(rng: &mut Rng, n: usize) -> (String, Vec<(usize, usize, u64)>) {
     (format!("{name}/{bytes}B"), flows)
 }
 
-/// Netsim per-message injection: the historical reference path.
+/// Netsim per-message injection: the historical reference path. The
+/// `schedule` is a list of mid-run `fail_channel` events (time, channel)
+/// applied with `CompleteInFlight` before traffic is injected.
 fn run_per_message(
     xgft: &Xgft,
     table: &CompiledRouteTable,
     flows: &[(usize, usize, u64)],
+    schedule: &[(u64, usize)],
 ) -> (SimReport, Vec<u64>) {
     let mut sim = NetworkSim::new(xgft, cfg());
+    for &(at_ps, ch) in schedule {
+        sim.fail_channel(at_ps, ch, FailurePolicy::CompleteInFlight);
+    }
     for &(s, d, bytes) in flows {
         let path = table.path(s, d).expect("routable flow");
         sim.schedule_message_on_path(0, s, d, bytes, path);
@@ -173,26 +190,32 @@ fn run_per_message(
     (sim.run_to_completion(), sim.channel_busy_ps())
 }
 
-/// Netsim batched injection of the same matrix.
+/// Netsim batched injection of the same matrix and failure schedule.
 fn run_batched(
     xgft: &Xgft,
     table: &CompiledRouteTable,
     flows: &[(usize, usize, u64)],
+    schedule: &[(u64, usize)],
 ) -> (SimReport, Vec<u64>) {
     let mut batch = InjectionBatch::with_capacity(flows.len(), 0);
     for &(s, d, bytes) in flows {
         batch.push(0, s, d, bytes, table.path(s, d).expect("routable flow"));
     }
     let mut sim = NetworkSim::new(xgft, cfg());
+    for &(at_ps, ch) in schedule {
+        sim.fail_channel(at_ps, ch, FailurePolicy::CompleteInFlight);
+    }
     sim.schedule_batch(&batch);
     (sim.run_to_completion(), sim.channel_busy_ps())
 }
 
-/// Tracesim replay of the same flows over the same table.
+/// Tracesim replay of the same flows over the same table, with the same
+/// mid-run failure schedule applied to the inner simulator.
 fn run_tracesim(
     xgft: &Xgft,
     table: &CompiledRouteTable,
     flows: &[(usize, usize, u64)],
+    schedule: &[(u64, usize)],
 ) -> Vec<u64> {
     let n = xgft.num_leaves();
     let mut programs: Vec<Vec<RankEvent>> = vec![vec![]; n];
@@ -210,22 +233,124 @@ fn run_tracesim(
         });
     }
     let trace = Trace::new("fuzz", programs);
-    let mut net = RoutedNetwork::with_compiled(NetworkSim::new(xgft, cfg()), table.clone());
+    let mut sim = NetworkSim::new(xgft, cfg());
+    for &(at_ps, ch) in schedule {
+        sim.fail_channel(at_ps, ch, FailurePolicy::CompleteInFlight);
+    }
+    let mut net = RoutedNetwork::with_compiled(sim, table.clone());
     ReplayEngine::new(trace)
         .run(&mut net)
         .expect("fully-routed replay cannot deadlock");
     net.sim().channel_busy_ps()
 }
 
+/// The drop/repair differential: fail a channel the traffic actually
+/// crosses mid-run with the `Drop` policy, repair it later, and inject a
+/// couple of follow-up messages over the healed path. Tracesim and the
+/// flow model cannot price in-flight drops, so this sub-case asserts the
+/// narrower invariant — per-message and batched injection stay
+/// bit-identical — plus conservation (delivered + dropped == offered).
+fn drop_repair_differential(
+    label: &str,
+    xgft: &Xgft,
+    table: &CompiledRouteTable,
+    flows: &[(usize, usize, u64)],
+    rng: &mut Rng,
+) {
+    // A channel some flow actually crosses (the Drop policy is inert on
+    // idle channels), plus a fail -> repair -> re-inject timeline drawn
+    // at in-flight scale (tens of microseconds at the default 2 Gb/s).
+    let first_path = table.path(flows[0].0, flows[0].1).expect("routable flow");
+    let victim = first_path[rng.below(first_path.len() as u64) as usize] as usize;
+    let t_fail = 1 + rng.below(100_000_000);
+    let t_repair = t_fail + 1 + rng.below(100_000_000);
+    let mut late: Vec<(u64, usize, usize, u64)> = flows
+        .iter()
+        .take(2)
+        .map(|&(s, d, bytes)| (t_repair + 1 + rng.below(10_000_000), s, d, bytes))
+        .collect();
+    // `schedule_batch` admits entries in ascending-`at_ps` order; the
+    // per-message reference must call in that same order to stay
+    // bit-identical, so fix one sorted order for both paths.
+    late.sort_by_key(|&(at_ps, ..)| at_ps);
+    let offered = flows.len() + late.len();
+
+    let mut per_message = NetworkSim::new(xgft, cfg());
+    per_message.fail_channel(t_fail, victim, FailurePolicy::Drop);
+    per_message.repair_channel(t_repair, victim);
+    for &(s, d, bytes) in flows {
+        per_message.schedule_message_on_path(0, s, d, bytes, table.path(s, d).unwrap());
+    }
+    for &(at_ps, s, d, bytes) in &late {
+        per_message.schedule_message_on_path(at_ps, s, d, bytes, table.path(s, d).unwrap());
+    }
+    let report_ref = per_message.run_to_completion();
+    let busy_ref = per_message.channel_busy_ps();
+
+    let mut batch = InjectionBatch::with_capacity(offered, 0);
+    for &(s, d, bytes) in flows {
+        batch.push(0, s, d, bytes, table.path(s, d).unwrap());
+    }
+    for &(at_ps, s, d, bytes) in &late {
+        batch.push(at_ps, s, d, bytes, table.path(s, d).unwrap());
+    }
+    let mut batched = NetworkSim::new(xgft, cfg());
+    batched.fail_channel(t_fail, victim, FailurePolicy::Drop);
+    batched.repair_channel(t_repair, victim);
+    batched.schedule_batch(&batch);
+    let report_batch = batched.run_to_completion();
+    let busy_batch = batched.channel_busy_ps();
+
+    assert_eq!(
+        report_ref, report_batch,
+        "{label}: drop/repair case — batched injection diverged"
+    );
+    assert_eq!(
+        busy_ref, busy_batch,
+        "{label}: drop/repair case — batched busy vector diverged"
+    );
+    assert_eq!(
+        report_ref.completed_messages + report_ref.dropped_messages,
+        offered,
+        "{label}: drop/repair case — messages neither delivered nor dropped"
+    );
+}
+
+/// Which of the widened cases one iteration exercised, so the stream can
+/// be checked for coverage at the end of the run.
+#[derive(Default)]
+struct Exercised {
+    degraded: bool,
+    mid_run_failures: bool,
+    drop_repair: bool,
+}
+
+/// A random fault set over the machine: uniform link failures, a switch
+/// kill or a correlated cable cut at a random level.
+fn random_faults(rng: &mut Rng, xgft: &Xgft) -> FaultSet {
+    match rng.below(3) {
+        0 => FaultSet::uniform_links(xgft, 0.08, rng.next()),
+        1 => {
+            let level = 1 + rng.below(xgft.height() as u64) as usize;
+            FaultSet::random_switch_kills(xgft, level, 1, rng.next())
+        }
+        _ => {
+            let cable_level = 1 + rng.below(xgft.height() as u64 - 1) as usize;
+            FaultSet::targeted_level_cut(xgft, cable_level, 1, rng.next())
+        }
+    }
+}
+
 /// One fuzz iteration: draw an instance, run every engine, assert the
 /// differential invariants.
-fn fuzz_iteration(iter: u64, rng: &mut Rng) {
+fn fuzz_iteration(iter: u64, rng: &mut Rng) -> Exercised {
+    let mut exercised = Exercised::default();
     let xgft = random_topology(rng);
     let n = xgft.num_leaves();
     let (scheme_name, algo) = random_scheme(rng, &xgft);
     let (workload_name, all_flows) = random_flows(rng, n);
     if all_flows.is_empty() {
-        return;
+        return exercised;
     }
 
     let mut table = CompiledRouteTable::compile(
@@ -235,11 +360,22 @@ fn fuzz_iteration(iter: u64, rng: &mut Rng) {
     );
 
     // Every third-ish iteration degrades the topology and patches the
-    // table, restricting the checked flows to the survivors.
+    // table, restricting the checked flows to the survivors. The failed
+    // channels then double as a mid-run `fail_channel` schedule: the
+    // patched routes already avoid them, so firing the failures *during*
+    // the run must leave every engine's outcome untouched while the
+    // failure events interleave with traffic in the event core.
     let degraded = rng.chance(33);
+    let mut schedule: Vec<(u64, usize)> = Vec::new();
     if degraded {
-        let faults = FaultSet::uniform_links(&xgft, 0.08, rng.next());
+        exercised.degraded = true;
+        let faults = random_faults(rng, &xgft);
         table.patch(&xgft, &faults);
+        let failed: Vec<usize> = faults.iter_failed().collect();
+        for ch in failed.iter().take(3) {
+            schedule.push((1 + rng.below(100_000_000), *ch));
+        }
+        exercised.mid_run_failures = !schedule.is_empty();
     }
     let flows: Vec<(usize, usize, u64)> = all_flows
         .iter()
@@ -247,15 +383,15 @@ fn fuzz_iteration(iter: u64, rng: &mut Rng) {
         .filter(|&(s, d, _)| table.path(s, d).is_some())
         .collect();
     if flows.is_empty() {
-        return;
+        return exercised;
     }
 
     let label =
         format!("iter {iter}: {n} leaves, {scheme_name}, {workload_name}, degraded={degraded}");
 
     // Injection-path differential: batched must be bit-identical.
-    let (report_ref, busy_ref) = run_per_message(&xgft, &table, &flows);
-    let (report_batch, busy_batch) = run_batched(&xgft, &table, &flows);
+    let (report_ref, busy_ref) = run_per_message(&xgft, &table, &flows, &schedule);
+    let (report_batch, busy_batch) = run_batched(&xgft, &table, &flows, &schedule);
     assert_eq!(
         report_ref, report_batch,
         "{label}: batched injection diverged from per-message injection"
@@ -271,7 +407,7 @@ fn fuzz_iteration(iter: u64, rng: &mut Rng) {
     );
 
     // Engine differential 1: tracesim replay, byte-equal busy times.
-    let busy_trace = run_tracesim(&xgft, &table, &flows);
+    let busy_trace = run_tracesim(&xgft, &table, &flows, &schedule);
     assert_eq!(
         busy_ref, busy_trace,
         "{label}: netsim and tracesim busy vectors diverged"
@@ -295,6 +431,15 @@ fn fuzz_iteration(iter: u64, rng: &mut Rng) {
             "{label}: channel {idx} disagrees — netsim busy {busy} ps vs flow load {load} ps"
         );
     }
+
+    // Every other-ish iteration additionally runs the drop/repair
+    // differential on the same instance (in-flight drops, a mid-run
+    // repair and post-repair injections; per-message vs batched only).
+    if rng.chance(50) {
+        exercised.drop_repair = true;
+        drop_repair_differential(&label, &xgft, &table, &flows, rng);
+    }
+    exercised
 }
 
 #[test]
@@ -304,7 +449,21 @@ fn fuzz_netsim_against_flow_and_tracesim() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(DEFAULT_ITERS);
     let mut rng = Rng(STREAM_SEED);
+    let mut degraded = 0u64;
+    let mut mid_run = 0u64;
+    let mut drop_repair = 0u64;
     for iter in 0..iters {
-        fuzz_iteration(iter, &mut rng);
+        let exercised = fuzz_iteration(iter, &mut rng);
+        degraded += exercised.degraded as u64;
+        mid_run += exercised.mid_run_failures as u64;
+        drop_repair += exercised.drop_repair as u64;
+    }
+    // The fixed stream must keep covering the widened cases: a draw-logic
+    // change that silently stops degrading topologies or firing mid-run
+    // failures would hollow the differential out without failing anything.
+    if iters >= DEFAULT_ITERS {
+        assert!(degraded > 0, "stream never degraded a topology");
+        assert!(mid_run > 0, "stream never fired mid-run failures");
+        assert!(drop_repair > 0, "stream never ran the drop/repair case");
     }
 }

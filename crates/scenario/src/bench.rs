@@ -20,7 +20,7 @@
 use crate::spec::ScenarioError;
 use serde::{Deserialize, Serialize, Value};
 use std::time::Instant;
-use xgft_analysis::{AlgorithmSpec, CampaignConfig};
+use xgft_analysis::{AlgorithmSpec, CampaignConfig, ChaosConfig};
 use xgft_core::{CompactRoutes, CompactScheme, CompiledRouteTable, DModK};
 use xgft_flow::{FlowScheme, FlowSweepConfig, TrafficSpec};
 use xgft_netsim::{InjectionBatch, NetworkConfig, NetworkSim};
@@ -32,7 +32,7 @@ pub const BENCH_SCHEMA_VERSION: u32 = 1;
 
 /// Every bench area, in the order `xgft bench` runs them.
 pub const ALL_AREAS: &[&str] = &[
-    "compile", "patch", "flow_mcl", "netsim", "campaign", "compact",
+    "compile", "patch", "flow_mcl", "netsim", "campaign", "compact", "chaos",
 ];
 
 /// One deterministic check counter of a probe (work done, not time spent).
@@ -133,6 +133,7 @@ pub fn bench_area(area: &str, quick: bool) -> Result<BenchFile, String> {
         "netsim" => bench_netsim(quick, reps),
         "campaign" => bench_campaign(quick, reps),
         "compact" => bench_compact(quick, reps),
+        "chaos" => bench_chaos(quick, reps),
         other => {
             return Err(format!(
                 "unknown bench area `{other}` — known: {ALL_AREAS:?}"
@@ -339,6 +340,51 @@ fn bench_compact(quick: bool, reps: u32) -> Vec<BenchProbe> {
     )]
 }
 
+/// The chaos lab end to end: a seed-pinned fault/repair timeline replayed
+/// epoch by epoch through the event simulator, rerouting by repatching the
+/// compiled tables from pristine. The check counters pin the SLA outcome
+/// (deliveries, drops, unroutable demand), so any change to strike timing,
+/// repair semantics or the repatch path shows up as a behaviour drift.
+fn bench_chaos(quick: bool, reps: u32) -> Vec<BenchProbe> {
+    let k = if quick { 4 } else { 8 };
+    let epochs = if quick { 4 } else { 8 };
+    let pattern = generators::wrf_mesh_exchange(k, k, 16 * 1024);
+    let config = ChaosConfig {
+        name: "bench".to_string(),
+        k,
+        w2: k,
+        algorithms: vec![AlgorithmSpec::DModK, AlgorithmSpec::Random],
+        epochs,
+        epoch_ps: 40_000_000,
+        link_fail_permille: 120,
+        switch_kill_permille: 300,
+        cable_cut_permille: 300,
+        repair_epochs: 1,
+        seeds_per_point: 2,
+        base_seed: 2009,
+        network: NetworkConfig::default(),
+    };
+    let timed = time_reps(reps, || {
+        let result = config.run(&pattern);
+        let total = |f: fn(&xgft_analysis::ChaosShardOutcome) -> usize| -> u64 {
+            result.shards.iter().map(|s| f(s) as u64).sum()
+        };
+        vec![
+            ("shards", result.shards.len() as u64),
+            ("incidents", result.incidents.len() as u64),
+            ("delivered", total(|s| s.total_delivered())),
+            ("dropped", total(|s| s.total_dropped())),
+            ("unroutable", total(|s| s.total_unroutable())),
+        ]
+    });
+    vec![probe(
+        "wrf_fault_repair_timeline",
+        format!("k={k} epochs={epochs} seeds/point=2 base=2009"),
+        reps,
+        timed,
+    )]
+}
+
 /// Captures the parsed [`Value`] tree verbatim (the shim's `Value` does not
 /// implement `Deserialize` itself).
 struct RawValue(Value);
@@ -495,8 +541,8 @@ mod tests {
     #[test]
     fn quick_bench_produces_schema_valid_files_for_all_areas() {
         for &area in ALL_AREAS {
-            if area == "compact" || area == "campaign" {
-                // Too slow for a debug-profile unit test; both run
+            if area == "compact" || area == "campaign" || area == "chaos" {
+                // Too slow for a debug-profile unit test; all three run
                 // end-to-end whenever `xgft bench` writes the baselines.
                 continue;
             }

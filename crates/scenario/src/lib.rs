@@ -42,6 +42,6 @@ pub use bench::{
 pub use registry::{registry, RegistryEntry};
 pub use runner::{run_scenario, ResultPayload, RunOptions, ScenarioResult, RESULT_SCHEMA_VERSION};
 pub use spec::{
-    EngineSpec, FaultSpec, RepresentationSpec, ScenarioError, ScenarioSpec, SchemeSpec, SeedSpec,
-    SweepSpec, TopologySpec, WorkloadSpec, SPEC_SCHEMA_VERSION,
+    ChaosSpec, EngineSpec, FaultSpec, RepresentationSpec, ScenarioError, ScenarioSpec, SchemeSpec,
+    SeedSpec, SweepSpec, TopologySpec, WorkloadSpec, SPEC_SCHEMA_VERSION,
 };

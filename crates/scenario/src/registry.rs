@@ -13,8 +13,8 @@
 use crate::args::{scale_bytes, ExperimentArgs};
 use crate::runner::{run_scenario, shard_summary, ResultPayload, RunOptions, ScenarioResult};
 use crate::spec::{
-    EngineSpec, FaultSpec, RepresentationSpec, ScenarioSpec, SchemeSpec, SeedSpec, SweepSpec,
-    TopologySpec, WorkloadSpec, SPEC_SCHEMA_VERSION,
+    ChaosSpec, EngineSpec, FaultSpec, RepresentationSpec, ScenarioSpec, SchemeSpec, SeedSpec,
+    SweepSpec, TopologySpec, WorkloadSpec, SPEC_SCHEMA_VERSION,
 };
 use xgft_analysis::experiments::{ablation, equivalence, fig1, fig3, fig5, flow_mcl, table1};
 use xgft_analysis::AlgorithmSpec;
@@ -153,6 +153,12 @@ pub fn registry() -> &'static [RegistryEntry] {
             about: "Resilience campaign: scheme x failure-rate x seed on degraded machines",
             run: |args| run_scenario_entry("faults", args),
         },
+        RegistryEntry {
+            name: "chaos",
+            aliases: &[],
+            about: "Chaos lab: time-varying fault/repair timeline with per-epoch SLA metrics",
+            run: |args| run_scenario_entry("chaos", args),
+        },
     ]
 }
 
@@ -203,6 +209,7 @@ pub fn spec_for(name: &str, args: &ExperimentArgs) -> Option<Result<ScenarioSpec
             engine,
             representation: RepresentationSpec::Compiled,
             faults: FaultSpec::None,
+            chaos: None,
             sweep: SweepSpec::over(args.w2_sweep()),
             seeds: SeedSpec::List {
                 seeds: args.seed_list(),
@@ -226,6 +233,7 @@ pub fn spec_for(name: &str, args: &ExperimentArgs) -> Option<Result<ScenarioSpec
             engine,
             representation: RepresentationSpec::Compiled,
             faults: FaultSpec::None,
+            chaos: None,
             sweep: SweepSpec::over(args.w2_sweep()),
             seeds: SeedSpec::List {
                 seeds: args.seed_list(),
@@ -247,6 +255,7 @@ pub fn spec_for(name: &str, args: &ExperimentArgs) -> Option<Result<ScenarioSpec
             engine: EngineSpec::Nca,
             representation: RepresentationSpec::Compiled,
             faults: FaultSpec::None,
+            chaos: None,
             sweep: SweepSpec::over(args.w2_values.clone().unwrap_or_else(|| vec![16, 10])),
             seeds: SeedSpec::List {
                 seeds: args.seed_list(),
@@ -271,6 +280,7 @@ pub fn spec_for(name: &str, args: &ExperimentArgs) -> Option<Result<ScenarioSpec
                 engine: EngineSpec::Tracesim,
                 representation: RepresentationSpec::Compiled,
                 faults: FaultSpec::None,
+                chaos: None,
                 sweep: SweepSpec::over(args.w2_sweep_for_k()),
                 seeds: SeedSpec::Stream {
                     base_seed: args.base_seed,
@@ -320,6 +330,54 @@ pub fn spec_for(name: &str, args: &ExperimentArgs) -> Option<Result<ScenarioSpec
                     permille,
                     draws_per_point: args.seeds,
                 },
+                chaos: None,
+                sweep: SweepSpec::none(),
+                seeds: SeedSpec::Stream {
+                    base_seed: args.base_seed,
+                    seeds_per_point: args.seeds,
+                },
+                network: NetworkConfig::default(),
+            }
+        }
+        "chaos" => {
+            let workload =
+                match WorkloadSpec::named_for_machine(&args.workload, args.k, args.byte_scale) {
+                    Ok(w) => w,
+                    Err(e) => return Some(Err(e)),
+                };
+            // One chaos lab is one machine: --w2 picks a single slimming point.
+            let w2 = match args.w2_values.as_deref() {
+                None => args.k,
+                Some([w2]) => *w2,
+                Some(_) => {
+                    return Some(Err(
+                        "chaos runs one machine per campaign; pass a single --w2 value".to_string(),
+                    ))
+                }
+            };
+            ScenarioSpec {
+                schema_version: SPEC_SCHEMA_VERSION,
+                name: format!("chaos-{}-k{}-w{}", args.workload, args.k, w2),
+                topology: TopologySpec::SlimmedTwoLevel { k: args.k, w2 },
+                workload,
+                schemes: vec![
+                    SchemeSpec(AlgorithmSpec::SModK),
+                    SchemeSpec(AlgorithmSpec::DModK),
+                    SchemeSpec(AlgorithmSpec::Random),
+                    SchemeSpec(AlgorithmSpec::RandomNcaUp),
+                    SchemeSpec(AlgorithmSpec::RandomNcaDown),
+                ],
+                engine: EngineSpec::Netsim,
+                representation: RepresentationSpec::Compiled,
+                faults: FaultSpec::None,
+                chaos: Some(ChaosSpec {
+                    epochs: if args.quick { 4 } else { 12 },
+                    epoch_ps: 40_000_000,
+                    link_fail_permille: 100,
+                    switch_kill_permille: 250,
+                    cable_cut_permille: 250,
+                    repair_epochs: 1,
+                }),
                 sweep: SweepSpec::none(),
                 seeds: SeedSpec::Stream {
                     base_seed: args.base_seed,
@@ -372,7 +430,7 @@ fn run_fig_sweep(name: &str, args: &ExperimentArgs) -> Result<EntryOutput, Entry
 fn shape_scenario_output(result: &ScenarioResult) -> EntryOutput {
     let json_owns_stdout = matches!(
         result.payload,
-        ResultPayload::Campaign(_) | ResultPayload::Resilience(_)
+        ResultPayload::Campaign(_) | ResultPayload::Resilience(_) | ResultPayload::Chaos(_)
     );
     EntryOutput {
         stdout: result.render(),
@@ -577,11 +635,11 @@ mod tests {
     #[test]
     fn every_entry_is_findable_and_named_uniquely() {
         let entries = registry();
-        assert_eq!(entries.len(), 14);
+        assert_eq!(entries.len(), 15);
         let mut names: Vec<&str> = entries.iter().map(|e| e.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 14, "duplicate registry names");
+        assert_eq!(names.len(), 15, "duplicate registry names");
         // Legacy binary names resolve too.
         for alias in [
             "fig1_topologies",
@@ -600,7 +658,7 @@ mod tests {
     fn scenario_backed_entries_expose_their_specs() {
         let args = quick_args();
         for name in [
-            "fig2_wrf", "fig2_cg", "fig4", "fig5_wrf", "fig5_cg", "campaign", "faults",
+            "fig2_wrf", "fig2_cg", "fig4", "fig5_wrf", "fig5_cg", "campaign", "faults", "chaos",
         ] {
             let spec = spec_for(name, &args)
                 .unwrap_or_else(|| panic!("{name} should be scenario-backed"))

@@ -28,7 +28,8 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use xgft_analysis::experiments::fig4::{self, Fig4Result};
 use xgft_analysis::{
-    CampaignConfig, CampaignResult, ResilienceConfig, ResilienceResult, SweepConfig, SweepResult,
+    CampaignConfig, CampaignResult, ChaosConfig, ChaosResult, ChaosShardOutcome, ResilienceConfig,
+    ResilienceResult, SweepConfig, SweepResult,
 };
 use xgft_core::{CompactRoutes, CompiledRouteTable, RouteSource};
 use xgft_flow::{
@@ -286,6 +287,9 @@ pub enum ResultPayload {
     Nca(Vec<Fig4Result>),
     /// Direct injection (`Netsim`).
     Direct(DirectResult),
+    /// A chaos campaign (`Netsim` + `chaos` section): per-epoch SLA
+    /// timelines under a seeded fault/repair weather.
+    Chaos(ChaosResult),
     /// Cross-engine agreement (`AllWithAgreement`).
     Agreement(AgreementResult),
 }
@@ -324,6 +328,18 @@ impl ResultPayload {
                 out
             }
             ResultPayload::Direct(r) => r.render_table(),
+            ResultPayload::Chaos(r) => {
+                let incidents = r.incidents.len();
+                let dropped: usize = r.shards.iter().map(ChaosShardOutcome::total_dropped).sum();
+                format!(
+                    "{}# {} shards x {} epochs, {} incidents, {} messages dropped in total\n",
+                    r.render_table(),
+                    r.shards.len(),
+                    r.epochs,
+                    incidents,
+                    dropped
+                )
+            }
             ResultPayload::Agreement(r) => r.render_table(),
         }
     }
@@ -424,6 +440,27 @@ pub fn shard_summary(spec: &ScenarioSpec) -> Option<String> {
                 permille.len(),
                 algos,
                 draws_per_point,
+                base_seed
+            ))
+        }
+        (
+            FaultSpec::None,
+            SeedSpec::Stream {
+                base_seed,
+                seeds_per_point,
+            },
+        ) if spec.chaos.is_some() => {
+            let chaos = spec.chaos.as_ref().expect("guarded by the arm");
+            let seeded = spec.schemes.iter().filter(|s| s.0.is_seeded()).count();
+            let deterministic = spec.schemes.len() - seeded;
+            Some(format!(
+                "# chaos {}: {} leaves, {} shards x {} epochs ({} algorithms, {} seeds/point, base seed {})",
+                spec.name,
+                k * k,
+                seeded * seeds_per_point + deterministic,
+                chaos.epochs,
+                spec.schemes.len(),
+                seeds_per_point,
                 base_seed
             ))
         }
@@ -562,9 +599,35 @@ pub fn run_scenario(
                 .collect();
             ResultPayload::Nca(results)
         }
-        (FaultSpec::None, EngineSpec::Netsim) => {
-            ResultPayload::Direct(run_direct(&spec, &pattern)?)
-        }
+        (FaultSpec::None, EngineSpec::Netsim) => match &spec.chaos {
+            Some(chaos) => {
+                let SeedSpec::Stream {
+                    base_seed,
+                    seeds_per_point,
+                } = spec.seeds
+                else {
+                    unreachable!("validate() requires Stream seeds with chaos");
+                };
+                let (k, w2) = slimmed_family(&spec)?;
+                let config = ChaosConfig {
+                    name: spec.name.clone(),
+                    k,
+                    w2: w2.first().copied().unwrap_or(k),
+                    algorithms: spec.schemes.iter().map(|s| s.0).collect(),
+                    epochs: chaos.epochs,
+                    epoch_ps: chaos.epoch_ps,
+                    link_fail_permille: chaos.link_fail_permille,
+                    switch_kill_permille: chaos.switch_kill_permille,
+                    cable_cut_permille: chaos.cable_cut_permille,
+                    repair_epochs: chaos.repair_epochs,
+                    seeds_per_point,
+                    base_seed,
+                    network: spec.network.clone(),
+                };
+                ResultPayload::Chaos(config.run(&pattern))
+            }
+            None => ResultPayload::Direct(run_direct(&spec, &pattern)?),
+        },
         (FaultSpec::None, EngineSpec::AllWithAgreement) => {
             ResultPayload::Agreement(run_agreement(&spec, &pattern)?)
         }

@@ -536,6 +536,31 @@ impl SeedSpec {
     }
 }
 
+/// A chaos campaign riding on the scenario: a deterministic, seeded
+/// timeline of fault/repair incidents driven through the event simulator,
+/// with per-epoch SLA metrics (see `xgft_analysis::chaos`). All knobs are
+/// integers so the serialized form never depends on float formatting.
+///
+/// Present only when the scenario *is* a chaos run (`engine = "Netsim"`,
+/// `faults = "None"`); the key is omitted entirely from serialized specs
+/// otherwise, so pre-chaos specs and fixtures are byte-identical.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChaosSpec {
+    /// Number of epochs in the campaign.
+    pub epochs: usize,
+    /// Epoch length in picoseconds (the mid-epoch strike window).
+    pub epoch_ps: u64,
+    /// Per-epoch, per-cable link failure probability in permille.
+    pub link_fail_permille: u32,
+    /// Per-epoch probability (permille) of one top-level switch dying.
+    pub switch_kill_permille: u32,
+    /// Per-epoch probability (permille) of a correlated top-level cable
+    /// cut.
+    pub cable_cut_permille: u32,
+    /// Epochs an incident stays active before its repair lands.
+    pub repair_epochs: usize,
+}
+
 /// One fully described experiment. See the module docs for the shape and
 /// `examples/scenarios/` in the repository root for annotated instances.
 ///
@@ -554,7 +579,7 @@ impl SeedSpec {
 /// let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
 /// assert_eq!(back, spec);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
     /// Spec schema version; must equal [`SPEC_SCHEMA_VERSION`].
     pub schema_version: u32,
@@ -572,6 +597,8 @@ pub struct ScenarioSpec {
     pub representation: RepresentationSpec,
     /// The fault model.
     pub faults: FaultSpec,
+    /// The chaos campaign, when the scenario is one (`Netsim` engine).
+    pub chaos: Option<ChaosSpec>,
     /// The topology sweep axis.
     pub sweep: SweepSpec,
     /// The seed policy for randomised schemes.
@@ -580,9 +607,38 @@ pub struct ScenarioSpec {
     pub network: NetworkConfig,
 }
 
-/// Hand-rolled so `representation` can default: the derive's `obj_field`
-/// hard-errors on missing fields, which would reject every spec written
-/// before the field existed.
+/// Hand-written (not derived) so the `chaos` key is *omitted* when absent:
+/// non-chaos specs stay byte-identical to the pre-chaos schema (pinned by
+/// the golden fixtures), and the TOML form — which cannot represent null —
+/// keeps round-tripping.
+impl Serialize for ScenarioSpec {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            (
+                "schema_version".to_string(),
+                Serialize::to_value(&self.schema_version),
+            ),
+            ("name".to_string(), Serialize::to_value(&self.name)),
+            ("topology".to_string(), self.topology.to_value()),
+            ("workload".to_string(), self.workload.to_value()),
+            ("schemes".to_string(), self.schemes.to_value()),
+            ("engine".to_string(), self.engine.to_value()),
+            ("representation".to_string(), self.representation.to_value()),
+            ("faults".to_string(), self.faults.to_value()),
+        ];
+        if let Some(chaos) = &self.chaos {
+            fields.push(("chaos".to_string(), chaos.to_value()));
+        }
+        fields.push(("sweep".to_string(), self.sweep.to_value()));
+        fields.push(("seeds".to_string(), self.seeds.to_value()));
+        fields.push(("network".to_string(), self.network.to_value()));
+        Value::Object(fields)
+    }
+}
+
+/// Hand-rolled so `representation` and `chaos` can default: the derive's
+/// `obj_field` hard-errors on missing fields, which would reject every
+/// spec written before those fields existed.
 impl Deserialize for ScenarioSpec {
     fn from_value(value: &Value) -> Result<Self, serde::Error> {
         fn field<T: Deserialize>(value: &Value, name: &str) -> Result<T, serde::Error> {
@@ -591,6 +647,10 @@ impl Deserialize for ScenarioSpec {
         let representation = match serde::obj_field(value, "representation") {
             Ok(v) => RepresentationSpec::from_value(v)?,
             Err(_) => RepresentationSpec::Compiled,
+        };
+        let chaos = match serde::obj_field(value, "chaos") {
+            Ok(v) => Some(ChaosSpec::from_value(v)?),
+            Err(_) => None,
         };
         Ok(ScenarioSpec {
             schema_version: field(value, "schema_version")?,
@@ -601,6 +661,7 @@ impl Deserialize for ScenarioSpec {
             engine: field(value, "engine")?,
             representation,
             faults: field(value, "faults")?,
+            chaos,
             sweep: field(value, "sweep")?,
             seeds: field(value, "seeds")?,
             network: field(value, "network")?,
@@ -626,6 +687,7 @@ impl ScenarioSpec {
             engine: EngineSpec::Tracesim,
             representation: RepresentationSpec::Compiled,
             faults: FaultSpec::None,
+            chaos: None,
             sweep: SweepSpec::none(),
             seeds: SeedSpec::List {
                 seeds: vec![1, 2, 3],
@@ -711,6 +773,53 @@ impl ScenarioSpec {
                 }
             }
         }
+        if let Some(chaos) = &self.chaos {
+            if self.engine != EngineSpec::Netsim {
+                return Err(invalid(
+                    "chaos campaigns drive the event simulator directly; set engine = \"Netsim\"",
+                ));
+            }
+            if self.faults != FaultSpec::None {
+                return Err(invalid(
+                    "chaos generates its own fault timeline; set faults = \"None\"",
+                ));
+            }
+            if self.representation != RepresentationSpec::Compiled {
+                return Err(invalid(
+                    "chaos repatches compiled route tables; set representation = \"compiled\"",
+                ));
+            }
+            if !matches!(self.topology, TopologySpec::SlimmedTwoLevel { .. }) {
+                return Err(invalid("chaos requires a SlimmedTwoLevel topology"));
+            }
+            if !self.sweep.w2_values.is_empty() && self.sweep.w2_values.len() != 1 {
+                return Err(invalid(
+                    "a chaos campaign runs one machine; leave sweep.w2_values empty or give \
+                     a single value",
+                ));
+            }
+            if !matches!(self.seeds, SeedSpec::Stream { .. }) {
+                return Err(invalid(
+                    "chaos requires SeedSpec::Stream (the timeline and shard seeds are \
+                     derived from base_seed)",
+                ));
+            }
+            if chaos.epochs == 0 {
+                return Err(invalid("chaos.epochs must be at least 1"));
+            }
+            if chaos.epoch_ps == 0 {
+                return Err(invalid("chaos.epoch_ps must be positive"));
+            }
+            for (name, permille) in [
+                ("link_fail_permille", chaos.link_fail_permille),
+                ("switch_kill_permille", chaos.switch_kill_permille),
+                ("cable_cut_permille", chaos.cable_cut_permille),
+            ] {
+                if permille > 1000 {
+                    return Err(invalid(format!("chaos.{name} must be <= 1000")));
+                }
+            }
+        }
         match &self.seeds {
             SeedSpec::List { seeds } => {
                 // The Flow engine evaluates randomised schemes by their
@@ -728,13 +837,13 @@ impl ScenarioSpec {
                 if *seeds_per_point == 0 {
                     return Err(invalid("seeds.Stream.seeds_per_point must be at least 1"));
                 }
-                // Only the Tracesim machinery (campaigns / resilience)
-                // implements point-local seed streams; every other engine
-                // would silently ignore them.
-                if self.engine != EngineSpec::Tracesim {
+                // Only the Tracesim machinery (campaigns / resilience) and
+                // the chaos lab implement point-local seed streams; every
+                // other engine would silently ignore them.
+                if self.engine != EngineSpec::Tracesim && self.chaos.is_none() {
                     return Err(invalid(
-                        "SeedSpec::Stream requires the Tracesim engine; \
-                         other engines take an explicit SeedSpec::List",
+                        "SeedSpec::Stream requires the Tracesim engine or a chaos \
+                         campaign; other engines take an explicit SeedSpec::List",
                     ));
                 }
             }
@@ -789,8 +898,9 @@ impl ScenarioSpec {
     }
 
     /// The CI preset: truncate seed lists to 3, per-point streams to 2,
-    /// fault draws to 2 and the sweep to its first 3 values. Keeps every
-    /// structural property of the scenario while bounding its cost.
+    /// fault draws to 2, chaos timelines to 4 epochs and the sweep to its
+    /// first 3 values. Keeps every structural property of the scenario
+    /// while bounding its cost.
     pub fn quickened(&self) -> ScenarioSpec {
         let mut spec = self.clone();
         spec.seeds = match &self.seeds {
@@ -814,6 +924,12 @@ impl ScenarioSpec {
                 permille: permille.clone(),
                 draws_per_point: (*draws_per_point).min(2),
             };
+        }
+        if let Some(chaos) = &self.chaos {
+            spec.chaos = Some(ChaosSpec {
+                epochs: chaos.epochs.min(4),
+                ..chaos.clone()
+            });
         }
         spec.sweep = SweepSpec {
             w2_values: self.sweep.w2_values.iter().copied().take(3).collect(),
@@ -1018,6 +1134,76 @@ mod tests {
         let mut nca = compact(|_| ());
         nca.engine = EngineSpec::Nca;
         assert!(nca.validate().is_err(), "Nca has no representation axis");
+    }
+
+    fn chaos_spec() -> ScenarioSpec {
+        let mut s = spec();
+        s.engine = EngineSpec::Netsim;
+        s.seeds = SeedSpec::Stream {
+            base_seed: 11,
+            seeds_per_point: 2,
+        };
+        s.chaos = Some(ChaosSpec {
+            epochs: 6,
+            epoch_ps: 40_000_000,
+            link_fail_permille: 100,
+            switch_kill_permille: 250,
+            cable_cut_permille: 250,
+            repair_epochs: 1,
+        });
+        s
+    }
+
+    #[test]
+    fn chaos_round_trips_and_the_key_is_omitted_when_absent() {
+        let s = chaos_spec();
+        assert!(s.validate().is_ok());
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"chaos\""));
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+
+        // Non-chaos specs serialize without the key at all (byte-stable
+        // with pre-chaos fixtures; TOML cannot represent null).
+        let plain = serde_json::to_string(&spec()).unwrap();
+        assert!(!plain.contains("chaos"));
+        let back: ScenarioSpec = serde_json::from_str(&plain).unwrap();
+        assert_eq!(back.chaos, None);
+    }
+
+    #[test]
+    fn chaos_validation_rules() {
+        let mut bad = chaos_spec();
+        bad.engine = EngineSpec::Tracesim;
+        assert!(bad.validate().is_err(), "chaos needs the Netsim engine");
+
+        let mut bad = chaos_spec();
+        bad.faults = FaultSpec::UniformLinks {
+            permille: vec![10],
+            draws_per_point: 2,
+        };
+        assert!(bad.validate().is_err(), "chaos draws its own faults");
+
+        let mut bad = chaos_spec();
+        bad.representation = RepresentationSpec::Compact;
+        assert!(bad.validate().is_err(), "chaos repatches compiled tables");
+
+        let mut bad = chaos_spec();
+        bad.seeds = SeedSpec::List { seeds: vec![1] };
+        assert!(bad.validate().is_err(), "chaos needs stream seeds");
+
+        let mut bad = chaos_spec();
+        bad.chaos.as_mut().unwrap().epochs = 0;
+        assert!(bad.validate().is_err(), "zero epochs is not a campaign");
+
+        let mut bad = chaos_spec();
+        bad.chaos.as_mut().unwrap().link_fail_permille = 1001;
+        assert!(bad.validate().is_err(), "permille rates cap at 1000");
+
+        // Quickening caps the timeline but keeps the campaign valid.
+        let quick = chaos_spec().quickened();
+        assert_eq!(quick.chaos.as_ref().unwrap().epochs, 4);
+        assert!(quick.validate().is_ok());
     }
 
     #[test]

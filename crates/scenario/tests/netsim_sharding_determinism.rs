@@ -9,8 +9,8 @@
 use rayon::ThreadPoolBuilder;
 use xgft_analysis::AlgorithmSpec;
 use xgft_scenario::{
-    run_scenario, EngineSpec, ResultPayload, RunOptions, ScenarioSpec, SchemeSpec, SeedSpec,
-    SweepSpec, TopologySpec, WorkloadSpec,
+    run_scenario, ChaosSpec, EngineSpec, ResultPayload, RunOptions, ScenarioSpec, SchemeSpec,
+    SeedSpec, SweepSpec, TopologySpec, WorkloadSpec,
 };
 
 fn netsim_spec(engine: EngineSpec) -> ScenarioSpec {
@@ -78,4 +78,65 @@ fn direct_netsim_points_are_identical_for_any_worker_count() {
 #[test]
 fn agreement_points_are_identical_for_any_worker_count() {
     assert_thread_count_invariant(netsim_spec(EngineSpec::AllWithAgreement));
+}
+
+/// The sharded chaos runner: shards only share the (precomputed) incident
+/// timeline and cached pristine tables, so the per-epoch SLA payload must
+/// be byte-identical at any rayon worker count.
+#[test]
+fn chaos_timeline_payload_is_identical_for_1_2_4_8_workers() {
+    let mut spec = ScenarioSpec::basic(
+        "chaos-sharding-determinism",
+        TopologySpec::SlimmedTwoLevel { k: 4, w2: 4 },
+        WorkloadSpec::new("wrf", 16, 16 * 1024),
+        vec![
+            SchemeSpec(AlgorithmSpec::DModK),
+            SchemeSpec(AlgorithmSpec::SModK),
+            SchemeSpec(AlgorithmSpec::Random),
+            SchemeSpec(AlgorithmSpec::RandomNcaDown),
+        ],
+    );
+    spec.engine = EngineSpec::Netsim;
+    spec.chaos = Some(ChaosSpec {
+        epochs: 4,
+        epoch_ps: 40_000_000,
+        link_fail_permille: 120,
+        switch_kill_permille: 300,
+        cable_cut_permille: 300,
+        repair_epochs: 1,
+    });
+    // 2 deterministic + 2 seeded x 2 seeds = 6 shards over the shared
+    // timeline: enough parallel work for any interleaving to show.
+    spec.seeds = SeedSpec::Stream {
+        base_seed: 11,
+        seeds_per_point: 2,
+    };
+
+    let chaos_json = |spec: &ScenarioSpec| -> String {
+        let result = run_scenario(spec, &RunOptions::default()).unwrap();
+        match &result.payload {
+            ResultPayload::Chaos(chaos) => {
+                assert!(!chaos.shards.is_empty());
+                serde_json::to_string(chaos).unwrap()
+            }
+            other => panic!("unexpected payload shape: {other:?}"),
+        }
+    };
+
+    let reference = ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap()
+        .install(|| chaos_json(&spec));
+    for workers in [2, 4, 8] {
+        let wide = ThreadPoolBuilder::new()
+            .num_threads(workers)
+            .build()
+            .unwrap()
+            .install(|| chaos_json(&spec));
+        assert_eq!(
+            reference, wide,
+            "chaos payload drifted between 1 and {workers} rayon workers"
+        );
+    }
 }

@@ -10,8 +10,8 @@ use proptest::prelude::*;
 use xgft_analysis::AlgorithmSpec;
 use xgft_netsim::{NetworkConfig, SwitchingMode};
 use xgft_scenario::{
-    toml, EngineSpec, FaultSpec, RepresentationSpec, ScenarioSpec, SchemeSpec, SeedSpec, SweepSpec,
-    TopologySpec, WorkloadSpec, SPEC_SCHEMA_VERSION,
+    toml, ChaosSpec, EngineSpec, FaultSpec, RepresentationSpec, ScenarioSpec, SchemeSpec, SeedSpec,
+    SweepSpec, TopologySpec, WorkloadSpec, SPEC_SCHEMA_VERSION,
 };
 
 fn topology() -> impl Strategy<Value = TopologySpec> {
@@ -91,6 +91,30 @@ fn faults() -> impl Strategy<Value = FaultSpec> {
     ]
 }
 
+fn chaos() -> impl Strategy<Value = Option<ChaosSpec>> {
+    prop_oneof![
+        Just(None),
+        (
+            1usize..=16,
+            1u64..=1 << 40,
+            0u32..=1000,
+            0u32..=1000,
+            0u32..=1000,
+            0usize..=4
+        )
+            .prop_map(|(epochs, epoch_ps, link, kill, cut, repair_epochs)| {
+                Some(ChaosSpec {
+                    epochs,
+                    epoch_ps,
+                    link_fail_permille: link,
+                    switch_kill_permille: kill,
+                    cable_cut_permille: cut,
+                    repair_epochs,
+                })
+            }),
+    ]
+}
+
 fn seeds() -> impl Strategy<Value = SeedSpec> {
     prop_oneof![
         proptest::collection::vec(0u64..=u64::MAX / 2, 0..=8)
@@ -135,7 +159,7 @@ fn scenario() -> impl Strategy<Value = ScenarioSpec> {
         workload(),
         schemes(),
         (engine(), representation()),
-        faults(),
+        (faults(), chaos()),
         proptest::collection::vec(1usize..=16, 0..=6),
         seeds(),
         network(),
@@ -146,7 +170,7 @@ fn scenario() -> impl Strategy<Value = ScenarioSpec> {
                 workload,
                 schemes,
                 (engine, representation),
-                faults,
+                (faults, chaos),
                 w2_values,
                 seeds,
                 network,
@@ -161,6 +185,7 @@ fn scenario() -> impl Strategy<Value = ScenarioSpec> {
                     engine,
                     representation,
                     faults,
+                    chaos,
                     sweep: SweepSpec { w2_values },
                     seeds,
                     network,

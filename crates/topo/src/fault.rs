@@ -11,7 +11,11 @@
 //!   samplers (uniform link failure at rate `p`, random switch kills,
 //!   targeted per-level cuts). Samplers follow the workspace's SplitMix64
 //!   seed discipline: the outcome is a pure function of `(topology, seed)`,
-//!   independent of iteration order or thread count.
+//!   independent of iteration order or thread count. Sets compose over
+//!   time: [`FaultSet::merge`] unions incident sets (the chaos timeline in
+//!   `xgft-analysis` rebuilds each epoch's cumulative set from its active
+//!   incidents), and [`FaultSet::repair_channel`] / [`FaultSet::repair_cable`]
+//!   clear individual faults for in-place repair modelling.
 //! * [`DegradedXgft`] — a borrowed view of an [`Xgft`] with the fault set's
 //!   channels masked out. Routing layers query it to test whether a route
 //!   survives and to enumerate the channels a path may still use.
@@ -93,6 +97,67 @@ impl FaultSet {
                 },
             );
         }
+    }
+
+    /// Repair one directed channel: the inverse of
+    /// [`FaultSet::fail_channel`]. Idempotent — repairing a live channel is
+    /// a no-op.
+    pub fn repair_channel(&mut self, channels: &ChannelTable, ch: &ChannelId) {
+        let dense = channels.index(ch);
+        if self.failed[dense] {
+            self.failed[dense] = false;
+            self.num_failed -= 1;
+        }
+    }
+
+    /// Repair both directed channels of the cable with its low end at
+    /// `(level, low_index)` and up-port `up_port`. Idempotent.
+    ///
+    /// Note that repairing cable-by-cable does not undo the bookkeeping of
+    /// [`FaultSet::fail_switch`] (`killed_switches` is a report of what was
+    /// explicitly killed); timeline consumers that mix switch kills with
+    /// repairs should rebuild the cumulative set from its still-active
+    /// incidents with [`FaultSet::merge`] instead of repairing in place.
+    pub fn repair_cable(
+        &mut self,
+        channels: &ChannelTable,
+        level: usize,
+        low_index: usize,
+        up_port: usize,
+    ) {
+        for dir in [Direction::Up, Direction::Down] {
+            self.repair_channel(
+                channels,
+                &ChannelId {
+                    level,
+                    low_index,
+                    up_port,
+                    dir,
+                },
+            );
+        }
+    }
+
+    /// Union another fault set into this one (same topology required; the
+    /// mask lengths must match). Killed-switch reports concatenate without
+    /// deduplication — each merge records one incident.
+    ///
+    /// # Panics
+    /// Panics when the two sets were built for different channel numberings.
+    pub fn merge(&mut self, other: &FaultSet) {
+        assert_eq!(
+            self.failed.len(),
+            other.failed.len(),
+            "cannot merge fault sets of different topologies"
+        );
+        for (dense, &dead) in other.failed.iter().enumerate() {
+            if dead && !self.failed[dense] {
+                self.failed[dense] = true;
+                self.num_failed += 1;
+            }
+        }
+        self.killed_switches
+            .extend_from_slice(&other.killed_switches);
     }
 
     /// Kill a whole switch: every cable incident to it (towards its parents
@@ -385,6 +450,68 @@ mod tests {
             assert!(f.is_failed(dense));
         }
         assert!(f.to_string().contains("2 of"));
+    }
+
+    #[test]
+    fn repair_restores_channels_idempotently() {
+        let x = two_level(4);
+        let mut f = FaultSet::none(&x);
+        f.fail_cable(x.channels(), 1, 2, 3);
+        assert_eq!(f.num_failed_channels(), 2);
+        f.repair_cable(x.channels(), 1, 2, 3);
+        assert!(f.is_empty());
+        // Repairing a live cable is a no-op, not an underflow.
+        f.repair_cable(x.channels(), 1, 2, 3);
+        assert!(f.is_empty());
+        // One direction at a time works too.
+        f.fail_cable(x.channels(), 1, 0, 1);
+        f.repair_channel(
+            x.channels(),
+            &ChannelId {
+                level: 1,
+                low_index: 0,
+                up_port: 1,
+                dir: Direction::Up,
+            },
+        );
+        assert_eq!(f.num_failed_channels(), 1);
+        let down = x.channels().index(&ChannelId {
+            level: 1,
+            low_index: 0,
+            up_port: 1,
+            dir: Direction::Down,
+        });
+        assert!(f.is_failed(down));
+    }
+
+    #[test]
+    fn merge_unions_overlapping_incidents() {
+        let x = two_level(4);
+        let mut a = FaultSet::none(&x);
+        a.fail_cable(x.channels(), 1, 0, 0);
+        a.fail_cable(x.channels(), 1, 1, 1);
+        let mut b = FaultSet::none(&x);
+        b.fail_cable(x.channels(), 1, 1, 1); // overlaps a
+        b.fail_switch(&x, NodeRef { level: 2, index: 0 });
+        let mut merged = a.clone();
+        merged.merge(&b);
+        // Root 0's kill covers cable (1,0,0) too, so a and b overlap on two
+        // cables (4 directed channels), each counted once.
+        assert_eq!(
+            merged.num_failed_channels(),
+            a.num_failed_channels() + b.num_failed_channels() - 4
+        );
+        assert_eq!(merged.killed_switches(), b.killed_switches());
+        for dense in a.iter_failed().chain(b.iter_failed()) {
+            assert!(merged.is_failed(dense));
+        }
+        // Merging is idempotent on the channel mask.
+        let again = {
+            let mut m = merged.clone();
+            m.merge(&b);
+            m
+        };
+        assert_eq!(again.num_failed_channels(), merged.num_failed_channels());
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! and review the fixture diff like any other code change.
 
 use xgft::analysis::campaign::CampaignConfig;
+use xgft::analysis::chaos::ChaosConfig;
 use xgft::analysis::experiments::fig4;
 use xgft::analysis::resilience::ResilienceConfig;
 use xgft::analysis::sweep::{AlgorithmSpec, SweepConfig};
@@ -135,6 +136,7 @@ fn scenario_envelope_is_byte_stable() {
         engine: EngineSpec::Tracesim,
         representation: RepresentationSpec::Compiled,
         faults: FaultSpec::None,
+        chaos: None,
         sweep: SweepSpec::over(vec![4, 2]),
         seeds: SeedSpec::List { seeds: vec![1, 2] },
         network: NetworkConfig::default(),
@@ -165,4 +167,30 @@ fn faults_small_campaign_is_byte_stable() {
         network: NetworkConfig::default(),
     };
     assert_golden("faults_small.json", &to_json(&config.run(&pattern)));
+}
+
+/// A mini chaos lab: pins the seeded fault/repair timeline (which epochs
+/// strike, what breaks, when it heals), every repatch decision and the
+/// per-epoch SLA accounting — deliveries, drops, unroutable demand and
+/// latency percentiles — so neither the incident sampler, the repair
+/// semantics nor the netsim replay can shift silently.
+#[test]
+fn chaos_small_timeline_is_byte_stable() {
+    let pattern = generators::wrf_mesh_exchange(4, 4, 16 * 1024);
+    let config = ChaosConfig {
+        name: "golden".into(),
+        k: 4,
+        w2: 4,
+        algorithms: vec![AlgorithmSpec::DModK, AlgorithmSpec::Random],
+        epochs: 4,
+        epoch_ps: 40_000_000,
+        link_fail_permille: 120,
+        switch_kill_permille: 300,
+        cable_cut_permille: 300,
+        repair_epochs: 1,
+        seeds_per_point: 2,
+        base_seed: 11,
+        network: NetworkConfig::default(),
+    };
+    assert_golden("chaos_small.json", &to_json(&config.run(&pattern)));
 }

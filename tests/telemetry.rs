@@ -24,6 +24,7 @@ fn spec() -> ScenarioSpec {
         engine: EngineSpec::Tracesim,
         representation: RepresentationSpec::Compiled,
         faults: FaultSpec::None,
+        chaos: None,
         sweep: SweepSpec::over(vec![2]),
         seeds: SeedSpec::List { seeds: vec![1, 2] },
         network: NetworkConfig::default(),
