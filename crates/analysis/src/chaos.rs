@@ -9,11 +9,12 @@
 //! reacts one epoch behind reality: epoch `e` runs on the table patched for
 //! every incident *known at the epoch boundary*, so incidents that start
 //! inside `e` drop in-flight traffic (the SLA cost of detection latency),
-//! and from `e + 1` the table is rebuilt with
-//! [`CompiledRouteTable::repatch`] — pristine plus the epoch's cumulative
-//! fault set, never a chain of one-way patches, so repairs genuinely heal
-//! (see the `fault_timeline` property tests for the byte-identity this
-//! rests on).
+//! and from `e + 1` the table is rebuilt as pristine plus the epoch's
+//! cumulative fault set, never a chain of one-way patches, so repairs
+//! genuinely heal. The rebuild is an [`UndoableTable`] revert-and-patch —
+//! O(patched pairs) per epoch instead of a full pristine clone — pinned
+//! pair-identical to [`CompiledRouteTable::repatch`] by the
+//! `fault_timeline` property tests.
 //!
 //! Every epoch reports SLA outcomes as integers: delivered / dropped /
 //! unroutable message counts with parts-per-million fractions, p50/p99
@@ -27,8 +28,8 @@ use crate::campaign::{name_tag, splitmix64};
 use crate::sweep::AlgorithmSpec;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use xgft_core::CompiledRouteTable;
-use xgft_netsim::{FailurePolicy, NetworkConfig, NetworkSim};
+use xgft_core::{CompiledRouteTable, UndoableTable};
+use xgft_netsim::{FailurePolicy, InjectionBatch, NetworkConfig, NetworkSim};
 use xgft_patterns::{Flow, Pattern};
 use xgft_topo::{FaultSet, Xgft, XgftSpec};
 
@@ -248,10 +249,10 @@ impl ChaosConfig {
     /// parallel; outcomes are recorded in deterministic shard order.
     ///
     /// The pristine compiled table of every *deterministic* scheme is
-    /// built once and cloned per shard; epoch transitions pay only
-    /// [`CompiledRouteTable::repatch`] — pristine plus the cumulative
-    /// fault set — never a full recompile and never a chain of one-way
-    /// patches.
+    /// built once and cloned per shard; epoch transitions pay only an
+    /// [`UndoableTable`] revert-and-patch — pristine plus the cumulative
+    /// fault set, at O(patched pairs) — never a full recompile and never a
+    /// chain of one-way patches.
     pub fn run(&self, pattern: &Pattern) -> ChaosResult {
         xgft_obs::span!("analysis.chaos");
         assert!(self.epochs > 0, "a chaos campaign needs at least one epoch");
@@ -316,8 +317,17 @@ impl ChaosConfig {
     }
 
     /// Drive one shard through the timeline: per epoch, rebuild the table
-    /// for the incidents known at the boundary, replay the workload on a
-    /// fresh simulator, and strike the epoch's new incidents mid-run.
+    /// for the incidents known at the boundary, replay the workload, and
+    /// strike the epoch's new incidents mid-run.
+    ///
+    /// The shard's scratch state is built once and recycled across epochs:
+    /// the working table is an [`UndoableTable`] whose epoch transition
+    /// reverts the previous overlay and patches the new cumulative set in
+    /// O(patched pairs) (pinned pair-identical to clone-and-repatch by the
+    /// `fault_timeline` properties), the simulator is reclaimed with
+    /// [`NetworkSim::reset`] (pinned byte-identical to a fresh build), and
+    /// the workload is lowered into one reused [`InjectionBatch`] (pinned
+    /// bit-identical to per-message scheduling).
     fn run_shard(
         &self,
         xgft: &Xgft,
@@ -338,10 +348,12 @@ impl ChaosConfig {
                 )
             }
         };
-        let mut working = pristine.clone();
+        let mut working = UndoableTable::new(pristine);
         let mut active: Vec<usize> = Vec::new();
         let mut rerouted = 0usize;
         let mut unroutable_pairs = 0usize;
+        let mut sim = NetworkSim::new(xgft, self.network.clone());
+        let mut batch = InjectionBatch::new();
         let mut epochs = Vec::with_capacity(self.epochs);
         for epoch in 0..self.epochs {
             // The incidents the routing layer knows about at this epoch's
@@ -357,7 +369,7 @@ impl ChaosConfig {
                 cumulative.merge(&timeline[idx].faults);
             }
             if known != active {
-                let stats = working.repatch(&pristine, xgft, &cumulative);
+                let stats = working.patch(xgft, &cumulative);
                 rerouted = stats.rerouted;
                 unroutable_pairs = stats.unroutable;
                 active = known;
@@ -366,7 +378,7 @@ impl ChaosConfig {
                     .incr();
             }
 
-            let mut sim = NetworkSim::new(xgft, self.network.clone());
+            sim.reset();
             // This epoch's fresh strikes: channels die mid-run while the
             // table still routes through them — Drop policy, so in-flight
             // traffic is lost, not stalled.
@@ -389,15 +401,14 @@ impl ChaosConfig {
             let time_to_reroute_ps = earliest_strike.map_or(0, |t| self.epoch_ps - t);
 
             let mut unroutable_msgs = 0usize;
+            batch.clear();
             for flow in flows {
                 match working.path(flow.src, flow.dst) {
-                    Some(path) => {
-                        let path = path.to_vec();
-                        sim.schedule_message_on_path(0, flow.src, flow.dst, flow.bytes, &path);
-                    }
+                    Some(path) => batch.push(0, flow.src, flow.dst, flow.bytes, path),
                     None => unroutable_msgs += 1,
                 }
             }
+            sim.schedule_batch(&batch);
             let report = sim.run_to_completion();
             let offered = flows.len();
             let ppm = |part: usize| {
@@ -548,9 +559,8 @@ impl ChaosResult {
     /// per algorithm showing `delivered% / p99 µs` (seeded schemes
     /// aggregate over their shards), plus the incident log.
     pub fn render_table(&self) -> String {
-        let mut algorithms: Vec<String> = self.shards.iter().map(|s| s.algorithm.clone()).collect();
-        algorithms.sort();
-        algorithms.dedup();
+        let algorithms =
+            crate::stats::unique_sorted(self.shards.iter().map(|s| s.algorithm.as_str()));
         let mut out = String::new();
         out.push_str(&format!(
             "# chaos '{}' on XGFT(2;{k},{k};1,{w2}) — {} epochs × {} msgs, delivered% / p99 µs\n",

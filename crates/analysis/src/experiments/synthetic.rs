@@ -116,9 +116,8 @@ impl SyntheticResult {
     pub fn render(&self) -> String {
         let mut patterns: Vec<String> = self.rows.iter().map(|r| r.pattern.clone()).collect();
         patterns.dedup();
-        let mut algorithms: Vec<String> = self.rows.iter().map(|r| r.algorithm.clone()).collect();
-        algorithms.sort();
-        algorithms.dedup();
+        let algorithms =
+            crate::stats::unique_sorted(self.rows.iter().map(|r| r.algorithm.as_str()));
         let mut out = String::new();
         out.push_str(&format!(
             "# Synthetic permutations on {} — network contention level (median over seeds)\n",

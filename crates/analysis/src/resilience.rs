@@ -21,16 +21,16 @@
 //! streams never depend on float formatting.
 
 use crate::campaign::{name_tag, splitmix64};
-use crate::slowdown::{run_on_crossbar, run_on_xgft_with_compiled};
+use crate::slowdown::{run_on_crossbar, run_reusing_sim};
 use crate::stats::BoxplotStats;
 use crate::sweep::AlgorithmSpec;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use xgft_core::CompiledRouteTable;
-use xgft_netsim::NetworkConfig;
+use xgft_netsim::{NetworkConfig, NetworkSim};
 use xgft_patterns::Pattern;
 use xgft_topo::{FaultSet, Xgft, XgftSpec};
-use xgft_tracesim::{workloads, Trace};
+use xgft_tracesim::{workloads, ReplayEngine, Trace};
 
 /// Stream selector for [`resilience_seed`]: the fault-sampler seeds of a
 /// point. Public so external tooling can reproduce a shard's exact draws.
@@ -210,15 +210,50 @@ impl ResilienceConfig {
             })
             .collect();
         let shards = self.shards();
-        let outcomes: Vec<ResilienceOutcome> = shards
+        // Group consecutive shards by their (permille, algorithm) point so
+        // one rayon work item builds its replay engine and simulator once
+        // and recycles them across the point's fault draws (the simulator
+        // through `NetworkSim::reset`, pinned byte-identical to a fresh
+        // build). Flattening in group order keeps shard order, so results
+        // stay deterministic for any worker count.
+        let mut groups: Vec<&[ResilienceShard]> = Vec::new();
+        let mut rest = shards.as_slice();
+        while let Some(first) = rest.first() {
+            let len = rest
+                .iter()
+                .take_while(|s| s.permille == first.permille && s.algorithm == first.algorithm)
+                .count();
+            let (group, tail) = rest.split_at(len);
+            groups.push(group);
+            rest = tail;
+        }
+        let outcomes: Vec<ResilienceOutcome> = groups
             .par_iter()
-            .map(|shard| {
+            .map(|group| {
                 let cached = pristine
                     .iter()
-                    .find(|(a, _)| *a == shard.algorithm)
+                    .find(|(a, _)| *a == group[0].algorithm)
                     .and_then(|(_, t)| t.as_ref());
-                self.run_shard(&xgft, cached, shard, pattern, trace, crossbar_ps)
+                let mut engine = ReplayEngine::new(trace);
+                let mut sim = NetworkSim::new(&xgft, self.network.clone());
+                group
+                    .iter()
+                    .map(|shard| {
+                        self.run_shard(
+                            &xgft,
+                            cached,
+                            shard,
+                            pattern,
+                            &mut engine,
+                            &mut sim,
+                            crossbar_ps,
+                        )
+                    })
+                    .collect::<Vec<_>>()
             })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flatten()
             .collect();
         let points = assemble_points(&shards, &outcomes);
         ResilienceResult {
@@ -235,29 +270,36 @@ impl ResilienceConfig {
 
     /// Replay one shard: clone (or compile, for seeded schemes) the
     /// pristine routes of the trace's pairs, draw the shard's fault set,
-    /// patch, and replay when fully routable.
+    /// patch, and replay when fully routable — through the group's recycled
+    /// replay engine and simulator.
+    #[allow(clippy::too_many_arguments)]
     fn run_shard(
         &self,
         xgft: &Xgft,
         pristine: Option<&CompiledRouteTable>,
         shard: &ResilienceShard,
         pattern: &Pattern,
-        trace: &Trace,
+        engine: &mut ReplayEngine<'_>,
+        sim: &mut NetworkSim,
         crossbar_ps: u64,
     ) -> ResilienceOutcome {
         let mut table = match pristine {
             Some(table) => table.clone(),
             None => {
                 let algo = shard.algorithm.instantiate(xgft, pattern, shard.algo_seed);
-                CompiledRouteTable::compile(xgft, algo.as_ref(), trace.communication_pairs())
+                CompiledRouteTable::compile(
+                    xgft,
+                    algo.as_ref(),
+                    engine.trace().communication_pairs(),
+                )
             }
         };
         let faults =
             FaultSet::uniform_links(xgft, shard.permille as f64 / 1000.0, shard.fault_seed);
         let stats = table.patch(xgft, &faults);
         let slowdown = if stats.unroutable == 0 {
-            let result = run_on_xgft_with_compiled(trace, xgft, table, &self.network)
-                .expect("fully-routed replay cannot deadlock");
+            let result =
+                run_reusing_sim(engine, sim, &table).expect("fully-routed replay cannot deadlock");
             Some(result.completion_ps as f64 / crossbar_ps as f64)
         } else {
             None
@@ -387,9 +429,8 @@ impl ResilienceResult {
     /// Render the campaign as a text table: one row per failure rate, one
     /// column per algorithm showing `median slowdown (delivery %)`.
     pub fn render_table(&self) -> String {
-        let mut algorithms: Vec<String> = self.points.iter().map(|p| p.algorithm.clone()).collect();
-        algorithms.sort();
-        algorithms.dedup();
+        let algorithms =
+            crate::stats::unique_sorted(self.points.iter().map(|p| p.algorithm.as_str()));
         let mut rates: Vec<u32> = self.points.iter().map(|p| p.permille).collect();
         rates.sort_unstable();
         rates.dedup();

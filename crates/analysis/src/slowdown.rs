@@ -39,7 +39,7 @@ pub fn run_on_xgft<A: RoutingAlgorithm + ?Sized>(
     config: &NetworkConfig,
 ) -> Result<ReplayResult, ReplayError> {
     let table = CompiledRouteTable::compile(xgft, algo, trace.communication_pairs());
-    run_on_xgft_with_compiled(trace, xgft, table, config)
+    run_on_xgft_with_compiled(trace, xgft, &table, config)
 }
 
 /// Replay `trace` on a prebuilt hash-map route table (compiled on entry;
@@ -53,21 +53,21 @@ pub fn run_on_xgft_with_table(
     run_on_xgft_with_compiled(
         trace,
         xgft,
-        CompiledRouteTable::from_table(xgft, &table),
+        &CompiledRouteTable::from_table(xgft, &table),
         config,
     )
 }
 
 /// Replay `trace` on an already-compiled route table (the hot campaign
-/// path: table compilation and replay are separately accountable).
+/// path: table compilation and replay are separately accountable). The
+/// table is borrowed, so campaign shards can keep and reuse it.
 pub fn run_on_xgft_with_compiled(
     trace: &Trace,
     xgft: &Xgft,
-    table: CompiledRouteTable,
+    table: &CompiledRouteTable,
     config: &NetworkConfig,
 ) -> Result<ReplayResult, ReplayError> {
-    let net = RoutedNetwork::with_compiled(NetworkSim::new(xgft, config.clone()), table);
-    ReplayEngine::new(trace.clone()).run(net)
+    run_on_xgft_with_source(trace, xgft, table, config)
 }
 
 /// Replay `trace` on any route representation ([`CompiledRouteTable`],
@@ -81,13 +81,28 @@ pub fn run_on_xgft_with_source<R: RouteSource>(
     config: &NetworkConfig,
 ) -> Result<ReplayResult, ReplayError> {
     let net = RoutedNetwork::with_source(NetworkSim::new(xgft, config.clone()), source);
-    ReplayEngine::new(trace.clone()).run(net)
+    ReplayEngine::new(trace).run(net)
+}
+
+/// Replay a pre-compiled engine's trace through a shard-local simulator
+/// reclaimed with [`NetworkSim::reset`]: the scratch-reuse counterpart of
+/// [`run_on_xgft_with_source`]. The engine's replay plan, its match-queue
+/// arenas, and the simulator's slab/queue/channel allocations all survive
+/// from the previous seed or epoch — a campaign shard allocates them once.
+pub fn run_reusing_sim<R: RouteSource>(
+    engine: &mut ReplayEngine<'_>,
+    sim: &mut NetworkSim,
+    source: R,
+) -> Result<ReplayResult, ReplayError> {
+    sim.reset();
+    let net = RoutedNetwork::with_source(sim, source);
+    engine.run(net)
 }
 
 /// Replay `trace` on the ideal Full-Crossbar reference.
 pub fn run_on_crossbar(trace: &Trace, config: &NetworkConfig) -> Result<ReplayResult, ReplayError> {
     let net = CrossbarSim::new(trace.num_ranks(), config.clone());
-    ReplayEngine::new(trace.clone()).run(net)
+    ReplayEngine::new(trace).run(net)
 }
 
 /// Compute the slowdown of `algo` on `xgft` for `trace`, reusing a
@@ -118,7 +133,7 @@ pub fn slowdown_of<A: RoutingAlgorithm + ?Sized>(
 /// Convenience used by tests and examples: run a trace on a network that
 /// implements [`Network`] directly.
 pub fn run_on_network<N: Network>(trace: &Trace, network: N) -> Result<ReplayResult, ReplayError> {
-    ReplayEngine::new(trace.clone()).run(network)
+    ReplayEngine::new(trace).run(network)
 }
 
 #[cfg(test)]

@@ -63,6 +63,16 @@ impl BoxplotStats {
     }
 }
 
+/// The sorted, deduplicated values of one string-valued column across a
+/// result's rows — every `render_table` derives its algorithm (or pattern)
+/// column set this way, so the collation lives in one place.
+pub fn unique_sorted<'a>(values: impl IntoIterator<Item = &'a str>) -> Vec<String> {
+    let mut out: Vec<String> = values.into_iter().map(str::to_string).collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
 /// Linear-interpolated percentile of a sorted slice.
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     debug_assert!((0.0..=1.0).contains(&p));

@@ -16,18 +16,18 @@
 //! [`crate::campaign`] module layers deterministic per-shard seed streams
 //! and serde-JSON campaign output on top of the same machinery.
 
-use crate::slowdown::{run_on_crossbar, run_on_xgft, run_on_xgft_with_source};
+use crate::slowdown::{run_on_crossbar, run_on_xgft_with_source, run_reusing_sim};
 use crate::stats::BoxplotStats;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use xgft_core::{
-    ColoredRouting, CompactRoutes, CompactScheme, DModK, RandomNcaDown, RandomNcaUp, RandomRouting,
-    RoutingAlgorithm, SModK,
+    ColoredRouting, CompactRoutes, CompactScheme, CompiledRouteTable, DModK, RandomNcaDown,
+    RandomNcaUp, RandomRouting, RoutingAlgorithm, SModK,
 };
-use xgft_netsim::NetworkConfig;
+use xgft_netsim::{NetworkConfig, NetworkSim};
 use xgft_patterns::Pattern;
 use xgft_topo::{Xgft, XgftSpec};
-use xgft_tracesim::{workloads, Trace};
+use xgft_tracesim::{workloads, ReplayEngine, Trace};
 
 /// Which routing algorithms a sweep evaluates. Deterministic algorithms are
 /// run once per topology; seeded algorithms once per seed.
@@ -168,27 +168,6 @@ pub(crate) fn enumerate_shards(
     shards
 }
 
-/// Replay one shard: build the shard's topology, instantiate its algorithm,
-/// compile the routes and replay the trace, returning the slowdown relative
-/// to `crossbar_ps`. This is the closure the parallel campaign runner maps
-/// over its shard list.
-pub(crate) fn run_shard(
-    shard: &SweepShard,
-    k: usize,
-    network: &NetworkConfig,
-    pattern: &Pattern,
-    trace: &Trace,
-    crossbar_ps: u64,
-) -> f64 {
-    let spec = XgftSpec::slimmed_two_level(k, shard.w2).expect("valid slimmed spec");
-    let xgft = Xgft::new(spec).expect("valid topology");
-    let instance = shard.algorithm.instantiate(&xgft, pattern, shard.seed);
-    let result = run_on_xgft(trace, &xgft, instance.as_ref(), network)
-        .expect("replay cannot deadlock on a valid trace");
-    record_shard(shard, crossbar_ps, result.completion_ps);
-    result.completion_ps as f64 / crossbar_ps as f64
-}
-
 /// Count a completed shard (and emit a trace event when a sink is
 /// installed). Rayon shards run on real threads, which is exactly what the
 /// registry's atomics are for.
@@ -235,7 +214,17 @@ pub(crate) fn run_shard_compact(
 
 /// Run every shard in parallel (rayon) and return one slowdown sample per
 /// shard, in shard order — deterministic for any worker count because the
-/// parallel map preserves input order.
+/// parallel map preserves input order (the flattening below keeps group
+/// order, and groups partition the shard list in order).
+///
+/// Shards are grouped by their `(w2, algorithm)` point — consecutive in the
+/// enumeration order of [`enumerate_shards`] — so one rayon work item
+/// builds its topology, simulator and replay plan once and recycles them
+/// across the point's seeds: the simulator through [`NetworkSim::reset`]
+/// (pinned byte-identical to a fresh build) and the replay engine's
+/// compiled plan and match-queue arenas through its internal scratch reset
+/// (pinned by the tracesim slab suite). Only the route table is rebuilt
+/// per seed, because it is the only per-seed state.
 pub(crate) fn run_shards(
     shards: &[SweepShard],
     k: usize,
@@ -244,10 +233,42 @@ pub(crate) fn run_shards(
     trace: &Trace,
     crossbar_ps: u64,
 ) -> Vec<f64> {
-    shards
+    let mut groups: Vec<&[SweepShard]> = Vec::new();
+    let mut rest = shards;
+    while let Some(first) = rest.first() {
+        let len = rest
+            .iter()
+            .take_while(|s| s.w2 == first.w2 && s.algorithm == first.algorithm)
+            .count();
+        let (group, tail) = rest.split_at(len);
+        groups.push(group);
+        rest = tail;
+    }
+    let samples: Vec<Vec<f64>> = groups
         .par_iter()
-        .map(|shard| run_shard(shard, k, network, pattern, trace, crossbar_ps))
-        .collect()
+        .map(|group| {
+            let spec = XgftSpec::slimmed_two_level(k, group[0].w2).expect("valid slimmed spec");
+            let xgft = Xgft::new(spec).expect("valid topology");
+            let mut engine = ReplayEngine::new(trace);
+            let mut sim = NetworkSim::new(&xgft, network.clone());
+            group
+                .iter()
+                .map(|shard| {
+                    let instance = shard.algorithm.instantiate(&xgft, pattern, shard.seed);
+                    let table = CompiledRouteTable::compile(
+                        &xgft,
+                        instance.as_ref(),
+                        trace.communication_pairs(),
+                    );
+                    let result = run_reusing_sim(&mut engine, &mut sim, &table)
+                        .expect("replay cannot deadlock on a valid trace");
+                    record_shard(shard, crossbar_ps, result.completion_ps);
+                    result.completion_ps as f64 / crossbar_ps as f64
+                })
+                .collect()
+        })
+        .collect();
+    samples.into_iter().flatten().collect()
 }
 
 /// Group per-shard samples into [`SweepPoint`]s, one per (w2, algorithm) in
@@ -315,9 +336,8 @@ impl SweepResult {
     /// Render the sweep as the text table the experiment binaries print:
     /// one row per w2, one column per algorithm (median slowdown).
     pub fn render_table(&self) -> String {
-        let mut algorithms: Vec<String> = self.points.iter().map(|p| p.algorithm.clone()).collect();
-        algorithms.sort();
-        algorithms.dedup();
+        let algorithms =
+            crate::stats::unique_sorted(self.points.iter().map(|p| p.algorithm.as_str()));
         let mut w2s: Vec<usize> = self.points.iter().map(|p| p.w2).collect();
         w2s.sort_unstable_by(|a, b| b.cmp(a));
         w2s.dedup();

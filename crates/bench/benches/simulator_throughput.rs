@@ -53,12 +53,7 @@ fn trace_replay(c: &mut Criterion) {
                 NetworkSim::new(&xgft, NetworkConfig::default()),
                 table.clone(),
             );
-            black_box(
-                ReplayEngine::new(trace.clone())
-                    .run(net)
-                    .unwrap()
-                    .completion_ps,
-            )
+            black_box(ReplayEngine::new(&trace).run(net).unwrap().completion_ps)
         })
     });
     group.finish();

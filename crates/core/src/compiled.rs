@@ -503,6 +503,243 @@ impl CompiledRouteTable {
     }
 }
 
+/// Sentinel in [`UndoableTable::overlay_idx`]: the pair resolves through
+/// the untouched pristine base.
+const OVERLAY_PRISTINE: u32 = u32::MAX;
+/// Sentinel in [`UndoableTable::overlay_idx`]: the current patch declared
+/// the pair unroutable (a typed miss that reverts with the epoch).
+const OVERLAY_MISS: u32 = u32::MAX - 1;
+
+/// A pristine [`CompiledRouteTable`] plus a revertible patch overlay.
+///
+/// [`CompiledRouteTable::repatch`] models fault churn by cloning the whole
+/// pristine table and rebuilding its flat storage every epoch — O(routes)
+/// per epoch even when only a handful of paths cross a failed channel. The
+/// shared prefix-sum fence of the flat layout forces that: patched runs
+/// change length, so every downstream offset moves.
+///
+/// `UndoableTable` keeps the pristine flat storage immutable and records
+/// each epoch's displaced pairs in a side overlay (`pair → replacement run`
+/// or `pair → miss`). [`UndoableTable::patch`] walks the same clean-source
+/// fast path as [`CompiledRouteTable::patch`] but *writes* only the
+/// affected pairs; [`UndoableTable::revert`] (called implicitly on the next
+/// `patch`) undoes them in O(patched pairs). Lookups go through one extra
+/// indexed branch, which only the chaos lab's working tables pay — the
+/// pristine campaign path keeps using [`CompiledRouteTable`] directly.
+///
+/// For any fault set, `patch` resolves every pair to exactly the path (or
+/// typed miss) that [`CompiledRouteTable::repatch`] produces — the reroute
+/// decisions are the same code on the same pristine inputs. The
+/// `fault_timeline` proptest pins that equivalence across whole
+/// fail/repair campaigns.
+#[derive(Debug, Clone)]
+pub struct UndoableTable {
+    base: CompiledRouteTable,
+    /// `num_leaves²` entries: [`OVERLAY_PRISTINE`], [`OVERLAY_MISS`], or an
+    /// index into `entries`.
+    overlay_idx: Vec<u32>,
+    /// `(start, len)` runs of the current epoch's replacement paths in
+    /// `overlay_hops`.
+    entries: Vec<(u32, u32)>,
+    /// Concatenated replacement channel paths for the current epoch.
+    overlay_hops: Vec<u32>,
+    /// Pair indices whose `overlay_idx` entry differs from pristine — the
+    /// undo log `revert` walks.
+    dirty: Vec<u32>,
+    /// Live (routable) pairs under the current overlay.
+    routes: usize,
+}
+
+impl UndoableTable {
+    /// Wrap a pristine table. The overlay starts empty: every lookup
+    /// passes through to `pristine` until the first [`UndoableTable::patch`].
+    pub fn new(pristine: CompiledRouteTable) -> Self {
+        let n = pristine.num_leaves;
+        let routes = pristine.routes;
+        UndoableTable {
+            base: pristine,
+            overlay_idx: vec![OVERLAY_PRISTINE; n * n],
+            entries: Vec::new(),
+            overlay_hops: Vec::new(),
+            dirty: Vec::new(),
+            routes,
+        }
+    }
+
+    /// The immutable pristine table underneath the overlay.
+    pub fn base(&self) -> &CompiledRouteTable {
+        &self.base
+    }
+
+    /// Undo the current epoch's patch in O(patched pairs): every dirty pair
+    /// snaps back to its pristine resolution and the overlay arenas are
+    /// truncated (allocations kept for the next epoch).
+    pub fn revert(&mut self) {
+        for &idx in &self.dirty {
+            self.overlay_idx[idx as usize] = OVERLAY_PRISTINE;
+        }
+        self.dirty.clear();
+        self.entries.clear();
+        self.overlay_hops.clear();
+        self.routes = self.base.routes;
+    }
+
+    /// Repatch from pristine against `faults`: revert the previous epoch's
+    /// overlay, then record this epoch's displaced pairs. Pair-for-pair the
+    /// result resolves identically to
+    /// [`CompiledRouteTable::repatch`] on the same pristine table — same
+    /// clean-region scan, same per-pair preference decoding, same
+    /// [`crate::degraded::reroute`] fallback — but costs O(scan + patched)
+    /// instead of O(all routes).
+    ///
+    /// # Panics
+    /// Panics if the pristine table, topology and fault set disagree on
+    /// machine size or channel numbering.
+    pub fn patch(&mut self, xgft: &Xgft, faults: &FaultSet) -> PatchStats {
+        xgft_obs::span!("core.patch_overlay");
+        self.revert();
+        assert_eq!(
+            self.base.num_leaves,
+            xgft.num_leaves(),
+            "table compiled for a different machine size"
+        );
+        assert_eq!(
+            self.base.channels.len(),
+            xgft.channels().len(),
+            "table compiled for a different channel numbering"
+        );
+        let mut stats = PatchStats::default();
+        if faults.is_empty() {
+            stats.untouched = self.base.routes;
+            record_patch(&stats, 0);
+            return stats;
+        }
+        let degraded = DegradedXgft::new(xgft, faults).expect("fault set matches the topology");
+        let n = self.base.num_leaves;
+        let base = &self.base;
+        for s in 0..n {
+            let region_start = base.offsets[s * n] as usize;
+            let region_end = base.offsets[(s + 1) * n] as usize;
+            let region = &base.hops[region_start..region_end];
+            if region.iter().all(|&c| !faults.is_failed(c as usize)) {
+                // Clean source slice: nothing to record — pristine
+                // passthrough already resolves every pair.
+                stats.untouched += (s * n..(s + 1) * n)
+                    .filter(|&idx| base.offsets[idx] != base.offsets[idx + 1])
+                    .count();
+                continue;
+            }
+            for d in 0..n {
+                let idx = s * n + d;
+                let start = base.offsets[idx] as usize;
+                let end = base.offsets[idx + 1] as usize;
+                if start == end {
+                    continue; // a miss stays a miss
+                }
+                let path = &base.hops[start..end];
+                if path.iter().all(|&c| !faults.is_failed(c as usize)) {
+                    stats.untouched += 1;
+                    continue;
+                }
+                // Decode the stored route's up-ports as the preference.
+                let ascent = path.len() / 2;
+                let preferred = Route::new(
+                    path[..ascent]
+                        .iter()
+                        .map(|&dense| base.channels.channel(dense as usize).up_port)
+                        .collect(),
+                );
+                match reroute(&degraded, s, d, &preferred) {
+                    Ok(route) => {
+                        let new_path = xgft
+                            .route_channels(s, d, &route)
+                            .expect("fault-aware fallback produces valid routes");
+                        let hop_start = self.overlay_hops.len() as u32;
+                        self.overlay_hops.extend(new_path.iter().map(|&c| c as u32));
+                        self.overlay_idx[idx] = self.entries.len() as u32;
+                        self.entries.push((hop_start, new_path.len() as u32));
+                        self.dirty.push(idx as u32);
+                        stats.rerouted += 1;
+                    }
+                    Err(_) => {
+                        self.overlay_idx[idx] = OVERLAY_MISS;
+                        self.dirty.push(idx as u32);
+                        stats.unroutable += 1;
+                    }
+                }
+            }
+        }
+        self.routes = self.base.routes - stats.unroutable;
+        record_patch(&stats, faults.num_failed_channels());
+        stats
+    }
+
+    /// The dense channel path of `(s, d)` under the current overlay — the
+    /// hot lookup, one indexed branch on top of
+    /// [`CompiledRouteTable::path`].
+    #[inline]
+    pub fn path(&self, s: usize, d: usize) -> Option<&[u32]> {
+        let n = self.base.num_leaves;
+        if s >= n || d >= n {
+            return None;
+        }
+        match self.overlay_idx[s * n + d] {
+            OVERLAY_PRISTINE => self.base.path(s, d),
+            OVERLAY_MISS => None,
+            entry => {
+                let (start, len) = self.entries[entry as usize];
+                Some(&self.overlay_hops[start as usize..(start + len) as usize])
+            }
+        }
+    }
+
+    /// Number of routable pairs under the current overlay.
+    pub fn len(&self) -> usize {
+        self.routes
+    }
+
+    /// True if no pairs are routable.
+    pub fn is_empty(&self) -> bool {
+        self.routes == 0
+    }
+
+    /// Pairs displaced by the current patch (rerouted plus unroutable).
+    pub fn patched_pairs(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Flat storage held by the base plus the overlay.
+    pub fn storage_bytes(&self) -> usize {
+        self.base.storage_bytes()
+            + std::mem::size_of_val(&self.overlay_idx[..])
+            + std::mem::size_of_val(&self.entries[..])
+            + std::mem::size_of_val(&self.overlay_hops[..])
+            + std::mem::size_of_val(&self.dirty[..])
+    }
+}
+
+impl crate::RouteSource for UndoableTable {
+    fn algorithm(&self) -> &str {
+        self.base.algorithm()
+    }
+
+    fn is_pattern_aware(&self) -> bool {
+        self.base.is_pattern_aware()
+    }
+
+    fn num_leaves(&self) -> usize {
+        self.base.num_leaves()
+    }
+
+    fn route_state_bytes(&self) -> usize {
+        self.storage_bytes()
+    }
+
+    fn path_in<'a>(&'a self, s: usize, d: usize, _scratch: &'a mut Vec<u32>) -> Option<&'a [u32]> {
+        self.path(s, d)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -682,6 +919,98 @@ mod tests {
         assert_eq!(stats.rerouted, 0, "already-patched paths are all live");
         assert_eq!(stats.unroutable, 0);
         assert_eq!(once, twice);
+    }
+
+    /// Every pair an [`UndoableTable`] resolves must match what the
+    /// clone-and-repatch path produces from the same pristine table.
+    fn assert_resolves_like(undoable: &UndoableTable, repatched: &CompiledRouteTable) {
+        let n = repatched.num_leaves();
+        for s in 0..n {
+            for d in 0..n {
+                assert_eq!(
+                    undoable.path(s, d),
+                    repatched.path(s, d),
+                    "overlay and repatch disagree on ({s}, {d})"
+                );
+            }
+        }
+        assert_eq!(undoable.len(), repatched.len());
+    }
+
+    #[test]
+    fn undoable_patch_resolves_identically_to_repatch() {
+        let xgft = Xgft::new(XgftSpec::slimmed_two_level(4, 2).unwrap()).unwrap();
+        let pristine = CompiledRouteTable::compile_all_pairs(&xgft, &SModK::new());
+        let mut undoable = UndoableTable::new(pristine.clone());
+        let mut working = pristine.clone();
+
+        // One cut: reroutes only.
+        let mut faults = xgft_topo::FaultSet::none(&xgft);
+        faults.fail_cable(xgft.channels(), 1, 0, 1);
+        let overlay_stats = undoable.patch(&xgft, &faults);
+        let clone_stats = working.repatch(&pristine, &xgft, &faults);
+        assert_eq!(overlay_stats, clone_stats);
+        assert!(overlay_stats.rerouted > 0);
+        assert_eq!(
+            undoable.patched_pairs(),
+            overlay_stats.rerouted + overlay_stats.unroutable
+        );
+        assert_resolves_like(&undoable, &working);
+
+        // Both cuts: switch 0's cross-switch pairs become typed misses.
+        faults.fail_cable(xgft.channels(), 1, 0, 0);
+        let overlay_stats = undoable.patch(&xgft, &faults);
+        let clone_stats = working.repatch(&pristine, &xgft, &faults);
+        assert_eq!(overlay_stats, clone_stats);
+        assert!(overlay_stats.unroutable > 0);
+        assert!(undoable.path(0, 5).is_none(), "cut-off pair must miss");
+        assert_resolves_like(&undoable, &working);
+    }
+
+    #[test]
+    fn undoable_revert_restores_pristine_resolution() {
+        let xgft = Xgft::new(XgftSpec::slimmed_two_level(4, 3).unwrap()).unwrap();
+        let pristine = CompiledRouteTable::compile_all_pairs(&xgft, &RandomRouting::new(9));
+        let mut undoable = UndoableTable::new(pristine.clone());
+        let faults = xgft_topo::FaultSet::uniform_links(&xgft, 0.25, 5);
+        undoable.patch(&xgft, &faults);
+        assert!(undoable.patched_pairs() > 0);
+
+        undoable.revert();
+        assert_eq!(undoable.patched_pairs(), 0);
+        assert_resolves_like(&undoable, &pristine);
+
+        // A full repair epoch resolves like the pristine table too, and a
+        // re-patch after the repair matches a fresh repatch — misses heal
+        // because every epoch restarts from pristine.
+        undoable.patch(&xgft, &xgft_topo::FaultSet::none(&xgft));
+        assert_resolves_like(&undoable, &pristine);
+        let mut working = pristine.clone();
+        undoable.patch(&xgft, &faults);
+        working.repatch(&pristine, &xgft, &faults);
+        assert_resolves_like(&undoable, &working);
+    }
+
+    #[test]
+    fn undoable_table_is_a_route_source() {
+        use crate::RouteSource;
+        let xgft = Xgft::k_ary_n_tree(4, 2);
+        let pristine = CompiledRouteTable::compile_all_pairs(&xgft, &DModK::new());
+        let undoable = UndoableTable::new(pristine.clone());
+        let mut scratch = Vec::new();
+        assert_eq!(RouteSource::algorithm(&undoable), "d-mod-k");
+        assert_eq!(RouteSource::num_leaves(&undoable), 16);
+        assert!(!RouteSource::is_pattern_aware(&undoable));
+        assert!(undoable.route_state_bytes() > pristine.storage_bytes());
+        assert_eq!(
+            RouteSource::path_in(&undoable, 0, 5, &mut scratch),
+            pristine.path(0, 5)
+        );
+        // Out-of-range leaves miss instead of indexing out of the overlay.
+        assert!(RouteSource::path_in(&undoable, 0, 16, &mut scratch).is_none());
+        assert!(RouteSource::path_in(&undoable, 16, 0, &mut scratch).is_none());
+        assert_eq!(undoable.base(), &pristine);
+        assert!(!undoable.is_empty());
     }
 
     #[test]

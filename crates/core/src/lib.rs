@@ -59,7 +59,7 @@ pub mod table;
 pub use algorithm::RoutingAlgorithm;
 pub use colored::ColoredRouting;
 pub use compact::{CompactRoutes, CompactScheme};
-pub use compiled::{CompiledRouteTable, PatchStats};
+pub use compiled::{CompiledRouteTable, PatchStats, UndoableTable};
 pub use contention::{ChannelLoads, ContentionReport};
 pub use degraded::{degraded_route, reroute, RoutingError};
 pub use distribution::nca_route_distribution;

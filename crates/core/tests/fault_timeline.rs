@@ -12,7 +12,7 @@
 use proptest::prelude::*;
 use xgft_core::{
     CompactRoutes, CompactScheme, CompiledRouteTable, DModK, RandomNcaDown, RandomNcaUp,
-    RandomRouting, RoutingAlgorithm, SModK,
+    RandomRouting, RoutingAlgorithm, SModK, UndoableTable,
 };
 use xgft_topo::{FaultSet, Xgft, XgftSpec};
 
@@ -119,6 +119,7 @@ proptest! {
         let pristine = CompiledRouteTable::compile(&xgft, algo.as_ref(), pairs.iter().copied());
         let mut working = pristine.clone();
         let mut compact = CompactRoutes::for_pairs(&xgft, closed_form, pairs.iter().copied());
+        let mut overlay = UndoableTable::new(pristine.clone());
 
         let epochs = timeline.iter().map(|i| i.start + i.duration).max().unwrap() + 1;
         let mut saw_shrink = false;
@@ -150,6 +151,24 @@ proptest! {
             prop_assert_eq!(&compact.to_compiled(&xgft), &scratch,
                 "epoch {}: compact overlay and recompile diverged", epoch);
             prop_assert_eq!(compact_stats.unroutable, stats.unroutable);
+
+            // The undo-log overlay must resolve every pair exactly like the
+            // clone-and-repatch working table, with identical patch stats —
+            // the chaos lab swaps clone+repatch for revert+patch on the
+            // strength of this property.
+            let overlay_stats = overlay.patch(&xgft, &faults);
+            prop_assert_eq!(overlay_stats, stats);
+            for s in 0..n {
+                for d in 0..n {
+                    prop_assert_eq!(
+                        overlay.path(s, d),
+                        working.path(s, d),
+                        "epoch {}: undo overlay and repatch diverged on ({}, {})",
+                        epoch, s, d
+                    );
+                }
+            }
+            prop_assert_eq!(overlay.len(), working.len());
 
             // Every surviving path avoids the epoch's dead channels.
             for (_, path) in working.iter_paths() {

@@ -79,6 +79,13 @@ impl InjectionBatch {
         });
     }
 
+    /// Remove every entry, keeping the entry and arena allocations — epoch
+    /// drivers refill one batch per epoch instead of reallocating.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.arena.clear();
+    }
+
     /// Number of messages in the batch.
     pub fn len(&self) -> usize {
         self.entries.len()

@@ -195,6 +195,27 @@ impl EventQueue {
         }
     }
 
+    /// Reset the queue to its freshly-constructed state — cursor, sequence
+    /// counter and high-water mark included — while keeping the bucket ring
+    /// and lane allocations. Pop order after a `clear` is byte-identical to
+    /// a new queue's (it is independent of ring size, which is the only
+    /// state that survives), so `NetworkSim::reset` can recycle the ring a
+    /// previous run already grew.
+    pub fn clear(&mut self) {
+        self.now_fifo.clear();
+        self.now_ps = 0;
+        self.current.clear();
+        for bucket in &mut self.buckets {
+            bucket.min_ps = u64::MAX;
+            bucket.events.clear();
+        }
+        self.day = 0;
+        self.future_len = 0;
+        self.live = 0;
+        self.next_seq = 0;
+        self.high_water = 0;
+    }
+
     /// Schedule `event` at absolute time `time_ps`.
     pub fn push(&mut self, time_ps: u64, event: Event) {
         self.live += 1;

@@ -103,6 +103,30 @@ impl MessageSlab {
         self.live.len()
     }
 
+    /// Forget every message and recycle the slab to its freshly-constructed
+    /// state, keeping the column and arena allocations. Slot numbering and
+    /// generations restart from zero exactly as in a new slab, so a reset
+    /// simulator mints byte-identical [`MessageId`]s.
+    pub fn clear(&mut self) {
+        self.src.clear();
+        self.dst.clear();
+        self.bytes.clear();
+        self.injected_at_ps.clear();
+        self.segments_injected.clear();
+        self.segments_delivered.clear();
+        self.total_segments.clear();
+        self.completed_at_ps.clear();
+        self.dropped_at_ps.clear();
+        self.path_start.clear();
+        self.path_len.clear();
+        self.generations.clear();
+        self.live.clear();
+        self.arena.clear();
+        self.arena_dead = 0;
+        self.free_slots.clear();
+        self.live_count = 0;
+    }
+
     /// Claim a slot (recycled if one is free) and fill every column.
     /// `completed_at_ps` is pre-set for local copies that never enter the
     /// network. One argument per column: bundling them into a parameter

@@ -156,6 +156,39 @@ impl NetworkSim {
         }
     }
 
+    /// Reclaim the simulator for a fresh run without reallocating: the
+    /// event-queue ring, message slab columns, path arena, channel queues
+    /// and adapter state are all emptied in place but keep their capacity.
+    ///
+    /// A reset simulator is behaviourally byte-identical to
+    /// `NetworkSim::new(xgft, config)` — same event order, same minted
+    /// [`MessageId`]s, same report — which is what lets campaign shards
+    /// build one simulator and replay every seed/epoch into it (pinned by
+    /// the `reset_is_byte_identical_to_a_fresh_simulator` test and the
+    /// campaign golden fixtures).
+    pub fn reset(&mut self) {
+        self.now_ps = 0;
+        self.queue.clear();
+        let credits = self.config.input_buffer_segments.max(1);
+        for channel in &mut self.channels {
+            channel.free_at_ps = 0;
+            channel.credits = credits;
+            channel.waiting.clear();
+            channel.busy_ps = 0;
+            channel.max_queue = 0;
+            channel.failed = None;
+        }
+        for adapter in &mut self.adapters {
+            adapter.active.clear();
+            adapter.segment_enqueued = false;
+        }
+        self.messages.clear();
+        self.dropped_messages = 0;
+        self.completions.clear();
+        self.records.clear();
+        self.events_processed = 0;
+    }
+
     /// Current simulation time in picoseconds.
     pub fn now_ps(&self) -> u64 {
         self.now_ps
@@ -1384,5 +1417,42 @@ mod tests {
             "queue depth {} suggests missing backpressure",
             report.max_queue_depth
         );
+    }
+
+    #[test]
+    fn reset_is_byte_identical_to_a_fresh_simulator() {
+        // Drive a run with contention, failures and repairs, reset, rerun
+        // the same schedule: reports (messages, ids, events, high-water)
+        // must match a fresh simulator's bit for bit.
+        let xgft = k_ary(4, 2);
+        let drive = |sim: &mut NetworkSim| {
+            let ids: Vec<MessageId> = (1..12usize)
+                .map(|s| {
+                    let route = if sim.xgft().nca_level(s, 0) == 1 {
+                        Route::new(vec![0])
+                    } else {
+                        Route::new(vec![0, s % 4])
+                    };
+                    sim.schedule_message((s as u64) * 1_000, s, 0, 48 * 1024, route)
+                })
+                .collect();
+            sim.fail_channel(2_000_000, 3, FailurePolicy::Drop);
+            sim.repair_channel(60_000_000, 3);
+            let report = sim.run_to_completion();
+            (ids, report)
+        };
+        let mut fresh = NetworkSim::new(&xgft, cfg());
+        let (fresh_ids, fresh_report) = drive(&mut fresh);
+
+        let mut reused = NetworkSim::new(&xgft, cfg());
+        // A first run leaves queue rings grown, slabs filled, channels
+        // failed — everything reset() must reclaim.
+        let _ = drive(&mut reused);
+        reused.reset();
+        assert_eq!(reused.now_ps(), 0);
+        assert_eq!(reused.num_messages(), 0);
+        let (reused_ids, reused_report) = drive(&mut reused);
+        assert_eq!(fresh_ids, reused_ids, "minted ids must restart identically");
+        assert_eq!(fresh_report, reused_report);
     }
 }

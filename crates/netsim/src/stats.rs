@@ -28,7 +28,7 @@ impl MessageRecord {
 }
 
 /// Summary of a finished simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
     /// Number of messages delivered.
     pub completed_messages: usize,

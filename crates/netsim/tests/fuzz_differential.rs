@@ -238,7 +238,7 @@ fn run_tracesim(
         sim.fail_channel(at_ps, ch, FailurePolicy::CompleteInFlight);
     }
     let mut net = RoutedNetwork::with_compiled(sim, table.clone());
-    ReplayEngine::new(trace)
+    ReplayEngine::new(&trace)
         .run(&mut net)
         .expect("fully-routed replay cannot deadlock");
     net.sim().channel_busy_ps()

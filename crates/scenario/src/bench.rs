@@ -1,9 +1,9 @@
 //! The `xgft bench` performance trajectory.
 //!
 //! Fixed, seed-pinned probes over every layer's hot path — route compile,
-//! incremental patch, analytical flow MCL, event-driven netsim, a tracesim
-//! campaign and the compact million-leaf engine — each written as a
-//! versioned `BENCH_<area>.json` file. Committing those files once per PR
+//! incremental patch, analytical flow MCL, event-driven netsim, the trace
+//! replay core, a tracesim campaign and the compact million-leaf engine —
+//! each written as a versioned `BENCH_<area>.json` file. Committing those files once per PR
 //! turns the repository history into a per-PR performance trajectory: a
 //! regression shows up as a diff, not as an anecdote.
 //!
@@ -23,7 +23,7 @@ use std::time::Instant;
 use xgft_analysis::{AlgorithmSpec, CampaignConfig, ChaosConfig};
 use xgft_core::{CompactRoutes, CompactScheme, CompiledRouteTable, DModK};
 use xgft_flow::{FlowScheme, FlowSweepConfig, TrafficSpec};
-use xgft_netsim::{InjectionBatch, NetworkConfig, NetworkSim};
+use xgft_netsim::{CrossbarSim, InjectionBatch, NetworkConfig, NetworkSim};
 use xgft_patterns::generators;
 use xgft_topo::{FaultSet, Xgft};
 
@@ -32,7 +32,7 @@ pub const BENCH_SCHEMA_VERSION: u32 = 1;
 
 /// Every bench area, in the order `xgft bench` runs them.
 pub const ALL_AREAS: &[&str] = &[
-    "compile", "patch", "flow_mcl", "netsim", "campaign", "compact", "chaos",
+    "compile", "patch", "flow_mcl", "netsim", "tracesim", "campaign", "compact", "chaos",
 ];
 
 /// One deterministic check counter of a probe (work done, not time spent).
@@ -131,6 +131,7 @@ pub fn bench_area(area: &str, quick: bool) -> Result<BenchFile, String> {
         "patch" => bench_patch(quick, reps),
         "flow_mcl" => bench_flow_mcl(quick, reps),
         "netsim" => bench_netsim(quick, reps),
+        "tracesim" => bench_tracesim(quick, reps),
         "campaign" => bench_campaign(quick, reps),
         "compact" => bench_compact(quick, reps),
         "chaos" => bench_chaos(quick, reps),
@@ -276,6 +277,50 @@ fn bench_netsim(quick: bool, reps: u32) -> Vec<BenchProbe> {
     ]
 }
 
+/// The replay core head to head: one seed-free CG-class trace (dense
+/// send/recv/barrier structure, the matching-heavy shape) replayed on the
+/// ideal crossbar through the indexed engine and through the retired
+/// hash-map implementation kept as `replay::reference`. Both probes must
+/// report *identical* check counters — the indexed core is an optimisation,
+/// never a behaviour change (`tests/replay_equivalence.rs` fuzzes the same
+/// claim) — so the wall-clock ratio between them is the speedup the
+/// trajectory tracks. The indexed probe reuses one engine across the
+/// repetitions, pricing the scratch-reset path the campaign runners lean on.
+fn bench_tracesim(quick: bool, reps: u32) -> Vec<BenchProbe> {
+    let ranks = if quick { 256 } else { 512 };
+    let bytes: u64 = 16 * 1024;
+    let trace = xgft_tracesim::workloads::cg_d_trace(ranks, bytes);
+    let params = format!("trace=cg-d ranks={ranks} msg=16KiB network=crossbar");
+    let checks = |result: &xgft_tracesim::ReplayResult| {
+        vec![
+            ("completion_ps", result.completion_ps),
+            ("delivered", result.network_report.completed_messages as u64),
+            ("events", result.network_report.events_processed),
+        ]
+    };
+
+    let mut engine = xgft_tracesim::ReplayEngine::new(&trace);
+    let indexed = time_reps(reps, || {
+        let result = engine
+            .run(CrossbarSim::new(ranks, NetworkConfig::default()))
+            .expect("CG trace is deadlock-free");
+        checks(&result)
+    });
+    let reference = time_reps(reps, || {
+        let result = xgft_tracesim::replay::reference::run(
+            &trace,
+            CrossbarSim::new(ranks, NetworkConfig::default()),
+        )
+        .expect("CG trace is deadlock-free");
+        checks(&result)
+    });
+
+    vec![
+        probe("cg_indexed_replay", params.clone(), reps, indexed),
+        probe("cg_hashmap_reference", params, reps, reference),
+    ]
+}
+
 /// A seed campaign through the tracesim machinery (rayon shards included).
 fn bench_campaign(quick: bool, reps: u32) -> Vec<BenchProbe> {
     let k = if quick { 4 } else { 8 };
@@ -296,12 +341,47 @@ fn bench_campaign(quick: bool, reps: u32) -> Vec<BenchProbe> {
             ("crossbar_ps", result.crossbar_ps),
         ]
     });
-    vec![probe(
-        "wrf_seed_campaign",
-        format!("k={k} w2=[{},{}] seeds/point=2 base=2009", k, k / 2),
-        reps,
-        timed,
-    )]
+
+    // A second probe at the next scale up: bigger tree, more shards per
+    // (w2, algorithm) group, so the shard-local engine/simulator reuse has
+    // enough consecutive shards to amortise over.
+    let wide_k = if quick { 8 } else { 16 };
+    let wide_pattern = generators::wrf_mesh_exchange(wide_k, wide_k, 16 * 1024);
+    let wide_config = CampaignConfig {
+        name: "bench-wide".to_string(),
+        k: wide_k,
+        w2_values: vec![wide_k, wide_k / 2],
+        algorithms: vec![AlgorithmSpec::DModK, AlgorithmSpec::Random],
+        seeds_per_point: 4,
+        base_seed: 2009,
+        network: NetworkConfig::default(),
+    };
+    let wide = time_reps(reps, || {
+        let result = wide_config.run(&wide_pattern);
+        vec![
+            ("shards", result.shards.len() as u64),
+            ("crossbar_ps", result.crossbar_ps),
+        ]
+    });
+
+    vec![
+        probe(
+            "wrf_seed_campaign",
+            format!("k={k} w2=[{},{}] seeds/point=2 base=2009", k, k / 2),
+            reps,
+            timed,
+        ),
+        probe(
+            "wrf_seed_campaign_wide",
+            format!(
+                "k={wide_k} w2=[{},{}] seeds/point=4 base=2009",
+                wide_k,
+                wide_k / 2
+            ),
+            reps,
+            wide,
+        ),
+    ]
 }
 
 /// The compact closed-form engine at a scale no table can represent:
@@ -377,12 +457,56 @@ fn bench_chaos(quick: bool, reps: u32) -> Vec<BenchProbe> {
             ("unroutable", total(|s| s.total_unroutable())),
         ]
     });
-    vec![probe(
-        "wrf_fault_repair_timeline",
-        format!("k={k} epochs={epochs} seeds/point=2 base=2009"),
-        reps,
-        timed,
-    )]
+    // The same timeline at the next scale up: a deeper epoch sequence on
+    // the bigger tree, where the per-epoch table revert (O(patched routes)
+    // instead of a full clone) and the recycled simulator dominate the
+    // shard cost.
+    let wide_k = 8;
+    let wide_epochs = if quick { 8 } else { 16 };
+    let wide_pattern = generators::wrf_mesh_exchange(wide_k, wide_k, 16 * 1024);
+    let wide_config = ChaosConfig {
+        name: "bench-wide".to_string(),
+        k: wide_k,
+        w2: wide_k,
+        algorithms: vec![AlgorithmSpec::DModK, AlgorithmSpec::Random],
+        epochs: wide_epochs,
+        epoch_ps: 40_000_000,
+        link_fail_permille: 120,
+        switch_kill_permille: 300,
+        cable_cut_permille: 300,
+        repair_epochs: 1,
+        seeds_per_point: 2,
+        base_seed: 2009,
+        network: NetworkConfig::default(),
+    };
+    let wide = time_reps(reps, || {
+        let result = wide_config.run(&wide_pattern);
+        let total = |f: fn(&xgft_analysis::ChaosShardOutcome) -> usize| -> u64 {
+            result.shards.iter().map(|s| f(s) as u64).sum()
+        };
+        vec![
+            ("shards", result.shards.len() as u64),
+            ("incidents", result.incidents.len() as u64),
+            ("delivered", total(|s| s.total_delivered())),
+            ("dropped", total(|s| s.total_dropped())),
+            ("unroutable", total(|s| s.total_unroutable())),
+        ]
+    });
+
+    vec![
+        probe(
+            "wrf_fault_repair_timeline",
+            format!("k={k} epochs={epochs} seeds/point=2 base=2009"),
+            reps,
+            timed,
+        ),
+        probe(
+            "wrf_fault_repair_timeline_wide",
+            format!("k={wide_k} epochs={wide_epochs} seeds/point=2 base=2009"),
+            reps,
+            wide,
+        ),
+    ]
 }
 
 /// Captures the parsed [`Value`] tree verbatim (the shim's `Value` does not
@@ -601,6 +725,29 @@ mod tests {
         assert_eq!(check(direct, "delivered"), 64);
         assert_eq!(check(direct, "events"), 36_928);
         assert!(check(batched, "event_queue_hwm") > 0);
+    }
+
+    #[test]
+    fn tracesim_check_counters_are_identical_across_replay_cores() {
+        // The indexed replay core must do exactly the same simulated work
+        // as the retired hash-map reference: same completion time, same
+        // deliveries, same event count. Anything else is a correctness bug,
+        // not a speedup.
+        let file = bench_area("tracesim", true).unwrap();
+        let indexed = file
+            .probes
+            .iter()
+            .find(|p| p.name == "cg_indexed_replay")
+            .unwrap();
+        let reference = file
+            .probes
+            .iter()
+            .find(|p| p.name == "cg_hashmap_reference")
+            .unwrap();
+        assert_eq!(
+            indexed.checks, reference.checks,
+            "indexed and reference replay diverged"
+        );
     }
 
     #[test]

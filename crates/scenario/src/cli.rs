@@ -37,7 +37,10 @@ commands:
   bench                      run the fixed performance probes and write
                              versioned BENCH_<area>.json files
                              (--quick for CI scale, --dir DIR for the output
-                             directory, --areas a,b to restrict, --json)
+                             directory, --areas a,b to restrict, --json,
+                             --strict-checks to fail on check-counter drift
+                             against the committed baseline — timings still
+                             never gate)
   list                       list the built-in scenarios (--json for tooling)
   <name>                     run a built-in scenario by registry name
                              (see `xgft list`; accepts the shared flag set:
@@ -247,6 +250,7 @@ fn run_spec_file(rest: &[String]) -> i32 {
 fn run_bench_cmd(rest: &[String]) -> i32 {
     let mut quick = false;
     let mut json = false;
+    let mut strict_checks = false;
     let mut dir = ".".to_string();
     let mut areas: Option<Vec<String>> = None;
     let mut iter = rest.iter();
@@ -254,6 +258,7 @@ fn run_bench_cmd(rest: &[String]) -> i32 {
         match flag.as_str() {
             "--quick" => quick = true,
             "--json" => json = true,
+            "--strict-checks" => strict_checks = true,
             "--dir" => match iter.next() {
                 Some(value) => dir = value.clone(),
                 None => {
@@ -342,6 +347,14 @@ fn run_bench_cmd(rest: &[String]) -> i32 {
     } else {
         print!("{report}");
     }
+    // Timing moves never gate, but under `--strict-checks` a check-counter
+    // drift against the committed baseline does: the work changed, not just
+    // its speed. CI runs with this flag so behaviour drift cannot land as a
+    // silent "perf" diff.
+    if strict_checks && report.contains("BEHAVIOUR DRIFT") {
+        eprintln!("bench: check counters drifted from the committed baseline (--strict-checks)");
+        return 1;
+    }
     0
 }
 
@@ -403,6 +416,37 @@ mod tests {
         assert_eq!(main_with_args(args(&["run"])), 2);
         assert_eq!(main_with_args(args(&["run", "/no/such/file.json"])), 2);
         assert_eq!(main_with_args(args(&["run", "a.json", "b.json"])), 2);
+    }
+
+    #[test]
+    fn strict_checks_gates_behaviour_drift_but_not_timing() {
+        let dir = std::env::temp_dir().join("xgft-cli-strict-checks");
+        std::fs::create_dir_all(&dir).unwrap();
+        let dir_s = dir.to_str().unwrap().to_string();
+        let bench = |extra: &[&str]| {
+            let mut argv = vec!["bench", "--quick", "--areas", "compile", "--dir", &dir_s];
+            argv.extend_from_slice(extra);
+            main_with_args(args(&argv))
+        };
+        // First run writes the baseline; rerunning the same code cannot
+        // drift the deterministic checks, so strict mode stays green even
+        // though the timings differ run to run.
+        assert_eq!(bench(&[]), 0);
+        assert_eq!(bench(&["--strict-checks"]), 0);
+        // Tamper with a check counter in the committed baseline. A lax run
+        // only reports the drift; a strict run fails on it.
+        let path = dir.join(crate::bench::bench_file_name("compile"));
+        let tamper = || {
+            let mut file =
+                crate::bench::validate_bench_file(&std::fs::read_to_string(&path).unwrap())
+                    .unwrap();
+            file.probes[0].checks[0].value += 1;
+            std::fs::write(&path, serde_json::to_string_pretty(&file).unwrap()).unwrap();
+        };
+        tamper();
+        assert_eq!(bench(&[]), 0);
+        tamper();
+        assert_eq!(bench(&["--strict-checks"]), 1);
     }
 
     #[test]

@@ -903,7 +903,7 @@ fn agreement_check<R: RouteSource>(
     }
     let trace = Trace::new("agreement", programs);
     let mut net = RoutedNetwork::with_source(NetworkSim::new(xgft, network.clone()), source);
-    ReplayEngine::new(trace)
+    ReplayEngine::new(&trace)
         .run(&mut net)
         .expect("fully-routed replay cannot deadlock");
     let tracesim_busy = net.sim().channel_busy_ps();

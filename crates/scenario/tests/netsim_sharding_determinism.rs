@@ -9,8 +9,8 @@
 use rayon::ThreadPoolBuilder;
 use xgft_analysis::AlgorithmSpec;
 use xgft_scenario::{
-    run_scenario, ChaosSpec, EngineSpec, ResultPayload, RunOptions, ScenarioSpec, SchemeSpec,
-    SeedSpec, SweepSpec, TopologySpec, WorkloadSpec,
+    run_scenario, ChaosSpec, EngineSpec, FaultSpec, ResultPayload, RunOptions, ScenarioSpec,
+    SchemeSpec, SeedSpec, SweepSpec, TopologySpec, WorkloadSpec,
 };
 
 fn netsim_spec(engine: EngineSpec) -> ScenarioSpec {
@@ -137,6 +137,61 @@ fn chaos_timeline_payload_is_identical_for_1_2_4_8_workers() {
         assert_eq!(
             reference, wide,
             "chaos payload drifted between 1 and {workers} rayon workers"
+        );
+    }
+}
+
+/// The grouped resilience runner: consecutive shards sharing a
+/// (fault-rate, algorithm) point reuse one replay engine and one recycled
+/// simulator, and the *groups* fan out over rayon — the shard list must
+/// stay byte-identical at any worker count.
+#[test]
+fn resilience_payload_is_identical_for_1_2_4_8_workers() {
+    let mut spec = ScenarioSpec::basic(
+        "resilience-sharding-determinism",
+        TopologySpec::SlimmedTwoLevel { k: 4, w2: 4 },
+        WorkloadSpec::new("wrf", 16, 16 * 1024),
+        vec![
+            SchemeSpec(AlgorithmSpec::DModK),
+            SchemeSpec(AlgorithmSpec::Random),
+            SchemeSpec(AlgorithmSpec::RandomNcaDown),
+        ],
+    );
+    spec.engine = EngineSpec::Tracesim;
+    spec.faults = FaultSpec::UniformLinks {
+        permille: vec![0, 60, 120],
+        draws_per_point: 2,
+    };
+    spec.seeds = SeedSpec::Stream {
+        base_seed: 11,
+        seeds_per_point: 2,
+    };
+
+    let resilience_json = |spec: &ScenarioSpec| -> String {
+        let result = run_scenario(spec, &RunOptions::default()).unwrap();
+        match &result.payload {
+            ResultPayload::Resilience(r) => {
+                assert!(!r.shards.is_empty());
+                serde_json::to_string(r).unwrap()
+            }
+            other => panic!("unexpected payload shape: {other:?}"),
+        }
+    };
+
+    let reference = ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap()
+        .install(|| resilience_json(&spec));
+    for workers in [2, 4, 8] {
+        let wide = ThreadPoolBuilder::new()
+            .num_threads(workers)
+            .build()
+            .unwrap()
+            .install(|| resilience_json(&spec));
+        assert_eq!(
+            reference, wide,
+            "resilience payload drifted between 1 and {workers} rayon workers"
         );
     }
 }

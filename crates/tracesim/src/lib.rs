@@ -24,10 +24,10 @@
 //! let xgft = Xgft::new(XgftSpec::k_ary_n_tree(4, 2)).unwrap();
 //! let table = RouteTable::build(&xgft, &DModK::new(), trace.communication_pairs());
 //! let net = RoutedNetwork::new(NetworkSim::new(&xgft, NetworkConfig::default()), table);
-//! let result = ReplayEngine::new(trace.clone()).run(net).unwrap();
+//! let result = ReplayEngine::new(&trace).run(net).unwrap();
 //!
 //! // The ideal single-stage crossbar reference.
-//! let reference = ReplayEngine::new(trace)
+//! let reference = ReplayEngine::new(&trace)
 //!     .run(CrossbarSim::new(16, NetworkConfig::default()))
 //!     .unwrap();
 //! assert!(result.completion_ps >= reference.completion_ps);

@@ -225,10 +225,7 @@ mod tests {
                 RoutedNetwork::new(NetworkSim::new(&xgft, config.clone()), table),
                 mapping,
             );
-            ReplayEngine::new(trace.clone())
-                .run(net)
-                .unwrap()
-                .completion_ps
+            ReplayEngine::new(&trace).run(net).unwrap().completion_ps
         };
 
         let sequential = run_with(Mapping::sequential(64));

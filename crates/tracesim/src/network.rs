@@ -6,6 +6,7 @@
 //! [`Network`] trait, so a trace can be replayed on either with the same
 //! code path — exactly the Dimemas/Venus coupling of the paper.
 
+use std::borrow::BorrowMut;
 use std::fmt;
 use xgft_core::{CompiledRouteTable, RouteSource, RouteTable};
 use xgft_netsim::sim::Completion;
@@ -103,9 +104,16 @@ impl<N: Network + ?Sized> Network for &mut N {
 /// [`xgft_core::CompactRoutes`] engine computes the path into a reusable
 /// scratch buffer instead, trading a few arithmetic operations per hop for
 /// near-zero route state.
+///
+/// The simulator slot `S` accepts either an owned [`NetworkSim`] (the
+/// default) or `&mut NetworkSim`, so campaign shards can pair one
+/// [reset](NetworkSim::reset)-recycled simulator with a fresh route table
+/// per seed or epoch without reallocating the simulator's event queue,
+/// message slab and channel state every time.
 #[derive(Debug)]
-pub struct RoutedNetwork<R: RouteSource = CompiledRouteTable> {
-    sim: NetworkSim,
+pub struct RoutedNetwork<R: RouteSource = CompiledRouteTable, S: BorrowMut<NetworkSim> = NetworkSim>
+{
+    sim: S,
     table: R,
     /// Reusable path buffer for representations that compute rather than
     /// store (stays empty for the compiled form).
@@ -130,15 +138,16 @@ impl RoutedNetwork<CompiledRouteTable> {
     }
 }
 
-impl<R: RouteSource> RoutedNetwork<R> {
-    /// Pair a simulator with any route representation.
+impl<R: RouteSource, S: BorrowMut<NetworkSim>> RoutedNetwork<R, S> {
+    /// Pair a simulator — owned, or borrowed for reuse across runs — with
+    /// any route representation.
     ///
     /// # Panics
     /// Panics if the representation was built for a different machine size.
-    pub fn with_source(sim: NetworkSim, table: R) -> Self {
+    pub fn with_source(sim: S, table: R) -> Self {
         assert_eq!(
             table.num_leaves(),
-            sim.xgft().num_leaves(),
+            sim.borrow().xgft().num_leaves(),
             "route table compiled for a different machine size"
         );
         RoutedNetwork {
@@ -150,7 +159,7 @@ impl<R: RouteSource> RoutedNetwork<R> {
 
     /// The underlying simulator.
     pub fn sim(&self) -> &NetworkSim {
-        &self.sim
+        self.sim.borrow()
     }
 
     /// The route representation in use.
@@ -159,7 +168,7 @@ impl<R: RouteSource> RoutedNetwork<R> {
     }
 }
 
-impl<R: RouteSource> Network for RoutedNetwork<R> {
+impl<R: RouteSource, S: BorrowMut<NetworkSim>> Network for RoutedNetwork<R, S> {
     fn schedule_message(
         &mut self,
         at_ps: u64,
@@ -179,23 +188,29 @@ impl<R: RouteSource> Network for RoutedNetwork<R> {
                 .path_in(src, dst, scratch)
                 .ok_or(NetworkError::MissingRoute { src, dst })?
         };
-        Ok(sim.schedule_message_on_path(at_ps, src, dst, bytes, path))
+        Ok(sim
+            .borrow_mut()
+            .schedule_message_on_path(at_ps, src, dst, bytes, path))
     }
 
     fn run_until_next_completion(&mut self) -> Option<Completion> {
-        self.sim.run_until_next_completion()
+        self.sim.borrow_mut().run_until_next_completion()
     }
 
     fn now_ps(&self) -> u64 {
-        self.sim.now_ps()
+        self.sim.borrow().now_ps()
     }
 
     fn report(&self) -> SimReport {
-        self.sim.report()
+        self.sim.borrow().report()
     }
 
     fn label(&self) -> String {
-        format!("{} on {}", self.table.algorithm(), self.sim.xgft().spec())
+        format!(
+            "{} on {}",
+            self.table.algorithm(),
+            self.sim.borrow().xgft().spec()
+        )
     }
 }
 

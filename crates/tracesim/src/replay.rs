@@ -7,10 +7,40 @@
 //! ranks to the latest arrival. The engine alternates between (a) running
 //! every unblocked rank as far as it can go and (b) advancing the network to
 //! its next delivery — the co-simulation structure of Dimemas + Venus.
+//!
+//! ## The indexed replay core
+//!
+//! Message matching used to hash `(src, dst, tag)` tuples through a
+//! `HashMap<_, VecDeque<u64>>` on every send, delivery and receive, and a
+//! second `HashMap<u64, _>` tracked in-flight messages — millions of hash
+//! probes and queue allocations per campaign shard. The trace is static,
+//! though: every `(src, dst, tag)` triple that can ever be matched, and the
+//! exact number of sends it will carry, is known before the replay starts.
+//! [`ReplayEngine::new`] therefore *compiles* the trace once:
+//!
+//! * every distinct triple becomes a dense **match-queue index**, and each
+//!   `Send`/`Recv` instruction is rewritten to carry its queue id — the hot
+//!   loop never hashes or searches anything;
+//! * all queues share one flat **timestamp arena** sized exactly from the
+//!   per-queue send counts (the same shared-arena discipline as netsim's
+//!   `MessageSlab`), with per-queue head/tail cursors instead of per-key
+//!   `VecDeque`s;
+//! * in-flight messages live in a flat slab indexed by the low 32 bits of
+//!   the [`MessageId`](xgft_netsim::MessageId) (the slot), tagged with the
+//!   id's generation so a recycled slot can never alias a stale entry;
+//! * the per-step `(0..n).filter(...).collect()` unfinished-rank scans are
+//!   replaced by an incrementally compacted **active list** that always
+//!   holds exactly the unfinished ranks, in ascending order.
+//!
+//! The scratch state is owned by the engine and recycled across [`run`]
+//! calls, so a campaign shard that replays one trace against many networks
+//! allocates its buffers once. The pre-overhaul HashMap core is retained in
+//! [`reference`] and pinned byte-identical by an equivalence proptest.
+//!
+//! [`run`]: ReplayEngine::run
 
 use crate::network::{Network, NetworkError};
 use crate::trace::{RankEvent, Trace};
-use std::collections::{HashMap, VecDeque};
 use xgft_netsim::SimReport;
 
 /// Errors the replay can encounter.
@@ -49,7 +79,7 @@ impl From<NetworkError> for ReplayError {
 impl std::error::Error for ReplayError {}
 
 /// The outcome of a replay.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReplayResult {
     /// Label of the network the trace ran on.
     pub network: String,
@@ -70,43 +100,389 @@ impl ReplayResult {
     }
 }
 
-/// Per-rank execution state.
+/// One compiled instruction: the trace's [`RankEvent`] with every match key
+/// pre-resolved to its dense queue id.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Compute { duration_ps: u64 },
+    Send { dst: u32, bytes: u64, queue: u32 },
+    Recv { queue: u32 },
+    Barrier,
+}
+
+/// The static side of a replay, compiled once per trace: per-rank programs
+/// with pre-resolved queue ids, plus the exact arena layout every match
+/// queue's timestamps will live in.
 #[derive(Debug)]
-struct RankState {
-    clock_ps: u64,
-    pc: usize,
-    blocked_on: Option<(usize, u32)>,
-    at_barrier: bool,
-    finished: bool,
+struct ReplayPlan {
+    num_ranks: usize,
+    /// Every rank's compiled program, concatenated.
+    ops: Vec<Op>,
+    /// Rank `r` executes `ops[program_start[r] .. program_start[r + 1]]`.
+    program_start: Vec<u32>,
+    /// Queue `q`'s timestamps occupy `times[queue_start[q] ..
+    /// queue_start[q + 1]]` of the shared arena — spans sized exactly from
+    /// the trace's per-queue send counts.
+    queue_start: Vec<u32>,
+}
+
+impl ReplayPlan {
+    /// Validate `trace` and compile it into the indexed form.
+    fn compile(trace: &Trace) -> Result<ReplayPlan, String> {
+        trace.validate()?;
+        let n = trace.num_ranks();
+        // Every (src, dst, tag) triple a Send can deliver to or a Recv can
+        // wait on, deduplicated into a dense queue numbering.
+        let mut triples: Vec<(u32, u32, u32)> = Vec::new();
+        for rank in 0..n {
+            for event in trace.program(rank) {
+                match *event {
+                    RankEvent::Send { dst, tag, .. } => {
+                        triples.push((rank as u32, dst as u32, tag));
+                    }
+                    RankEvent::Recv { src, tag } => {
+                        triples.push((src as u32, rank as u32, tag));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        triples.sort_unstable();
+        triples.dedup();
+        let queue_of = |key: (u32, u32, u32)| -> u32 {
+            triples.binary_search(&key).expect("key was inserted") as u32
+        };
+
+        let mut ops = Vec::new();
+        let mut program_start = Vec::with_capacity(n + 1);
+        let mut send_counts = vec![0u32; triples.len()];
+        for rank in 0..n {
+            program_start.push(ops.len() as u32);
+            for event in trace.program(rank) {
+                ops.push(match *event {
+                    RankEvent::Compute { duration_ps } => Op::Compute { duration_ps },
+                    RankEvent::Send { dst, bytes, tag } => {
+                        let queue = queue_of((rank as u32, dst as u32, tag));
+                        send_counts[queue as usize] += 1;
+                        Op::Send {
+                            dst: dst as u32,
+                            bytes,
+                            queue,
+                        }
+                    }
+                    RankEvent::Recv { src, tag } => Op::Recv {
+                        queue: queue_of((src as u32, rank as u32, tag)),
+                    },
+                    RankEvent::Barrier => Op::Barrier,
+                });
+            }
+        }
+        program_start.push(ops.len() as u32);
+
+        let mut queue_start = Vec::with_capacity(triples.len() + 1);
+        let mut total = 0u32;
+        for &count in &send_counts {
+            queue_start.push(total);
+            total += count;
+        }
+        queue_start.push(total);
+
+        Ok(ReplayPlan {
+            num_ranks: n,
+            ops,
+            program_start,
+            queue_start,
+        })
+    }
+
+    fn num_queues(&self) -> usize {
+        self.queue_start.len() - 1
+    }
+
+    fn total_sends(&self) -> usize {
+        *self.queue_start.last().expect("non-empty") as usize
+    }
+}
+
+/// In-flight slab entry for a vacant slot.
+const VACANT: u64 = u64::MAX;
+
+/// The mutable side of a replay, recycled across [`ReplayEngine::run`]
+/// calls: rank state as struct-of-arrays, the shared timestamp arena with
+/// its per-queue cursors, the in-flight slab and the active-rank list.
+#[derive(Debug, Default)]
+struct ReplayScratch {
+    // Per-rank execution state.
+    clock_ps: Vec<u64>,
+    pc: Vec<u32>,
+    at_barrier: Vec<bool>,
+    finished: Vec<bool>,
+    /// Unfinished ranks, ascending; compacted in place as ranks finish.
+    active: Vec<u32>,
+    /// The shared delivery-timestamp arena (one exact-size span per queue).
+    times: Vec<u64>,
+    /// Per-queue count of timestamps consumed by Recvs.
+    heads: Vec<u32>,
+    /// Per-queue count of timestamps delivered by the network.
+    tails: Vec<u32>,
+    /// In-flight queue ids indexed by message-id slot (low 32 bits), with
+    /// the id's generation packed in the high 32 bits so recycled slots
+    /// never alias a stale entry. [`VACANT`] marks an empty slot.
+    in_flight: Vec<u64>,
+}
+
+impl ReplayScratch {
+    /// Size every store for `plan` and reset all cursors, keeping the
+    /// allocations of any previous run.
+    fn reset(&mut self, plan: &ReplayPlan) {
+        let n = plan.num_ranks;
+        self.clock_ps.clear();
+        self.clock_ps.resize(n, 0);
+        self.pc.clear();
+        self.pc.resize(n, 0);
+        self.at_barrier.clear();
+        self.at_barrier.resize(n, false);
+        self.finished.clear();
+        self.finished.resize(n, false);
+        self.active.clear();
+        self.active.extend(0..n as u32);
+        // The arena itself needs no clearing: the tail cursors guard every
+        // read, and each slot is written before it can be read.
+        self.times.resize(plan.total_sends(), 0);
+        self.heads.clear();
+        self.heads.resize(plan.num_queues(), 0);
+        self.tails.clear();
+        self.tails.resize(plan.num_queues(), 0);
+        self.in_flight.clear();
+    }
+
+    /// Record that message `id` will deliver into `queue` when it completes.
+    fn insert_in_flight(&mut self, id: u64, queue: u32) {
+        let slot = (id & u32::MAX as u64) as usize;
+        if slot >= self.in_flight.len() {
+            self.in_flight.resize(slot + 1, VACANT);
+        }
+        debug_assert_eq!(self.in_flight[slot], VACANT, "slot already in flight");
+        self.in_flight[slot] = (id & !(u32::MAX as u64)) | queue as u64;
+    }
+
+    /// Take the queue a completed message delivers into.
+    ///
+    /// # Panics
+    /// Panics if `id` was never scheduled (or its slot was recycled under a
+    /// different generation) — the same contract the HashMap core enforced.
+    fn remove_in_flight(&mut self, id: u64) -> u32 {
+        let slot = (id & u32::MAX as u64) as usize;
+        let entry = self
+            .in_flight
+            .get(slot)
+            .copied()
+            .filter(|&e| e != VACANT && (e >> 32) == (id >> 32))
+            .expect("completion for an unknown message");
+        self.in_flight[slot] = VACANT;
+        entry as u32
+    }
 }
 
 /// The replay engine for one trace.
+///
+/// Construction compiles the borrowed trace into the indexed plan (see the
+/// [module docs](self)); the engine can then [`run`](Self::run) the trace
+/// against any number of networks, recycling its scratch state between
+/// runs. Engines borrow their trace, so spinning one up per network is
+/// cheap even for large traces.
 #[derive(Debug)]
-pub struct ReplayEngine {
-    trace: Trace,
+pub struct ReplayEngine<'t> {
+    trace: &'t Trace,
+    plan: Result<ReplayPlan, String>,
+    scratch: ReplayScratch,
 }
 
-impl ReplayEngine {
-    /// Create an engine for a trace.
-    pub fn new(trace: Trace) -> Self {
-        ReplayEngine { trace }
+impl<'t> ReplayEngine<'t> {
+    /// Create an engine for a trace, compiling it into the indexed plan.
+    /// An invalid trace is diagnosed here and reported by [`run`](Self::run).
+    pub fn new(trace: &'t Trace) -> Self {
+        ReplayEngine {
+            trace,
+            plan: ReplayPlan::compile(trace),
+            scratch: ReplayScratch::default(),
+        }
     }
 
     /// The trace this engine replays.
     pub fn trace(&self) -> &Trace {
-        &self.trace
+        self.trace
     }
 
     /// Replay the trace on `network` and return the timing result.
-    pub fn run<N: Network>(&self, mut network: N) -> Result<ReplayResult, ReplayError> {
+    pub fn run<N: Network>(&mut self, mut network: N) -> Result<ReplayResult, ReplayError> {
         xgft_obs::span!("tracesim.replay");
-        self.trace.validate().map_err(ReplayError::InvalidTrace)?;
-        let n = self.trace.num_ranks();
+        let ReplayEngine {
+            trace,
+            plan,
+            scratch,
+        } = self;
+        let plan = match plan {
+            Ok(plan) => plan,
+            Err(msg) => return Err(ReplayError::InvalidTrace(msg.clone())),
+        };
+        scratch.reset(plan);
+
+        loop {
+            // Phase 1: run every unblocked rank as far as possible,
+            // compacting finished ranks out of the active list in place.
+            let mut progressed = true;
+            while progressed {
+                progressed = false;
+                let mut write = 0;
+                for read in 0..scratch.active.len() {
+                    let rank = scratch.active[read];
+                    progressed |= progress_rank(plan, scratch, rank as usize, &mut network)?;
+                    if !scratch.finished[rank as usize] {
+                        scratch.active[write] = rank;
+                        write += 1;
+                    }
+                }
+                scratch.active.truncate(write);
+                // Barrier resolution: if every unfinished rank sits at a
+                // barrier, release them all at the latest arrival time.
+                if !scratch.active.is_empty()
+                    && scratch
+                        .active
+                        .iter()
+                        .all(|&r| scratch.at_barrier[r as usize])
+                {
+                    let release = scratch
+                        .active
+                        .iter()
+                        .map(|&r| scratch.clock_ps[r as usize])
+                        .max()
+                        .unwrap_or(0);
+                    for &r in &scratch.active {
+                        scratch.clock_ps[r as usize] = release;
+                        scratch.at_barrier[r as usize] = false;
+                        scratch.pc[r as usize] += 1;
+                    }
+                    progressed = true;
+                }
+            }
+
+            if scratch.active.is_empty() {
+                break;
+            }
+
+            // Phase 2: advance the network to the next delivery.
+            match network.run_until_next_completion() {
+                Some(completion) => {
+                    let queue = scratch.remove_in_flight(completion.id.0) as usize;
+                    let at = plan.queue_start[queue] + scratch.tails[queue];
+                    debug_assert!(at < plan.queue_start[queue + 1], "queue overflow");
+                    scratch.times[at as usize] = completion.completed_at_ps;
+                    scratch.tails[queue] += 1;
+                }
+                None => {
+                    let blocked_ranks: Vec<usize> =
+                        scratch.active.iter().map(|&r| r as usize).collect();
+                    return Err(ReplayError::Deadlock { blocked_ranks });
+                }
+            }
+        }
+
+        let rank_finish_ps = scratch.clock_ps.clone();
+        let completion_ps = rank_finish_ps.iter().copied().max().unwrap_or(0);
+        Ok(ReplayResult {
+            network: network.label(),
+            trace: trace.name().to_string(),
+            completion_ps,
+            rank_finish_ps,
+            network_report: network.report(),
+        })
+    }
+}
+
+/// Run one rank until it blocks or finishes. Returns true if it made any
+/// progress; a network refusal (e.g. a missing route) aborts the replay.
+fn progress_rank<N: Network>(
+    plan: &ReplayPlan,
+    scratch: &mut ReplayScratch,
+    rank: usize,
+    network: &mut N,
+) -> Result<bool, ReplayError> {
+    let program =
+        &plan.ops[plan.program_start[rank] as usize..plan.program_start[rank + 1] as usize];
+    let mut progressed = false;
+    loop {
+        if scratch.finished[rank] || scratch.at_barrier[rank] {
+            return Ok(progressed);
+        }
+        let pc = scratch.pc[rank] as usize;
+        if pc >= program.len() {
+            scratch.finished[rank] = true;
+            return Ok(progressed);
+        }
+        match program[pc] {
+            Op::Compute { duration_ps } => {
+                scratch.clock_ps[rank] += duration_ps;
+                scratch.pc[rank] += 1;
+                progressed = true;
+            }
+            Op::Send { dst, bytes, queue } => {
+                // Injection cannot happen before the network's current
+                // time (the rank may be "ahead" only in virtual terms).
+                let at = scratch.clock_ps[rank].max(network.now_ps());
+                let id = network.schedule_message(at, rank, dst as usize, bytes)?;
+                scratch.insert_in_flight(id.0, queue);
+                scratch.pc[rank] += 1;
+                progressed = true;
+            }
+            Op::Recv { queue } => {
+                let queue = queue as usize;
+                if scratch.heads[queue] < scratch.tails[queue] {
+                    let at = plan.queue_start[queue] + scratch.heads[queue];
+                    let time = scratch.times[at as usize];
+                    scratch.heads[queue] += 1;
+                    scratch.clock_ps[rank] = scratch.clock_ps[rank].max(time);
+                    scratch.pc[rank] += 1;
+                    progressed = true;
+                } else {
+                    return Ok(progressed);
+                }
+            }
+            Op::Barrier => {
+                scratch.at_barrier[rank] = true;
+                return Ok(true);
+            }
+        }
+    }
+}
+
+/// The HashMap-keyed replay core the indexed engine replaced, kept verbatim
+/// as a differential reference: the `replay_equivalence` proptest pins the
+/// indexed core byte-identical to it across randomized traces, and the
+/// `tracesim` bench area measures both so the speedup stays visible in the
+/// committed trajectory.
+pub mod reference {
+    use super::{ReplayError, ReplayResult};
+    use crate::network::Network;
+    use crate::trace::{RankEvent, Trace};
+    use std::collections::{HashMap, VecDeque};
+
+    #[derive(Debug)]
+    struct RankState {
+        clock_ps: u64,
+        pc: usize,
+        at_barrier: bool,
+        finished: bool,
+    }
+
+    /// Replay `trace` on `network` with the original HashMap-matching core.
+    pub fn run<N: Network>(trace: &Trace, mut network: N) -> Result<ReplayResult, ReplayError> {
+        trace.validate().map_err(ReplayError::InvalidTrace)?;
+        let n = trace.num_ranks();
         let mut ranks: Vec<RankState> = (0..n)
             .map(|_| RankState {
                 clock_ps: 0,
                 pc: 0,
-                blocked_on: None,
                 at_barrier: false,
                 finished: false,
             })
@@ -119,13 +495,12 @@ impl ReplayEngine {
         let mut in_flight: HashMap<u64, (usize, usize, u32)> = HashMap::new();
 
         loop {
-            // Phase 1: run every unblocked rank as far as possible.
             let mut progressed = true;
             while progressed {
                 progressed = false;
                 for rank in 0..n {
-                    progressed |= Self::progress_rank(
-                        &self.trace,
+                    progressed |= progress_rank(
+                        trace,
                         rank,
                         &mut ranks,
                         &mut delivered,
@@ -133,8 +508,6 @@ impl ReplayEngine {
                         &mut network,
                     )?;
                 }
-                // Barrier resolution: if every unfinished rank sits at a
-                // barrier, release them all at the latest arrival time.
                 let unfinished: Vec<usize> = (0..n).filter(|&r| !ranks[r].finished).collect();
                 if !unfinished.is_empty() && unfinished.iter().all(|&r| ranks[r].at_barrier) {
                     let release = unfinished
@@ -155,7 +528,6 @@ impl ReplayEngine {
                 break;
             }
 
-            // Phase 2: advance the network to the next delivery.
             match network.run_until_next_completion() {
                 Some(completion) => {
                     let key = in_flight
@@ -178,15 +550,13 @@ impl ReplayEngine {
         let completion_ps = rank_finish_ps.iter().copied().max().unwrap_or(0);
         Ok(ReplayResult {
             network: network.label(),
-            trace: self.trace.name().to_string(),
+            trace: trace.name().to_string(),
             completion_ps,
             rank_finish_ps,
             network_report: network.report(),
         })
     }
 
-    /// Run one rank until it blocks or finishes. Returns true if it made any
-    /// progress; a network refusal (e.g. a missing route) aborts the replay.
     fn progress_rank<N: Network>(
         trace: &Trace,
         rank: usize,
@@ -213,8 +583,6 @@ impl ReplayEngine {
                     progressed = true;
                 }
                 RankEvent::Send { dst, bytes, tag } => {
-                    // Injection cannot happen before the network's current
-                    // time (the rank may be "ahead" only in virtual terms).
                     let at = state.clock_ps.max(network.now_ps());
                     let id = network.schedule_message(at, rank, dst, bytes)?;
                     in_flight.insert(id.0, (rank, dst, tag));
@@ -227,12 +595,10 @@ impl ReplayEngine {
                     match available {
                         Some(time) => {
                             state.clock_ps = state.clock_ps.max(time);
-                            state.blocked_on = None;
                             state.pc += 1;
                             progressed = true;
                         }
                         None => {
-                            state.blocked_on = Some((src, tag));
                             return Ok(progressed);
                         }
                     }
@@ -284,7 +650,7 @@ mod tests {
             ],
         );
         let xgft = Xgft::new(XgftSpec::k_ary_n_tree(4, 2)).unwrap();
-        let result = ReplayEngine::new(trace).run(routed(&xgft)).unwrap();
+        let result = ReplayEngine::new(&trace).run(routed(&xgft)).unwrap();
         // The reply can only start after the request arrives, so the total
         // time is at least twice the one-way time of a 4 KB message.
         let one_way = {
@@ -316,7 +682,7 @@ mod tests {
             ],
         );
         let xgft = Xgft::new(XgftSpec::k_ary_n_tree(2, 2)).unwrap();
-        let result = ReplayEngine::new(trace).run(routed(&xgft)).unwrap();
+        let result = ReplayEngine::new(&trace).run(routed(&xgft)).unwrap();
         assert!(result.completion_ps > 1_000_000);
         assert!(result.rank_finish_ps[1] > 1_000_000);
         assert!(result.completion_ms() > 0.0);
@@ -337,7 +703,7 @@ mod tests {
             ],
         );
         let xgft = Xgft::new(XgftSpec::k_ary_n_tree(2, 2)).unwrap();
-        let result = ReplayEngine::new(trace).run(routed(&xgft)).unwrap();
+        let result = ReplayEngine::new(&trace).run(routed(&xgft)).unwrap();
         assert_eq!(result.completion_ps, 5_000_000);
         assert_eq!(result.rank_finish_ps[0], result.rank_finish_ps[1]);
     }
@@ -369,7 +735,7 @@ mod tests {
             ],
         );
         let xgft = Xgft::new(XgftSpec::k_ary_n_tree(2, 2)).unwrap();
-        let err = ReplayEngine::new(trace).run(routed(&xgft)).unwrap_err();
+        let err = ReplayEngine::new(&trace).run(routed(&xgft)).unwrap_err();
         match err {
             ReplayError::Deadlock { blocked_ranks } => {
                 assert!(blocked_ranks.contains(&0) && blocked_ranks.contains(&1));
@@ -410,7 +776,7 @@ mod tests {
         let xgft = Xgft::new(XgftSpec::k_ary_n_tree(4, 2)).unwrap();
         let table = RouteTable::build(&xgft, &DModK::new(), vec![(0, 1)]);
         let net = RoutedNetwork::new(NetworkSim::new(&xgft, NetworkConfig::default()), table);
-        let err = ReplayEngine::new(trace).run(net).unwrap_err();
+        let err = ReplayEngine::new(&trace).run(net).unwrap_err();
         assert_eq!(
             err,
             ReplayError::Network(crate::network::NetworkError::MissingRoute { src: 0, dst: 9 })
@@ -421,7 +787,7 @@ mod tests {
     #[test]
     fn invalid_trace_is_rejected_before_running() {
         let trace = Trace::new("bad", vec![vec![RankEvent::Recv { src: 0, tag: 0 }]]);
-        let err = ReplayEngine::new(trace)
+        let err = ReplayEngine::new(&trace)
             .run(CrossbarSim::new(4, NetworkConfig::default()))
             .unwrap_err();
         assert!(matches!(err, ReplayError::InvalidTrace(_)));
@@ -430,7 +796,8 @@ mod tests {
     #[test]
     fn crossbar_is_never_slower_than_the_tree() {
         // A fan-in pattern: completion on the ideal crossbar lower-bounds the
-        // slimmed tree.
+        // slimmed tree. One borrowed engine drives both networks, recycling
+        // its scratch state between the runs.
         let mut programs = vec![vec![]; 8];
         for s in 1..8usize {
             programs[s].push(RankEvent::Send {
@@ -442,11 +809,153 @@ mod tests {
         }
         let trace = Trace::new("fan-in", programs);
         let xgft = Xgft::new(XgftSpec::new(vec![4, 2], vec![1, 1]).unwrap()).unwrap();
-        let tree_result = ReplayEngine::new(trace.clone()).run(routed(&xgft)).unwrap();
-        let xbar_result = ReplayEngine::new(trace)
+        let mut engine = ReplayEngine::new(&trace);
+        let tree_result = engine.run(routed(&xgft)).unwrap();
+        let xbar_result = engine
             .run(CrossbarSim::new(8, NetworkConfig::default()))
             .unwrap();
         assert!(tree_result.completion_ps >= xbar_result.completion_ps);
         assert!(xbar_result.completion_ps > 0);
+    }
+
+    #[test]
+    fn out_of_order_tags_match_by_queue_not_delivery_order() {
+        // Rank 0 sends a large tag-1 message then a small tag-0 message; the
+        // small one is scheduled later but both are posted before rank 1
+        // receives. Rank 1 consumes tag 0 first: the match must go by
+        // (src, dst, tag) queue, never by arrival order.
+        let trace = Trace::new(
+            "tag-order",
+            vec![
+                vec![
+                    RankEvent::Send {
+                        dst: 1,
+                        bytes: 256 * 1024,
+                        tag: 1,
+                    },
+                    RankEvent::Send {
+                        dst: 1,
+                        bytes: 64,
+                        tag: 0,
+                    },
+                ],
+                vec![
+                    RankEvent::Recv { src: 0, tag: 0 },
+                    RankEvent::Recv { src: 0, tag: 1 },
+                ],
+            ],
+        );
+        let xgft = Xgft::new(XgftSpec::k_ary_n_tree(2, 2)).unwrap();
+        let mut engine = ReplayEngine::new(&trace);
+        let result = engine.run(routed(&xgft)).unwrap();
+        let expected = reference::run(&trace, routed(&xgft)).unwrap();
+        assert_eq!(result, expected);
+        // The tag-0 receive completes at the small message's delivery, which
+        // lands well before the large tag-1 transfer finishes.
+        assert!(result.rank_finish_ps[1] > 0);
+    }
+
+    #[test]
+    fn scratch_reset_then_replay_is_byte_identical() {
+        // The same engine run twice (scratch recycled) must reproduce the
+        // first result exactly, and match the HashMap reference core.
+        let trace = crate::workloads::wrf_trace(4, 4, 8 * 1024);
+        let xgft = Xgft::new(XgftSpec::k_ary_n_tree(4, 2)).unwrap();
+        let mut engine = ReplayEngine::new(&trace);
+        let first = engine.run(routed(&xgft)).unwrap();
+        let second = engine.run(routed(&xgft)).unwrap();
+        assert_eq!(first, second);
+        let reference = reference::run(&trace, routed(&xgft)).unwrap();
+        assert_eq!(first, reference);
+    }
+
+    /// A toy network that recycles message-id slots across completions with
+    /// a bumped generation — the in-flight slab must match entries by
+    /// (slot, generation), exactly like netsim's `MessageSlab`.
+    struct RecyclingNet {
+        pending: std::collections::VecDeque<(u64, u64)>, // (id, completes_at)
+        generation: u64,
+        now_ps: u64,
+    }
+
+    impl crate::network::Network for RecyclingNet {
+        fn schedule_message(
+            &mut self,
+            at_ps: u64,
+            src: usize,
+            dst: usize,
+            bytes: u64,
+        ) -> Result<xgft_netsim::MessageId, crate::network::NetworkError> {
+            let _ = (src, dst);
+            // One slot (0), recycled under a fresh generation per message.
+            let id = self.generation << 32;
+            self.generation += 1;
+            self.pending.push_back((id, at_ps + bytes));
+            Ok(xgft_netsim::MessageId(id))
+        }
+
+        fn run_until_next_completion(&mut self) -> Option<xgft_netsim::sim::Completion> {
+            let (id, at) = self.pending.pop_front()?;
+            self.now_ps = self.now_ps.max(at);
+            Some(xgft_netsim::sim::Completion {
+                id: xgft_netsim::MessageId(id),
+                src: 0,
+                dst: 1,
+                bytes: 1,
+                completed_at_ps: at,
+            })
+        }
+
+        fn now_ps(&self) -> u64 {
+            self.now_ps
+        }
+
+        fn report(&self) -> SimReport {
+            SimReport::default()
+        }
+
+        fn label(&self) -> String {
+            "recycling-toy".to_string()
+        }
+    }
+
+    #[test]
+    fn in_flight_slab_matches_recycled_slots_by_generation() {
+        // Three sequential round-trips over the same slot: each Recv must
+        // match the completion of its own generation.
+        // Rank 0 self-sends: each Send posts into queue (0, 0, 0) and the
+        // following Recv consumes it, so completions interleave with sends
+        // and the toy net's single slot is recycled three times.
+        let trace = Trace::new(
+            "recycled-slots",
+            vec![vec![
+                RankEvent::Send {
+                    dst: 0,
+                    bytes: 10,
+                    tag: 0,
+                },
+                RankEvent::Recv { src: 0, tag: 0 },
+                RankEvent::Send {
+                    dst: 0,
+                    bytes: 20,
+                    tag: 0,
+                },
+                RankEvent::Recv { src: 0, tag: 0 },
+                RankEvent::Send {
+                    dst: 0,
+                    bytes: 30,
+                    tag: 0,
+                },
+                RankEvent::Recv { src: 0, tag: 0 },
+            ]],
+        );
+        let net = RecyclingNet {
+            pending: std::collections::VecDeque::new(),
+            generation: 0,
+            now_ps: 0,
+        };
+        let result = ReplayEngine::new(&trace).run(net).unwrap();
+        // Completion times accumulate 10, 20, 30 → the final clock is 60.
+        assert_eq!(result.completion_ps, 60);
     }
 }

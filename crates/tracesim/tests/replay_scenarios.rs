@@ -22,7 +22,7 @@ fn cg_phases_serialise() {
     let cfg = NetworkConfig::default();
     let bytes = 16 * 1024u64;
     let trace = workloads::cg_d_trace(32, bytes);
-    let result = ReplayEngine::new(trace)
+    let result = ReplayEngine::new(&trace)
         .run(CrossbarSim::new(32, cfg.clone()))
         .unwrap();
     let one_message = cfg.ideal_transfer_ps(bytes);
@@ -40,7 +40,7 @@ fn cg_phases_serialise() {
 fn independent_pairs_finish_together() {
     let cfg = NetworkConfig::default();
     let trace = workloads::wrf_trace(2, 8, 32 * 1024); // 16 ranks, +-8 exchange
-    let result = ReplayEngine::new(trace)
+    let result = ReplayEngine::new(&trace)
         .run(CrossbarSim::new(16, cfg.clone()))
         .unwrap();
     // Every rank exchanges with at most one partner above and one below, so
@@ -60,7 +60,7 @@ fn compute_only_trace() {
         ],
     );
     let xgft = Xgft::new(XgftSpec::k_ary_n_tree(2, 2)).unwrap();
-    let result = ReplayEngine::new(trace.clone())
+    let result = ReplayEngine::new(&trace)
         .run(routed(&xgft, &trace))
         .unwrap();
     assert_eq!(result.completion_ps, 900);
@@ -83,10 +83,7 @@ fn placement_never_helps_wrf_on_a_slimmed_tree() {
             RoutedNetwork::new(NetworkSim::new(&xgft, cfg.clone()), table),
             mapping,
         );
-        ReplayEngine::new(trace.clone())
-            .run(net)
-            .unwrap()
-            .completion_ps
+        ReplayEngine::new(&trace).run(net).unwrap().completion_ps
     };
 
     let sequential = run_with(Mapping::sequential(64));

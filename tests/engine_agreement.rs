@@ -97,7 +97,7 @@ fn busy_via_tracesim(
     }
     let trace = Trace::new("agreement", programs);
     let mut net = RoutedNetwork::with_compiled(NetworkSim::new(xgft, cfg()), table.clone());
-    ReplayEngine::new(trace)
+    ReplayEngine::new(&trace)
         .run(&mut net)
         .expect("routable flows cannot deadlock");
     net.sim().channel_busy_ps()
@@ -295,7 +295,7 @@ fn unroutable_pairs_fail_loudly_and_identically_in_every_engine() {
     // Layer 4: a replay over the dead pair aborts with the same typed miss
     // instead of deadlocking or mis-delivering.
     let net = RoutedNetwork::with_compiled(NetworkSim::new(&xgft, cfg()), table);
-    let err = ReplayEngine::new(pattern).run(net).unwrap_err();
+    let err = ReplayEngine::new(&pattern).run(net).unwrap_err();
     assert_eq!(
         err,
         ReplayError::Network(NetworkError::MissingRoute { src: 0, dst: 5 })

@@ -162,7 +162,8 @@ fn prelude_covers_the_common_api() {
     let _matrix = ConnectivityMatrix::new(4);
     let _label: Option<NodeLabel> = None;
     let _trace: Trace = wrf_trace(2, 2, 1024);
-    let _engine = ReplayEngine::new(cg_d_trace(32, 1024));
+    let trace = cg_d_trace(32, 1024);
+    let _engine = ReplayEngine::new(&trace);
     let _report: Option<SlowdownReport> = None;
     let _route = Route::empty();
 }
